@@ -1,0 +1,97 @@
+"""Ablation A3 (paper future work, Section VII): heterogeneous LPVs and
+multi-LPU assemblies.
+
+"We plan to explore the heterogeneous architecture where the number of
+LPEs per LPVs ... will not be the same for all LPVs.  Also, it is worth
+trying multiple LPUs that can be assembled in parallel or series."
+
+(a) Tapered LPV width profiles: FFCL cones converge toward their outputs,
+so late LPVs can be narrower.  We measure throughput-per-LPE (area
+efficiency) across taper factors on a VGG16 layer block.
+
+(b) Multi-LPU: parallel and series assemblies of the paper's 16x32 LPU on
+the VGG16 layer costs.
+"""
+
+from conftest import publish
+
+from repro.analysis import render_table
+from repro.core import PAPER_CONFIG
+from repro.core.hetero import MultiLPU, evaluate_heterogeneous, tapered_profile
+from repro.models import evaluate_model, layer_block, vgg16_paper_layers, vgg16_workload
+from repro.synth import preprocess
+
+_CACHE = {}
+
+
+def _hetero_rows():
+    if "hetero" not in _CACHE:
+        vgg = vgg16_workload()
+        layer = vgg16_paper_layers(vgg)[0]
+        block, _ = layer_block(layer, sample_neurons=6, seed=0)
+        g = preprocess(block).graph
+        rows = []
+        for taper in (1.0, 0.75, 0.5, 0.25):
+            lpu = tapered_profile(16, 32, taper)
+            ev = evaluate_heterogeneous(g, lpu)
+            rows.append(
+                [
+                    f"taper {taper:.2f}",
+                    ev.total_lpes,
+                    ev.num_mfgs,
+                    ev.makespan,
+                    ev.fps,
+                    ev.fps_per_lpe,
+                ]
+            )
+        _CACHE["hetero"] = (g, rows)
+    return _CACHE["hetero"]
+
+
+def test_hetero_taper_profiles(benchmark):
+    g, rows = _hetero_rows()
+    benchmark(evaluate_heterogeneous, g, tapered_profile(16, 32, 0.5))
+    publish(
+        "ablation_hetero",
+        render_table(
+            "Future work — tapered LPV width profiles (VGG16 conv2 block)",
+            ["profile", "LPEs", "MFGs", "makespan", "FPS", "FPS/LPE"],
+            rows,
+        ),
+    )
+    flat_eff = rows[0][5]
+    best_eff = max(r[5] for r in rows)
+    # Tapering must improve area efficiency for converging FFCL graphs.
+    assert best_eff >= flat_eff
+
+
+def test_multi_lpu_assemblies(benchmark):
+    vgg = vgg16_workload()
+    ev = evaluate_model(
+        vgg, PAPER_CONFIG, sample_neurons=6, layers=vgg16_paper_layers(vgg)
+    )
+    costs = [int(l.cycles_per_image) for l in ev.layers]
+    benchmark(MultiLPU(PAPER_CONFIG, 4, "series").throughput_fps, costs)
+
+    rows = []
+    for count in (1, 2, 4):
+        for topology in ("parallel", "series"):
+            multi = MultiLPU(PAPER_CONFIG, count, topology)
+            rows.append(
+                [
+                    f"{count}x {topology}",
+                    multi.total_lpes(),
+                    multi.throughput_fps(costs),
+                ]
+            )
+    publish(
+        "ablation_multi_lpu",
+        render_table(
+            "Future work — multi-LPU assemblies on VGG16 (per-image costs)",
+            ["assembly", "LPEs", "FPS"],
+            rows,
+        ),
+    )
+    one = MultiLPU(PAPER_CONFIG, 1, "parallel").throughput_fps(costs)
+    four = MultiLPU(PAPER_CONFIG, 4, "parallel").throughput_fps(costs)
+    assert four > 3.0 * one  # near-linear parallel scaling

@@ -1,0 +1,65 @@
+"""Ablation A1: pipelined MFG streaming vs sequential MFG-at-a-time.
+
+Section V-B's MFG-by-MFG paradigm overlaps consecutive MFGs across LPVs
+(Fig. 5's back-to-back wavefronts).  This bench quantifies how much of the
+LPU's throughput comes from that overlap, per model — motivating the
+"computational resources allocated to MFG H are LPV in [Lbottom, Ltop]"
+design against a naive one-MFG-at-a-time controller.
+"""
+
+from conftest import publish
+
+from repro.analysis import geometric_mean, render_table
+from repro.core import PAPER_CONFIG
+from repro.models import all_models, evaluate_model, vgg16_paper_layers
+
+SAMPLE_NEURONS = 6
+_CACHE = {}
+
+
+def _data():
+    if "rows" not in _CACHE:
+        rows = []
+        speedups = []
+        for model in all_models():
+            layers = (
+                vgg16_paper_layers(model)
+                if model.name.startswith("VGG16")
+                else None
+            )
+            pipe = evaluate_model(
+                model, PAPER_CONFIG, policy="pipelined",
+                sample_neurons=SAMPLE_NEURONS, layers=layers,
+            )
+            seq = evaluate_model(
+                model, PAPER_CONFIG, policy="sequential",
+                sample_neurons=SAMPLE_NEURONS, layers=layers,
+            )
+            speedup = pipe.fps / seq.fps
+            speedups.append(speedup)
+            rows.append([model.name, seq.fps, pipe.fps, f"{speedup:.2f}x"])
+        _CACHE["rows"] = (rows, speedups)
+    return _CACHE["rows"]
+
+
+def test_ablation_pipelined_vs_sequential(benchmark):
+    rows, speedups = _data()
+    model = all_models()[4]  # JSC-M: small, representative
+    benchmark(
+        evaluate_model,
+        model,
+        PAPER_CONFIG,
+        policy="sequential",
+        sample_neurons=SAMPLE_NEURONS,
+    )
+    table = render_table(
+        "Ablation — pipelined vs sequential MFG scheduling",
+        ["model", "FPS sequential", "FPS pipelined", "pipeline gain"],
+        rows,
+    )
+    summary = f"geomean pipeline gain: {geometric_mean(speedups):.2f}x"
+    publish("ablation_pipeline", table + "\n\n" + summary)
+
+    for row, speedup in zip(rows, speedups):
+        assert speedup >= 1.0, row[0]
+    assert geometric_mean(speedups) > 1.1

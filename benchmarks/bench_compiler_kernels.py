@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the compiler's kernels (partition / merge / schedule
+/ codegen / simulate), tracking the toolchain's own performance."""
+
+import pytest
+
+from repro.core import (
+    LPUConfig,
+    build_schedule,
+    compile_ffcl,
+    generate_program,
+    merge_partition,
+    partition,
+)
+from repro.lpu import random_stimulus, simulate
+from repro.netlist import random_dag
+from repro.synth import preprocess
+
+CFG = LPUConfig(num_lpvs=8, lpes_per_lpv=8)
+_G = random_dag(10, 400, 6, seed=77)
+_PRE = preprocess(_G)
+
+
+def test_kernel_preprocess(benchmark):
+    benchmark(preprocess, _G)
+
+
+def test_kernel_partition(benchmark):
+    benchmark(partition, _PRE.graph, CFG.m)
+
+
+def test_kernel_merge(benchmark):
+    def run():
+        return merge_partition(partition(_PRE.graph, CFG.m))
+
+    benchmark(run)
+
+
+def test_kernel_schedule(benchmark):
+    part = merge_partition(partition(_PRE.graph, CFG.m))
+
+    def run():
+        return build_schedule(part, CFG)
+
+    benchmark(run)
+
+
+def test_kernel_codegen(benchmark):
+    part = merge_partition(partition(_PRE.graph, CFG.m))
+    sched = build_schedule(part, CFG)
+    benchmark(generate_program, sched, _PRE.graph, CFG)
+
+
+def test_kernel_end_to_end_compile(benchmark):
+    benchmark(compile_ffcl, _G, CFG)
+
+
+def test_kernel_simulate(benchmark):
+    res = compile_ffcl(_G, CFG)
+    stim = random_stimulus(_G, seed=1)
+    result = benchmark(simulate, res.program, stim)
+    assert result.macro_cycles == res.schedule.makespan

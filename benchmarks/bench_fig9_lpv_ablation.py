@@ -1,0 +1,96 @@
+"""Fig. 9: inference time of VGG16 and LeNet-5 versus LPV count.
+
+Paper findings: (1) inference time decreases with the LPV count and the
+benefit saturates; (2) the "effective LPV threshold" against NullaDSP —
+"we need at least 2 LPVs to achieve such performance for the case of
+VGG16" (NullaDSP's reported VGG16 throughput is 0.33K FPS, Table II).
+"""
+
+from conftest import publish
+
+from repro.analysis import crossover_point, render_series, render_table
+from repro.baselines import PAPER_TABLE2_FPS
+from repro.core import LPUConfig
+from repro.models import (
+    evaluate_model,
+    lenet5_workload,
+    vgg16_paper_layers,
+    vgg16_workload,
+)
+
+LPV_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+SAMPLE_NEURONS = 6
+_CACHE = {}
+
+
+def _sweep():
+    if "data" in _CACHE:
+        return _CACHE["data"]
+    vgg = vgg16_workload()
+    vgg_layers = vgg16_paper_layers(vgg)
+    lenet = lenet5_workload()
+    vgg_times, lenet_times = [], []
+    for n in LPV_COUNTS:
+        cfg = LPUConfig(num_lpvs=n)
+        vgg_times.append(
+            evaluate_model(
+                vgg, cfg, layers=vgg_layers, sample_neurons=SAMPLE_NEURONS
+            ).latency_seconds
+            * 1e3
+        )
+        lenet_times.append(
+            evaluate_model(
+                lenet, cfg, sample_neurons=SAMPLE_NEURONS
+            ).latency_seconds
+            * 1e3
+        )
+    _CACHE["data"] = (vgg_times, lenet_times)
+    return _CACHE["data"]
+
+
+def test_fig9_lpv_sweep(benchmark):
+    vgg_times, lenet_times = _sweep()
+    vgg = vgg16_workload()
+    benchmark(
+        evaluate_model,
+        vgg,
+        LPUConfig(num_lpvs=4),
+        layers=vgg16_paper_layers(vgg),
+        sample_neurons=SAMPLE_NEURONS,
+    )
+
+    fig = render_series(
+        "Fig. 9 — inference time (ms) vs LPV count",
+        "LPVs",
+        LPV_COUNTS,
+        {"VGG16": vgg_times, "LENET5": lenet_times},
+    )
+
+    # Effective LPV threshold vs NullaDSP's reported VGG16 throughput.
+    nulladsp_fps = PAPER_TABLE2_FPS["VGG16"]["NullaDSP"]
+    nulladsp_latency_ms = 1e3 / nulladsp_fps
+    threshold, found = crossover_point(
+        LPV_COUNTS, vgg_times, nulladsp_latency_ms
+    )
+    rows = [
+        [n, vgg_times[i], lenet_times[i]]
+        for i, n in enumerate(LPV_COUNTS)
+    ]
+    table = render_table(
+        "Fig. 9 data — per-image latency (ms)",
+        ["LPVs", "VGG16", "LENET5"],
+        rows, precision=3,
+    )
+    summary = (
+        f"effective LPV threshold vs NullaDSP (VGG16): {threshold:.0f} LPVs "
+        f"(paper: at least 2)"
+    )
+    publish("fig9_lpv_ablation", "\n\n".join([fig, table, summary]))
+
+    # Shape assertions: monotone improvement, saturation, threshold = 2.
+    for series in (vgg_times, lenet_times):
+        for earlier, later in zip(series, series[1:]):
+            assert later <= earlier * 1.001
+    # Saturation: the last doubling buys < 10% on VGG16.
+    assert vgg_times[-1] > 0.9 * vgg_times[-2]
+    assert found and threshold <= 2

@@ -1,0 +1,66 @@
+"""Table I: FPGA resource utilization of the LPU (LPV count = 16).
+
+Paper row: 478K FF (20.2%), 433K LUT (36.7%), 12240 Kb BRAM (15.8%),
+333 MHz on a Xilinx VU9P.  The bench derives utilization from the
+architecture model and also sweeps LPV counts to show where the design
+stops fitting the device.
+"""
+
+from conftest import publish
+
+from repro.analysis import render_table
+from repro.baselines import LPUResourceModel, PAPER_TABLE1
+from repro.core import LPUConfig, PAPER_CONFIG
+
+
+def _rows():
+    model = LPUResourceModel()
+    rows = []
+    for n in (4, 8, 16, 32, 64):
+        est = model.estimate(LPUConfig(num_lpvs=n))
+        rows.append(
+            [
+                f"n={n}" + (" (paper)" if n == 16 else ""),
+                f"{est.flip_flops / 1e3:.0f}K",
+                f"{est.ff_fraction:.1%}",
+                f"{est.luts / 1e3:.0f}K",
+                f"{est.lut_fraction:.1%}",
+                f"{est.bram_kb}",
+                f"{est.bram_fraction:.1%}",
+                f"{est.frequency_hz / 1e6:.0f}",
+                "yes" if est.fits() else "NO",
+            ]
+        )
+    return rows
+
+
+def test_table1_resource_model(benchmark):
+    model = LPUResourceModel()
+    est = benchmark(model.estimate, PAPER_CONFIG)
+
+    rows = _rows()
+    rows.append(
+        [
+            "paper (n=16)",
+            f"{PAPER_TABLE1['FF'] / 1e3:.0f}K",
+            f"{PAPER_TABLE1['FF%']:.1%}",
+            f"{PAPER_TABLE1['LUT'] / 1e3:.0f}K",
+            f"{PAPER_TABLE1['LUT%']:.1%}",
+            f"{PAPER_TABLE1['BRAM_Kb']}",
+            f"{PAPER_TABLE1['BRAM%']:.1%}",
+            f"{PAPER_TABLE1['FREQ_Hz'] / 1e6:.0f}",
+            "yes",
+        ]
+    )
+    publish(
+        "table1_resources",
+        render_table(
+            "Table I — LPU resource utilization (VU9P)",
+            ["config", "FF", "FF%", "LUT", "LUT%", "BRAM(Kb)", "BRAM%",
+             "MHz", "fits"],
+            rows,
+        ),
+    )
+    assert abs(est.flip_flops - PAPER_TABLE1["FF"]) / PAPER_TABLE1["FF"] < 0.25
+    assert abs(est.luts - PAPER_TABLE1["LUT"]) / PAPER_TABLE1["LUT"] < 0.25
+    assert abs(est.bram_kb - PAPER_TABLE1["BRAM_Kb"]) / PAPER_TABLE1["BRAM_Kb"] < 0.25

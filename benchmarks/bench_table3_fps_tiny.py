@@ -1,0 +1,89 @@
+"""Table III: FPS on the extreme-throughput models (NID, JSC-M, JSC-L).
+
+The honest result the paper reports: fixed-function pipelines (LogicNets,
+Google+CERN hls4ml, the FINN MVU of [1]) beat the programmable LPU on tiny
+models — "LogicNets have higher frames per second than our design.
+However, they cannot use the same hardware for the other models."
+
+Baseline columns are the paper's carried numbers; the LPU column is our
+measured compile+schedule; the LogicNets analytical model supplies the
+replication counts that explain the huge reported figures.
+"""
+
+from conftest import publish
+
+from repro.analysis import render_table
+from repro.baselines import LogicNetsModel, PAPER_REPORTED_FPS
+from repro.core import PAPER_CONFIG
+from repro.models import (
+    evaluate_model,
+    jsc_l_workload,
+    jsc_m_workload,
+    nid_workload,
+)
+
+_CACHE = {}
+
+
+def _evaluations():
+    if "evals" not in _CACHE:
+        models = [nid_workload(), jsc_m_workload(), jsc_l_workload()]
+        _CACHE["evals"] = (
+            models,
+            {
+                m.name: evaluate_model(m, PAPER_CONFIG, sample_neurons=6)
+                for m in models
+            },
+        )
+    return _CACHE["evals"]
+
+
+def test_table3_fps_comparison(benchmark):
+    models, evals = _evaluations()
+    benchmark(evaluate_model, models[0], PAPER_CONFIG, sample_neurons=6)
+
+    ln = LogicNetsModel()
+    rows = []
+    for m in models:
+        reported = PAPER_REPORTED_FPS[m.name]
+        rows.append(
+            [
+                m.name,
+                reported.get("LogicNets"),
+                reported.get("Google+CERN"),
+                reported.get("FINN-MVU"),
+                evals[m.name].fps,
+                reported.get("LPU (paper)"),
+                f"x{ln.parallel_instances(m)}",
+            ]
+        )
+    publish(
+        "table3_fps_tiny",
+        render_table(
+            "Table III — FPS, high-throughput models (LPV count 16)",
+            ["model", "LogicNets [17]", "Google+CERN [8]", "FINN-MVU [1]",
+             "LPU (ours, measured)", "LPU (paper)", "LN replication"],
+            rows,
+        ),
+    )
+
+    # Shape: hardened pipelines beat the programmable LPU on tiny models.
+    for m in models:
+        reported_ln = PAPER_REPORTED_FPS[m.name]["LogicNets"]
+        assert reported_ln > evals[m.name].fps, m.name
+    # ... and our measured LPU lands within an order of magnitude of the
+    # paper's measured LPU on NID (the closest-comparable workload).
+    ours = evals["NID"].fps
+    paper = PAPER_REPORTED_FPS["NID"]["LPU (paper)"]
+    assert 0.1 < ours / paper < 10.0
+
+
+def test_table3_programmability_tradeoff(benchmark):
+    """The LPU runs all three models on ONE configuration; LogicNets needs
+    a new bitstream per model (reprogrammable() is False)."""
+    models, evals = _evaluations()
+    benchmark(lambda: None)
+    assert not LogicNetsModel().reprogrammable()
+    assert len({PAPER_CONFIG.describe()}) == 1  # same hardware for all
+    for m in models:
+        assert evals[m.name].fps > 1e5  # still megasamples/s territory

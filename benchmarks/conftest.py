@@ -1,0 +1,18 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one of the paper's tables or figures: it computes
+the experiment data (cached at module scope), times the core kernel with
+pytest-benchmark, renders the table/series, prints it, and archives it
+under ``benchmarks/results/``.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and archive it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Algorithms and Hardware for Efficient Processing
+of Logic-based Neural Networks" (Hong, Fayyazi, Esmaili, Nazemi, Pedram;
+DAC 2023, arXiv:2304.06299).
+
+The package implements the paper's complete system in pure Python:
+
+* :mod:`repro.netlist` — cell library, logic-graph DAG, Verilog/.bench I/O,
+* :mod:`repro.synth` — logic optimization, levelization, full path
+  balancing, two-level minimization, algebraic factoring,
+* :mod:`repro.nullanet` — NullaNet-style FFCL extraction from binarized
+  neural networks (the paper's upstream engine),
+* :mod:`repro.core` — the paper's contribution: MFG partitioning, merging,
+  scheduling, and code generation for the logic processor,
+* :mod:`repro.lpu` — the logic-processor hardware model and macro-cycle-
+  accurate simulator,
+* :mod:`repro.models` — VGG16 / LeNet-5 / MLPMixer / JSC / NID workload
+  generators,
+* :mod:`repro.baselines` — MAC, XNOR (FINN), NullaDSP, LogicNets, and
+  hls4ml analytical performance baselines + the FPGA resource model,
+* :mod:`repro.analysis` — table/figure rendering for the experiment
+  harness.
+
+Quick start::
+
+    from repro.netlist import parse_verilog
+    from repro.core import compile_ffcl
+    from repro.lpu import cross_check
+
+    graph = parse_verilog(open("block.v").read())
+    result = compile_ffcl(graph)
+    ok, lpu_out, ref_out = cross_check(result.program)
+"""
+
+__version__ = "1.0.0"
+
+from .core import LPUConfig, PAPER_CONFIG, compile_ffcl
+from .netlist import LogicGraph, parse_verilog, parse_verilog_file
+
+__all__ = [
+    "__version__",
+    "LPUConfig",
+    "PAPER_CONFIG",
+    "compile_ffcl",
+    "LogicGraph",
+    "parse_verilog",
+    "parse_verilog_file",
+]

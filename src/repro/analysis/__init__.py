@@ -1,0 +1,16 @@
+"""Reporting helpers shared by the benchmark harness."""
+
+from .gantt import render_gantt, utilization
+from .series import crossover_point, geometric_mean, render_series
+from .tables import format_number, render_ratio, render_table
+
+__all__ = [
+    "render_gantt",
+    "utilization",
+    "crossover_point",
+    "geometric_mean",
+    "render_series",
+    "format_number",
+    "render_ratio",
+    "render_table",
+]

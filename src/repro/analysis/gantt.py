@@ -1,0 +1,55 @@
+"""Time-space diagram rendering for LPU schedules (the paper's Fig. 5).
+
+Renders a schedule's occupancy grid — rows are LPVs, columns are
+macro-cycles, letters are MFGs — exactly the view the paper uses to explain
+the MFG-by-MFG computing paradigm and memLoc sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.schedule import Schedule
+
+_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def render_gantt(
+    schedule: Schedule,
+    max_cycles: int = 60,
+    max_lpvs: int = 32,
+) -> str:
+    """ASCII Fig. 5: one glyph per MFG, '.' for idle (cycle, LPV) cells."""
+    grid: Dict[Tuple[int, int], int] = schedule.occupancy()
+    uid_glyph: Dict[int, str] = {}
+    cycles = min(schedule.makespan, max_cycles)
+    lines = [
+        "cycle |" + "".join(str(c % 10) for c in range(cycles))
+    ]
+    for lpv in range(min(schedule.config.n, max_lpvs)):
+        row = []
+        for cycle in range(cycles):
+            uid = grid.get((cycle, lpv))
+            if uid is None:
+                row.append(".")
+            else:
+                if uid not in uid_glyph:
+                    uid_glyph[uid] = _GLYPHS[len(uid_glyph) % len(_GLYPHS)]
+                row.append(uid_glyph[uid])
+        lines.append(f"LPV{lpv:>2} |{''.join(row)}")
+    if schedule.makespan > max_cycles:
+        lines.append(f"... ({schedule.makespan - max_cycles} more cycles)")
+    legend = ", ".join(
+        f"{glyph}=MFG{uid}" for uid, glyph in list(uid_glyph.items())[:12]
+    )
+    if legend:
+        lines.append(f"legend: {legend}" + (" ..." if len(uid_glyph) > 12 else ""))
+    return "\n".join(lines)
+
+
+def utilization(schedule: Schedule) -> float:
+    """Fraction of (cycle, LPV) cells doing useful MFG work."""
+    total_cells = schedule.makespan * schedule.config.n
+    if total_cells == 0:
+        return 0.0
+    return len(schedule.occupancy()) / total_cells

@@ -1,0 +1,69 @@
+"""ASCII series/bar-chart rendering for figure-style benches (Figs 7-9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .tables import format_number
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+) -> str:
+    """Render one or more named series as horizontal bar rows.
+
+    Bars are scaled to the global maximum so relative magnitudes — the
+    thing the paper's figures communicate — survive the ASCII rendering.
+    """
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=1.0,
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        [len(str(x)) for x in xs] + [len(x_label)]
+    )
+    name_width = max(len(name) for name in series)
+    lines = [f"== {title} =="]
+    for i, x in enumerate(xs):
+        for name, values in series.items():
+            v = values[i]
+            bar = "#" * max(1, int(round(width * v / peak))) if v else ""
+            lines.append(
+                f"{str(x).rjust(label_width)} {name.ljust(name_width)} "
+                f"|{bar.ljust(width)}| {format_number(v)}"
+            )
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))
+
+
+def crossover_point(
+    xs: Sequence[float],
+    ours: Sequence[float],
+    reference: float,
+) -> Tuple[float, bool]:
+    """First x where ``ours`` crosses below ``reference`` (for the Fig. 9
+    "effective LPV threshold": smallest LPV count beating NullaDSP).
+
+    Returns (x, found).  ``ours`` is assumed monotone non-increasing
+    (inference time vs LPV count).
+    """
+    for x, v in zip(xs, ours):
+        if v <= reference:
+            return float(x), True
+    return float(xs[-1]), False

@@ -1,0 +1,69 @@
+"""ASCII table rendering for the experiment harness.
+
+Every bench regenerates its paper table/figure as text via these helpers,
+so `pytest benchmarks/ --benchmark-only` prints the same rows/series the
+paper reports (EXPERIMENTS.md records paper-vs-measured for each).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_number(value: Cell, precision: int = 2) -> str:
+    """Human-friendly numeric formatting (K/M suffixes like the paper)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    v = float(value)
+    if v == 0:
+        return "0"
+    for magnitude, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(v) >= magnitude:
+            return f"{v / magnitude:.{precision}f}{suffix}"
+    if abs(v) >= 1:
+        return f"{v:.{precision}f}".rstrip("0").rstrip(".")
+    return f"{v:.4f}"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    text_rows: List[List[str]] = []
+    for row in rows:
+        text_rows.append(
+            [
+                cell if isinstance(cell, str) else format_number(cell, precision)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", fmt_row(list(headers)), rule]
+    lines.extend(fmt_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_ratio(label: str, ours: float, reference: Optional[float]) -> str:
+    """One-line ours-vs-paper comparison."""
+    if reference is None or reference == 0:
+        return f"{label}: ours {format_number(ours)} (no paper reference)"
+    ratio = ours / reference
+    return (
+        f"{label}: ours {format_number(ours)} vs paper "
+        f"{format_number(reference)} ({ratio:.2f}x of reported)"
+    )

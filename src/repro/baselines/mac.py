@@ -1,0 +1,63 @@
+"""MAC-array accelerator baseline (Table II, column "MAC").
+
+The paper's MAC baseline is "the open-source implementation of [14]
+(AutoSA/FlexCNN-style end-to-end FPGA accelerator) with some improvements
+proposed in [12]", i.e. a DSP-array systolic design.  We model it with the
+standard two-bound roofline every such accelerator obeys:
+
+* compute bound: ``2 * MACs / (2 * num_dsps * f_mac)`` — each DSP48
+  performs one multiply-accumulate per cycle (2 ops),
+* memory bound: weights and activations stream from off-chip DDR
+  (Section VI-B: "there is no cost associated with off-chip memories
+  [for the LPU] while this is not the case for MAC-based ... implementation").
+
+The default constants are a VU9P-class deployment: 4096 of the 6840 DSPs
+usable at 250 MHz, 16 GB/s effective DDR bandwidth, 8-bit weights and
+activations, utilization 70%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.layers import ModelWorkload
+
+
+@dataclass(frozen=True)
+class MACArrayModel:
+    """Analytical performance model of a DSP-based MAC accelerator."""
+
+    num_dsps: int = 4096
+    frequency_hz: float = 250e6
+    dram_bandwidth_bytes: float = 16e9
+    weight_bits: int = 8
+    activation_bits: int = 8
+    utilization: float = 0.7
+
+    def compute_seconds(self, model: ModelWorkload) -> float:
+        """Time spent in the MAC array per inference."""
+        macs_per_second = self.num_dsps * self.frequency_hz * self.utilization
+        return model.total_macs / macs_per_second
+
+    def memory_seconds(self, model: ModelWorkload) -> float:
+        """Time streaming weights + activations from DRAM per inference."""
+        weight_bytes = model.total_params * self.weight_bits / 8
+        # Activations: every layer's output feature map travels once.
+        activation_values = sum(
+            l.num_neurons * l.positions for l in model.layers
+        )
+        activation_bytes = activation_values * self.activation_bits / 8
+        return (weight_bytes + activation_bytes) / self.dram_bandwidth_bytes
+
+    def latency_seconds(self, model: ModelWorkload) -> float:
+        """Per-inference latency: the binding roofline term."""
+        return max(self.compute_seconds(model), self.memory_seconds(model))
+
+    def fps(self, model: ModelWorkload) -> float:
+        return 1.0 / self.latency_seconds(model)
+
+    def bound(self, model: ModelWorkload) -> str:
+        """Which roofline term binds ("compute" or "memory")."""
+        if self.compute_seconds(model) >= self.memory_seconds(model):
+            return "compute"
+        return "memory"

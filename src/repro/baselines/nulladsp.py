@@ -1,0 +1,64 @@
+"""NullaDSP baseline (Shahsavani et al. [12], Table II column "NullaDSP").
+
+NullaDSP maps NullaNet-generated FFCL onto the FPGA's DSP48 blocks: each
+DSP's 48-bit ALU executes bitwise logic on 48 packed samples per cycle, and
+the FFCL's gates are scheduled onto the DSP array level by level, with
+intermediate values spilled through the register file / BRAM (the paper:
+"this is not the case for MAC-based and NullaDSP implementation" regarding
+off-chip traffic — NullaDSP pays data-movement overhead between levels).
+
+Model: the FFCL gate count of a model is derived from the same per-neuron
+logic statistics the LPU workload uses (gates-per-neuron as a function of
+fan-in), so both sides of the comparison share one workload definition.
+Throughput per cycle is ``num_dsps * 48`` gate-evaluations on packed
+samples, derated by a scheduling efficiency factor that accounts for level
+serialization and operand movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..models.layers import ModelWorkload
+from ..models.workloads import neuron_graph
+
+
+@dataclass(frozen=True)
+class NullaDSPModel:
+    """Analytical performance model of DSP-mapped FFCL execution."""
+
+    num_dsps: int = 4096
+    frequency_hz: float = 300e6
+    packed_lanes: int = 48  # DSP48 ALU width
+    #: fraction of peak gate-throughput actually sustained (level
+    #: serialization, operand routing through BRAM).
+    scheduling_efficiency: float = 0.08
+
+    def gates_per_neuron(self, fan_in: int, seed: int = 0) -> int:
+        """Gate count of one neuron's FFCL (shared with the LPU workload)."""
+        return neuron_graph(fan_in, seed).num_gates
+
+    def model_gate_evals(self, model: ModelWorkload) -> float:
+        """Total gate evaluations per inference (all neurons, all
+        positions)."""
+        total = 0.0
+        cache: Dict[int, int] = {}
+        for layer in model.layers:
+            if layer.fan_in not in cache:
+                cache[layer.fan_in] = self.gates_per_neuron(layer.fan_in)
+            total += cache[layer.fan_in] * layer.num_neurons * layer.positions
+        return total
+
+    def cycles_per_pass(self, model: ModelWorkload) -> float:
+        """Cycles to evaluate the whole model once on ``packed_lanes``
+        packed samples."""
+        sustained = self.num_dsps * self.scheduling_efficiency
+        return self.model_gate_evals(model) / sustained
+
+    def latency_seconds(self, model: ModelWorkload) -> float:
+        return self.cycles_per_pass(model) / self.frequency_hz
+
+    def fps(self, model: ModelWorkload) -> float:
+        """Throughput with samples packed into the 48 DSP ALU lanes."""
+        return self.packed_lanes / self.latency_seconds(model)

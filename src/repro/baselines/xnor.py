@@ -1,0 +1,45 @@
+"""XNOR/binary accelerator baseline (FINN, Table II column "XNOR").
+
+The paper's XNOR baseline is FINN [16] "improve[d] ... by packing
+operations".  A binarized layer computes ``popcount(xnor(w, x))`` per
+neuron; FINN instantiates matrix-vector units whose throughput is bound by
+how many XNOR+popcount bit-operations fit in the LUT budget per cycle.
+
+Model: the fabric sustains ``simd * pe`` XNOR-popcount bit-ops per matrix
+unit per cycle; the whole device offers ``binary_ops_per_cycle`` aggregated
+over layers (folded execution, one layer at a time, as FINN's dataflow
+pipeline does when the model does not fit unfolded).  A binarized MAC is
+one XNOR + its share of the popcount tree, costed as ``ops_per_mac``
+LUT-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.layers import ModelWorkload
+
+
+@dataclass(frozen=True)
+class XNORModel:
+    """Analytical performance model of a FINN-style binary accelerator."""
+
+    #: XNOR+popcount bit-operations the fabric completes per clock cycle.
+    binary_ops_per_cycle: float = 131072.0  # 128K ops/cycle on a VU9P
+    frequency_hz: float = 250e6
+    #: LUT-ops charged per binary MAC (XNOR + popcount share).
+    ops_per_mac: float = 2.5
+    utilization: float = 0.7
+
+    def binary_ops(self, model: ModelWorkload) -> float:
+        """Total binary ops per inference (binarized MACs)."""
+        return model.total_macs * self.ops_per_mac
+
+    def latency_seconds(self, model: ModelWorkload) -> float:
+        sustained = (
+            self.binary_ops_per_cycle * self.frequency_hz * self.utilization
+        )
+        return self.binary_ops(model) / sustained
+
+    def fps(self, model: ModelWorkload) -> float:
+        return 1.0 / self.latency_seconds(model)

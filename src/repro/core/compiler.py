@@ -1,0 +1,123 @@
+"""End-to-end FFCL compiler (Fig. 1: pre-processing -> compiler -> hardware).
+
+:func:`compile_ffcl` chains every stage of the paper's flow:
+
+1. pre-process the netlist (logic optimization, cell mapping, levelization,
+   full path balancing — :mod:`repro.synth.pipeline`),
+2. partition the balanced DAG into MFGs (Algorithms 1/2),
+3. merge sibling MFGs (Algorithm 3, on by default; the Fig. 7/8 experiments
+   toggle it),
+4. schedule MFGs onto the LPV pipeline (Algorithm 4 semantics),
+5. generate the instruction queues, buffer layouts, and circulation traffic
+   (optional — metric-only sweeps skip it).
+
+The result carries every intermediate artifact plus a
+:class:`~repro.core.metrics.CompileMetrics` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..netlist.graph import LogicGraph
+from ..synth.pipeline import PreprocessResult, preprocess
+from .codegen import Program, generate_program
+from .config import LPUConfig, PAPER_CONFIG
+from .merge import merge_partition
+from .metrics import CompileMetrics
+from .mfg import Partition
+from .partition import partition
+from .schedule import Schedule, build_schedule
+
+
+@dataclass
+class CompileResult:
+    """All artifacts of one compilation.
+
+    Note: when merging is enabled, ``partition_unmerged`` keeps its MFG list
+    (counts and spans stay valid for reporting) but its parent/child links
+    are consumed by the in-place merging pass; re-run
+    :func:`repro.core.partition.partition` for a pristine unmerged DAG.
+    """
+
+    source: LogicGraph
+    config: LPUConfig
+    preprocess: PreprocessResult
+    partition_unmerged: Partition
+    partition: Partition
+    schedule: Schedule
+    program: Optional[Program]
+    metrics: CompileMetrics
+
+    @property
+    def balanced(self) -> LogicGraph:
+        return self.preprocess.graph
+
+
+def compile_ffcl(
+    graph: LogicGraph,
+    config: LPUConfig = PAPER_CONFIG,
+    *,
+    merge: bool = True,
+    policy: str = "pipelined",
+    optimize: bool = True,
+    generate_code: bool = True,
+    basis: Optional[FrozenSet[str]] = None,
+    max_mfgs: int = 500_000,
+) -> CompileResult:
+    """Compile an FFCL block for the LPU.
+
+    Args:
+        graph: the FFCL netlist (e.g. from :func:`repro.netlist.parse_verilog`
+            or the NullaNet pipeline).
+        config: LPU architecture parameters.
+        merge: apply the MFG merging procedure (Algorithm 3).
+        policy: ``"pipelined"`` (paper) or ``"sequential"`` scheduling.
+        optimize: run logic simplification during pre-processing.
+        generate_code: emit instruction queues/buffers; disable for
+            metric-only parameter sweeps on large workloads.
+        basis: optional restricted LPE op set to tech-map onto.
+        max_mfgs: safety bound on partition size.
+    """
+    pre = preprocess(graph, basis=basis, optimize=optimize)
+    part_unmerged = partition(pre.graph, config.m, max_mfgs=max_mfgs)
+    part = merge_partition(part_unmerged) if merge else part_unmerged
+    schedule = build_schedule(part, config, policy=policy)
+    program = (
+        generate_program(schedule, pre.graph, config) if generate_code else None
+    )
+
+    metrics = CompileMetrics(
+        name=graph.name,
+        num_inputs=graph.num_inputs,
+        num_outputs=graph.num_outputs,
+        gates_source=graph.num_gates,
+        gates_balanced=pre.graph.num_gates,
+        buffers_inserted=pre.report.balance.buffers_inserted,
+        depth=pre.levels.max_level,
+        mfgs_before_merge=part_unmerged.num_mfgs,
+        mfgs_after_merge=part.num_mfgs,
+        policy=policy,
+        makespan_macro_cycles=schedule.makespan,
+        total_clock_cycles=schedule.total_clock_cycles,
+        queue_depth=schedule.queue_depth,
+        circulations=schedule.circulations,
+        latency_seconds=config.macro_cycles_to_seconds(schedule.makespan),
+        fps=config.fps(schedule.makespan),
+        compute_instructions=(
+            program.num_compute_instructions if program else None
+        ),
+        queue_entries=program.num_queue_entries if program else None,
+        peak_buffer_words=program.peak_buffer_words if program else None,
+    )
+    return CompileResult(
+        source=graph,
+        config=config,
+        preprocess=pre,
+        partition_unmerged=part_unmerged,
+        partition=part,
+        schedule=schedule,
+        program=program,
+        metrics=metrics,
+    )

@@ -1,0 +1,100 @@
+"""LPU (logic processing unit) configuration.
+
+Section IV fixes the architecture parameters this reproduction models:
+
+* an LPU contains ``num_lpvs`` linearly-ordered LPVs,
+* each LPV contains ``lpes_per_lpv`` (= m) LPEs, so it consumes up to 2m
+  operands and produces up to m results per macro-cycle,
+* each operand is ``2m`` bits wide (2m Boolean variables processed in
+  parallel — different patches of a feature volume or different images of a
+  batch),
+* LPVs are connected by a ``switch_stages``-stage non-blocking multicast
+  switch network, so one macro-cycle costs ``t_c = 1 + switch_stages`` clock
+  cycles (the paper uses t_sw = 5, t_c = 6),
+* the evaluation targets a Xilinx VU9P running at 333 MHz.
+
+The default configuration (16 LPVs, m = 32 -> 64-bit operands, one numpy
+``uint64`` word per operand) is the one Tables I-III use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LPUConfig:
+    """Architecture parameters of one logic processor."""
+
+    num_lpvs: int = 16
+    lpes_per_lpv: int = 32
+    switch_stages: int = 5
+    frequency_hz: float = 333e6
+
+    def __post_init__(self) -> None:
+        if self.num_lpvs < 1:
+            raise ValueError("an LPU needs at least one LPV")
+        if self.lpes_per_lpv < 1:
+            raise ValueError("an LPV needs at least one LPE")
+        if self.switch_stages < 1:
+            raise ValueError("the switch network needs at least one stage")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def m(self) -> int:
+        """LPEs per LPV (the paper's m): max graph width an LPV computes."""
+        return self.lpes_per_lpv
+
+    @property
+    def n(self) -> int:
+        """LPVs per LPU (the paper's n): max MFG depth without circulation."""
+        return self.num_lpvs
+
+    @property
+    def word_bits(self) -> int:
+        """Operand width in bits (= 2m): parallel Boolean samples per pass."""
+        return 2 * self.lpes_per_lpv
+
+    @property
+    def t_sw(self) -> int:
+        """Clock cycles spent steering data through the switch network."""
+        return self.switch_stages
+
+    @property
+    def t_c(self) -> int:
+        """Clock cycles per macro-cycle: one LPE compute + t_sw routing."""
+        return 1 + self.switch_stages
+
+    @property
+    def total_lpes(self) -> int:
+        return self.num_lpvs * self.lpes_per_lpv
+
+    def macro_cycles_to_seconds(self, macro_cycles: int) -> float:
+        """Wall-clock time for ``macro_cycles`` macro-cycles."""
+        return macro_cycles * self.t_c / self.frequency_hz
+
+    def fps(self, macro_cycles_per_pass: int, passes_per_inference: int = 1) -> float:
+        """Inference throughput in frames per second.
+
+        One pass through the schedule evaluates the FFCL for ``word_bits``
+        independent samples (the packed operand width), so::
+
+            FPS = f * 2m / (t_c * macro_cycles * passes)
+        """
+        if macro_cycles_per_pass <= 0:
+            raise ValueError("macro-cycle count must be positive")
+        total = macro_cycles_per_pass * passes_per_inference
+        return self.frequency_hz * self.word_bits / (self.t_c * total)
+
+    def describe(self) -> str:
+        return (
+            f"LPU: {self.num_lpvs} LPVs x {self.lpes_per_lpv} LPEs, "
+            f"{self.word_bits}-bit operands, t_c={self.t_c} "
+            f"({self.switch_stages}-stage switch), "
+            f"{self.frequency_hz / 1e6:.0f} MHz"
+        )
+
+
+#: The configuration used throughout the paper's evaluation (Section VI).
+PAPER_CONFIG = LPUConfig()

@@ -1,0 +1,291 @@
+"""Heterogeneous and multi-LPU configurations (the paper's future work).
+
+Section VII: "we plan to explore the heterogeneous architecture where the
+number of LPEs per LPVs and their following switch networks will not be the
+same for all LPVs.  Also, it is worth trying multiple LPUs that can be
+assembled in parallel or series configurations."
+
+This module implements both as *modeled* extensions on top of the verified
+homogeneous core (metric-level: partitioning and scheduling adapt to the
+heterogeneous widths; code generation/simulation remain homogeneous-only):
+
+* :class:`HeterogeneousLPU` — per-LPV LPE counts.  Partitioning uses the
+  width of the LPV each level lands on (so MFG growth stops earlier where
+  the pipeline is narrow), and the FPGA resource model prices each LPV by
+  its own width.  Since FFCL level widths shrink toward the outputs
+  (graphs converge), a tapered profile can save area at equal throughput —
+  the hypothesis behind the paper's future work, which
+  ``benchmarks/bench_ablation_hetero.py`` tests.
+* :class:`MultiLPU` — k LPUs in parallel (neurons of a layer split across
+  LPUs; throughput scales, latency does not) or in series (layer ranges
+  pipelined across LPUs; both batch throughput and per-LPU queue pressure
+  improve at the cost of inter-LPU buffering).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.graph import LogicGraph
+from ..synth.levelize import is_levelized_strict, levelize
+from .config import LPUConfig
+from .mfg import MFG, Partition
+from .merge import merge_partition
+from .partition import find_mfg
+from .schedule import Schedule, build_schedule
+
+
+@dataclass(frozen=True)
+class HeterogeneousLPU:
+    """An LPU whose LPVs may have different LPE counts.
+
+    ``lpe_widths[k]`` is the m of LPV k; the operand word width (and hence
+    the packed batch size) is set by the *widest* LPV (narrower LPVs simply
+    populate fewer columns).
+    """
+
+    lpe_widths: Tuple[int, ...]
+    switch_stages: int = 5
+    frequency_hz: float = 333e6
+
+    def __post_init__(self) -> None:
+        if not self.lpe_widths:
+            raise ValueError("need at least one LPV")
+        if any(w < 1 for w in self.lpe_widths):
+            raise ValueError("every LPV needs at least one LPE")
+
+    @property
+    def n(self) -> int:
+        return len(self.lpe_widths)
+
+    @property
+    def max_m(self) -> int:
+        return max(self.lpe_widths)
+
+    @property
+    def word_bits(self) -> int:
+        return 2 * self.max_m
+
+    @property
+    def t_c(self) -> int:
+        return 1 + self.switch_stages
+
+    @property
+    def total_lpes(self) -> int:
+        return sum(self.lpe_widths)
+
+    def m_of_level(self, level: int) -> int:
+        """LPE budget of the LPV that logic level ``level`` maps onto."""
+        return self.lpe_widths[(level - 1) % self.n]
+
+    def homogeneous(self) -> LPUConfig:
+        """The uniform-width LPU with the same LPV count and peak width."""
+        return LPUConfig(
+            num_lpvs=self.n,
+            lpes_per_lpv=self.max_m,
+            switch_stages=self.switch_stages,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def fps(self, macro_cycles: int) -> float:
+        if macro_cycles <= 0:
+            raise ValueError("macro-cycle count must be positive")
+        return self.frequency_hz * self.word_bits / (self.t_c * macro_cycles)
+
+
+def partition_heterogeneous(
+    graph: LogicGraph, lpu: HeterogeneousLPU, max_mfgs: int = 500_000
+) -> Partition:
+    """Algorithm 1/2 with a per-level width budget.
+
+    Identical to :func:`repro.core.partition.partition` except the stop
+    rule compares each level's node count against the width of the LPV
+    that level executes on.
+    """
+    if not is_levelized_strict(graph):
+        raise ValueError("partitioning requires a fully path-balanced graph")
+    levels = levelize(graph)
+    from collections import deque
+
+    from ..netlist import cells
+
+    all_mfgs: List[MFG] = []
+    queue: deque = deque()
+
+    def create(root: int) -> MFG:
+        mfg = _find_mfg_hetero(graph, levels, root, lpu, uid=len(all_mfgs))
+        all_mfgs.append(mfg)
+        if len(all_mfgs) > max_mfgs:
+            raise RuntimeError("heterogeneous partitioning exceeded max_mfgs")
+        queue.append(mfg)
+        return mfg
+
+    root_mfgs: List[MFG] = []
+    seen = set()
+    for _name, nid in graph.outputs:
+        if graph.op_of(nid) in cells.SOURCE_OPS or nid in seen:
+            continue
+        seen.add(nid)
+        root_mfgs.append(create(nid))
+    while queue:
+        current = queue.popleft()
+        if current.reads_primary_inputs:
+            continue
+        for input_node in sorted(current.input_nodes):
+            child = create(input_node)
+            current.children.append(child)
+            child.parents.append(current)
+
+    # Partition.m is used by merging's checkLevel; heterogeneous merging
+    # must respect the *minimum* width over the MFG's level range, so we
+    # conservatively expose the smallest LPV width here.
+    return Partition(
+        graph=graph, m=min(lpu.lpe_widths), mfgs=all_mfgs, root_mfgs=root_mfgs
+    )
+
+
+def _find_mfg_hetero(graph, levels, root, lpu: HeterogeneousLPU, uid: int) -> MFG:
+    root_level = levels.level[root]
+    if root_level < 1:
+        raise ValueError(f"root {root} is a source node, not a gate")
+    nodes_by_level = {root_level: {root}}
+    frontier = {root}
+    level = root_level
+    while True:
+        fanins = set()
+        for nid in frontier:
+            fanins.update(graph.fanins_of(nid))
+        if level == 1:
+            return MFG(
+                uid=uid, bottom_level=1, top_level=root_level,
+                nodes_by_level=nodes_by_level, roots={root},
+                input_nodes=fanins, reads_primary_inputs=True,
+            )
+        if len(fanins) > lpu.m_of_level(level - 1):
+            return MFG(
+                uid=uid, bottom_level=level, top_level=root_level,
+                nodes_by_level=nodes_by_level, roots={root},
+                input_nodes=fanins, reads_primary_inputs=False,
+            )
+        nodes_by_level[level - 1] = fanins
+        frontier = fanins
+        level -= 1
+
+
+@dataclass
+class HeteroEvaluation:
+    """Throughput/area of one heterogeneous profile on one graph."""
+
+    lpu: HeterogeneousLPU
+    makespan: int
+    num_mfgs: int
+    total_lpes: int
+
+    @property
+    def fps(self) -> float:
+        return self.lpu.fps(self.makespan)
+
+    @property
+    def fps_per_lpe(self) -> float:
+        """Throughput per LPE — the area-efficiency figure of merit."""
+        return self.fps / self.total_lpes
+
+
+def evaluate_heterogeneous(
+    graph: LogicGraph,
+    lpu: HeterogeneousLPU,
+    merge: bool = True,
+) -> HeteroEvaluation:
+    """Partition/merge/schedule a balanced graph on a heterogeneous LPU."""
+    part = partition_heterogeneous(graph, lpu)
+    if merge:
+        part = merge_partition(part)
+    # Scheduling only needs the LPV count; per-level widths were already
+    # enforced by the partitioner.
+    schedule = build_schedule(part, lpu.homogeneous())
+    return HeteroEvaluation(
+        lpu=lpu,
+        makespan=schedule.makespan,
+        num_mfgs=part.num_mfgs,
+        total_lpes=lpu.total_lpes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-LPU assemblies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MultiLPU:
+    """k identical LPUs assembled in parallel or in series."""
+
+    base: LPUConfig
+    count: int
+    topology: str  # "parallel" | "series"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("need at least one LPU")
+        if self.topology not in ("parallel", "series"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+
+    def throughput_fps(self, per_lpu_macro_cycles: Sequence[int]) -> float:
+        """Aggregate FPS for a model whose layer groups cost the given
+        macro-cycles on one LPU.
+
+        * parallel: each LPU processes a slice of every layer's neurons —
+          each LPU's share of the work is 1/count, throughput scales by
+          ``count`` (perfect neuron-level data parallelism; the switch
+          never crosses LPUs because neurons are independent).
+        * series: layer groups are assigned to pipeline stages; steady-
+          state throughput is set by the slowest stage.
+        """
+        total = sum(per_lpu_macro_cycles)
+        if total <= 0:
+            raise ValueError("need positive work")
+        if self.topology == "parallel":
+            share = math.ceil(total / self.count)
+            return self.base.fps(share)
+        stages = self.partition_stages(per_lpu_macro_cycles)
+        bottleneck = max(sum(group) for group in stages)
+        return self.base.fps(bottleneck)
+
+    def partition_stages(
+        self, costs: Sequence[int]
+    ) -> List[List[int]]:
+        """Greedy contiguous partition of layer costs into ``count`` stages
+        (series topology): repeatedly close a stage once it reaches the
+        ideal per-stage load."""
+        total = sum(costs)
+        target = total / self.count
+        stages: List[List[int]] = [[]]
+        acc = 0.0
+        for cost in costs:
+            if acc >= target and len(stages) < self.count:
+                stages.append([])
+                acc = 0.0
+            stages[-1].append(cost)
+            acc += cost
+        while len(stages) < self.count:
+            stages.append([])
+        return stages
+
+    def total_lpes(self) -> int:
+        return self.count * self.base.total_lpes
+
+
+def tapered_profile(n: int, peak_m: int, taper: float) -> HeterogeneousLPU:
+    """A width profile that narrows geometrically toward the last LPV.
+
+    ``taper`` = 1.0 gives the homogeneous LPU; 0.5 halves the width across
+    the pipeline.  Converging FFCL graphs (wide near the inputs, narrow at
+    the outputs) are the motivation.
+    """
+    if not 0 < taper <= 1.0:
+        raise ValueError("taper must be in (0, 1]")
+    widths = []
+    for k in range(n):
+        frac = k / max(1, n - 1)
+        widths.append(max(1, round(peak_m * (taper ** frac))))
+    return HeterogeneousLPU(lpe_widths=tuple(widths))

@@ -1,0 +1,185 @@
+"""Greedy MFG merging (paper Algorithm 3).
+
+"The runtime of a BNN inference task is primarily affected by the total
+number of MFGs.  Therefore, a greedy merging algorithm is proposed to merge
+within a set of single-output MFGs that feeds into the same MFG and has the
+same bottom level, generat[ing] one multiple-output MFG."
+
+Two sibling MFGs are mergeable when:
+
+* they share the same bottom level (condition (1) would otherwise break:
+  inbound edges must enter only at the bottom-most level), and
+* ``checkLevel`` passes: at every level, the union of their node sets has
+  at most m nodes (shared nodes — condition (3) overlap — count once, which
+  is exactly where merging wins twice: fewer MFGs *and* shared logic
+  computed once).
+
+Siblings automatically share their top level, because every child of an MFG
+is rooted at one of its input nodes and those all sit at the parent's
+``bottom_level - 1``.
+
+The paper's Algorithm 3 walks the MFG DAG from the root; we do the same,
+and additionally treat the root MFGs themselves as siblings under a virtual
+super-parent so multi-output networks merge at the top as well.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from .mfg import MFG, Partition, iter_mfg_dag_topological
+
+
+def check_level(a: MFG, b: MFG, m: int) -> bool:
+    """The paper's checkLevel: per-level union widths must fit in an LPV."""
+    if a.bottom_level != b.bottom_level or a.top_level != b.top_level:
+        return False
+    for level in a.levels():
+        union = a.nodes_by_level[level] | b.nodes_by_level[level]
+        if len(union) > m:
+            return False
+    return True
+
+
+def merge_pair(a: MFG, b: MFG, uid: int) -> MFG:
+    """Union two mergeable MFGs into a multi-output MFG (links unset)."""
+    nodes_by_level = {
+        level: set(a.nodes_by_level[level]) | set(b.nodes_by_level[level])
+        for level in a.levels()
+    }
+    return MFG(
+        uid=uid,
+        bottom_level=a.bottom_level,
+        top_level=a.top_level,
+        nodes_by_level=nodes_by_level,
+        roots=set(a.roots) | set(b.roots),
+        input_nodes=set(a.input_nodes) | set(b.input_nodes),
+        reads_primary_inputs=a.reads_primary_inputs or b.reads_primary_inputs,
+    )
+
+
+def _replace_links(old_pair: List[MFG], merged: MFG) -> None:
+    """Splice ``merged`` into the MFG DAG in place of two siblings."""
+    old_set = {mfg.uid for mfg in old_pair}
+    children: List[MFG] = []
+    parents: List[MFG] = []
+    for mfg in old_pair:
+        for child in mfg.children:
+            if child.uid not in {c.uid for c in children}:
+                children.append(child)
+        for parent in mfg.parents:
+            if parent.uid not in {p.uid for p in parents}:
+                parents.append(parent)
+    merged.children = children
+    merged.parents = parents
+    for child in children:
+        child.parents = [p for p in child.parents if p.uid not in old_set]
+        child.parents.append(merged)
+    for parent in parents:
+        kept = [c for c in parent.children if c.uid not in old_set]
+        if merged not in kept:
+            kept.append(merged)
+        parent.children = kept
+
+
+def _merge_sibling_group(siblings: List[MFG], m: int, next_uid: List[int]) -> List[MFG]:
+    """Greedily merge a sibling list until no pair is mergeable.
+
+    Siblings are bucketed by bottom level (merging across different bottom
+    levels is illegal, Algorithm 3) and folded into accumulators first-fit:
+    each MFG merges into the first accumulated MFG it fits, otherwise it
+    starts a new accumulator.  This is the paper's greedy loop with an
+    O(k^2)-not-O(k^3) implementation.
+    """
+    buckets: Dict[int, List[MFG]] = {}
+    order: List[int] = []
+    for mfg in siblings:
+        if mfg.bottom_level not in buckets:
+            order.append(mfg.bottom_level)
+        buckets.setdefault(mfg.bottom_level, []).append(mfg)
+
+    result: List[MFG] = []
+    for bottom in order:
+        accumulators: List[MFG] = []
+        for mfg in buckets[bottom]:
+            placed = False
+            for i, acc in enumerate(accumulators):
+                if check_level(acc, mfg, m):
+                    merged = merge_pair(acc, mfg, uid=next_uid[0])
+                    next_uid[0] += 1
+                    _replace_links([acc, mfg], merged)
+                    accumulators[i] = merged
+                    placed = True
+                    break
+            if not placed:
+                accumulators.append(mfg)
+        result.extend(accumulators)
+    return result
+
+
+def merge_partition(part: Partition) -> Partition:
+    """Algorithm 3 over the whole MFG DAG; returns a new Partition.
+
+    The input partition's MFG objects are spliced in place (they are cheap
+    to re-create by re-running :func:`repro.core.partition.partition` if the
+    caller needs the unmerged form).
+    """
+    m = part.m
+    next_uid = [max((g.uid for g in part.mfgs), default=-1) + 1]
+
+    # Track which MFGs are still part of the DAG: a sibling merge through
+    # one parent can retire an MFG that another parent already enqueued.
+    alive: Set[int] = {g.uid for g in part.mfgs}
+
+    def merge_group(group: List[MFG]) -> List[MFG]:
+        before = {g.uid for g in group}
+        merged_group = _merge_sibling_group(group, m, next_uid)
+        after = {g.uid for g in merged_group}
+        alive.difference_update(before - after)
+        alive.update(after - before)
+        return merged_group
+
+    # Root MFGs are siblings under a virtual super-parent.
+    root_mfgs = merge_group(list(part.root_mfgs))
+
+    queue: deque = deque(root_mfgs)
+    visited: Set[int] = {g.uid for g in root_mfgs}
+    while queue:
+        current = queue.popleft()
+        if current.uid not in alive:
+            continue  # retired by a merge through another parent
+        current.children = merge_group(current.children)
+        for child in current.children:
+            if child.uid not in visited:
+                visited.add(child.uid)
+                queue.append(child)
+
+    result = iter_mfg_dag_topological(root_mfgs)
+    merged = Partition(graph=part.graph, m=m, mfgs=result, root_mfgs=root_mfgs)
+    return merged
+
+
+def merging_report(before: Partition, after: Partition) -> Dict[str, float]:
+    """MFG-count and span statistics for the Fig. 7/8 experiments."""
+    seq_before = before.total_macro_cycles_sequential()
+    seq_after = after.total_macro_cycles_sequential()
+    return {
+        "mfgs_before": float(before.num_mfgs),
+        "mfgs_after": float(after.num_mfgs),
+        "mfg_reduction": (
+            before.num_mfgs / after.num_mfgs if after.num_mfgs else 1.0
+        ),
+        "span_before": float(seq_before),
+        "span_after": float(seq_after),
+        "span_reduction": seq_before / seq_after if seq_after else 1.0,
+    }
+
+
+__all__ = [
+    "check_level",
+    "merge_pair",
+    "merge_partition",
+    "merging_report",
+    "iter_mfg_dag_topological",
+]

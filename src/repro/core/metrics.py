@@ -1,0 +1,62 @@
+"""Compilation and execution metrics.
+
+Collects the quantities the paper's evaluation section reports: MFG counts
+before/after merging (Fig. 7b, 8b), computation time in cycles (Fig. 7a),
+throughput in FPS (Tables II/III, Fig. 8a), inference latency (Fig. 9),
+plus instruction-queue depth and buffer usage for the resource model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class CompileMetrics:
+    """Everything measured while compiling and scheduling one FFCL block."""
+
+    name: str
+    # netlist shape
+    num_inputs: int
+    num_outputs: int
+    gates_source: int
+    gates_balanced: int
+    buffers_inserted: int
+    depth: int
+    # partitioning / merging
+    mfgs_before_merge: int
+    mfgs_after_merge: int
+    # schedule
+    policy: str
+    makespan_macro_cycles: int
+    total_clock_cycles: int
+    queue_depth: int
+    circulations: int
+    # derived performance
+    latency_seconds: float
+    fps: float
+    # code generation (None when codegen was skipped)
+    compute_instructions: Optional[int] = None
+    queue_entries: Optional[int] = None
+    peak_buffer_words: Optional[int] = None
+
+    @property
+    def mfg_reduction(self) -> float:
+        """Merging gain: MFG count before / after (Fig. 8b's metric)."""
+        if self.mfgs_after_merge == 0:
+            return 1.0
+        return self.mfgs_before_merge / self.mfgs_after_merge
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["mfg_reduction"] = self.mfg_reduction
+        return data
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.gates_balanced} gates (depth {self.depth}), "
+            f"{self.mfgs_before_merge}->{self.mfgs_after_merge} MFGs, "
+            f"{self.makespan_macro_cycles} macro-cycles "
+            f"({self.total_clock_cycles} clocks), {self.fps:,.0f} FPS"
+        )

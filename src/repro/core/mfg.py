@@ -1,0 +1,186 @@
+"""Maximal feasible subgraphs (MFGs).
+
+Section II defines an MFG as "a directed acyclic graph (where nodes are
+Boolean operations and edges are data dependencies) greedily extracted from
+an FFCL without exceeding the LPU's capacity when mapping to an LPU".
+
+An :class:`MFG` holds per-level node sets of a fully path-balanced logic
+graph, spanning levels ``bottom_level .. top_level``.  The defining
+conditions (Section V-A):
+
+1. external inputs enter only at the bottom-most level (input closure for
+   every level above it),
+2. at most m nodes per level,
+3. node sets of different MFGs may overlap,
+4. the inputs of a non-PI MFG's bottom level number more than m (otherwise
+   the BFS would not have stopped there).
+
+MFGs form their own DAG: ``children`` produce this MFG's inputs,
+``parents`` consume its outputs.  That DAG is what the merging and
+scheduling algorithms (Algorithms 3 and 4) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..netlist.graph import LogicGraph
+
+
+@dataclass
+class MFG:
+    """One maximal feasible subgraph of a balanced Boolean network."""
+
+    uid: int
+    bottom_level: int
+    top_level: int
+    #: level -> node ids of the balanced graph computed at that level.
+    nodes_by_level: Dict[int, Set[int]]
+    #: nodes whose values leave the MFG (stored to snapshot registers or to
+    #: the output buffer): the roots it was grown from.
+    roots: Set[int]
+    #: external nodes feeding the bottom level (stop-level gate outputs, or
+    #: PIs/constants when ``reads_primary_inputs``).
+    input_nodes: Set[int]
+    #: True when the bottom level consumes PIs from the input data buffer.
+    reads_primary_inputs: bool
+    children: List["MFG"] = field(default_factory=list)
+    parents: List["MFG"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+    @property
+    def span(self) -> int:
+        """Number of logic levels = LPVs (macro-cycles) it occupies."""
+        return self.top_level - self.bottom_level + 1
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(s) for s in self.nodes_by_level.values())
+
+    def width(self, level: int) -> int:
+        return len(self.nodes_by_level.get(level, ()))
+
+    def max_width(self) -> int:
+        return max(len(s) for s in self.nodes_by_level.values())
+
+    def all_nodes(self) -> Set[int]:
+        out: Set[int] = set()
+        for s in self.nodes_by_level.values():
+            out |= s
+        return out
+
+    def levels(self) -> range:
+        return range(self.bottom_level, self.top_level + 1)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used pervasively by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self, graph: LogicGraph, m: int) -> None:
+        """Raise AssertionError if any MFG condition is violated."""
+        assert self.bottom_level >= 1, "gate levels start at 1"
+        assert self.bottom_level <= self.top_level
+        for level in self.levels():
+            nodes = self.nodes_by_level.get(level, set())
+            assert nodes, f"MFG {self.uid} has an empty level {level}"
+            assert len(nodes) <= m, (
+                f"MFG {self.uid} level {level} has {len(nodes)} > m={m} nodes"
+            )
+        # Condition 1: input closure above the bottom level.
+        own = self.all_nodes()
+        for level in range(self.bottom_level + 1, self.top_level + 1):
+            for nid in self.nodes_by_level[level]:
+                for fid in graph.fanins_of(nid):
+                    assert fid in own, (
+                        f"MFG {self.uid}: node {nid} at level {level} has "
+                        f"external fanin {fid} above the bottom level"
+                    )
+        # Bottom-level fanins must be exactly the declared inputs.
+        bottom_inputs: Set[int] = set()
+        for nid in self.nodes_by_level[self.bottom_level]:
+            bottom_inputs.update(graph.fanins_of(nid))
+        assert bottom_inputs == self.input_nodes, (
+            f"MFG {self.uid}: recorded inputs do not match bottom fanins"
+        )
+        # Condition 4: a non-PI MFG stopped because > m inputs were needed.
+        if not self.reads_primary_inputs:
+            assert len(self.input_nodes) > m, (
+                f"MFG {self.uid}: stopped with only {len(self.input_nodes)} "
+                f"<= m={m} inputs but does not read PIs"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"MFG(uid={self.uid}, levels=[{self.bottom_level}.."
+            f"{self.top_level}], nodes={self.num_nodes}, "
+            f"roots={len(self.roots)}, pi={self.reads_primary_inputs})"
+        )
+
+
+@dataclass
+class Partition:
+    """Result of partitioning one balanced graph into MFGs."""
+
+    graph: LogicGraph
+    m: int
+    mfgs: List[MFG]
+    #: MFGs containing the primary outputs (consumed by no other MFG).
+    root_mfgs: List[MFG]
+
+    @property
+    def num_mfgs(self) -> int:
+        return len(self.mfgs)
+
+    def total_macro_cycles_sequential(self) -> int:
+        """Sum of spans: the non-pipelined cost (each MFG computed fully
+        before the next starts) — the paper's per-MFG cost model."""
+        return sum(mfg.span for mfg in self.mfgs)
+
+    def coverage(self) -> FrozenSet[int]:
+        """All graph nodes covered by some MFG."""
+        out: Set[int] = set()
+        for mfg in self.mfgs:
+            out |= mfg.all_nodes()
+        return frozenset(out)
+
+    def check_invariants(self) -> None:
+        for mfg in self.mfgs:
+            mfg.check_invariants(self.graph, self.m)
+        # Every gate of the balanced graph must be covered (POs' cones).
+        from ..netlist import cells
+
+        live = self.graph.transitive_fanin(self.graph.output_ids)
+        gates = {
+            nid
+            for nid in live
+            if self.graph.op_of(nid) in cells.LPE_OPS
+        }
+        covered = self.coverage()
+        missing = gates - set(covered)
+        assert not missing, f"{len(missing)} gates not covered by any MFG"
+        # Parent/child links must be mutual.
+        for mfg in self.mfgs:
+            for child in mfg.children:
+                assert mfg in child.parents
+            for parent in mfg.parents:
+                assert mfg in parent.children
+
+
+def iter_mfg_dag_topological(root_mfgs: List[MFG]) -> List[MFG]:
+    """MFGs in dependency order (children before parents), deduplicated."""
+    order: List[MFG] = []
+    seen: Set[int] = set()
+
+    def visit(mfg: MFG) -> None:
+        if mfg.uid in seen:
+            return
+        seen.add(mfg.uid)
+        for child in mfg.children:
+            visit(child)
+        order.append(mfg)
+
+    for root in root_mfgs:
+        visit(root)
+    return order

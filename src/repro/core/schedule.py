@@ -1,0 +1,270 @@
+"""MFG scheduling onto the LPV pipeline (paper Algorithm 4 + Section V-B).
+
+The LPU executes an MFG spanning logic levels ``[Lb .. Lt]`` on LPVs
+``[Lb-1 .. Lt-1]`` (wrapping modulo n via the circulation mechanism when the
+graph is deeper than the pipeline — the "depth issue" of Section V-C), one
+level per macro-cycle.  The instruction queues are driven by a read-address
+shift register: the address injected at LPV 0 at macro-cycle c reaches LPV k
+at macro-cycle c + k.  Consequently an MFG issued at macro-cycle s with
+bottom LPV b reads the *same* address ``s - b`` on every LPV it visits — the
+paper's memLoc.  Two MFGs may share a memLoc exactly when their LPV sets are
+disjoint, which is automatically true for an MFG and its *most recent
+child* (issued back-to-back, occupying consecutive LPV ranges); that is the
+instruction-queue compression Algorithm 4 describes.
+
+The scheduler therefore only needs one rule: **no two MFGs may occupy the
+same (macro-cycle, LPV) cell**, which is equivalent to "MFGs on the same
+address diagonal must use disjoint LPVs".  Issue cycles are chosen earliest-
+first in dependency (DFS post-) order, subject to:
+
+* ``s(parent) >= f(child) + 1`` for every child (child results cross the
+  switch into the parent's first LPV during the child's last macro-cycle),
+* the occupancy rule above.
+
+Two issue policies are provided:
+
+* ``pipelined`` — the paper's mode: MFGs stream through the LPVs
+  back-to-back, overlapping in time (Fig. 5),
+* ``sequential`` — one MFG at a time (cost = sum of spans); this is the
+  cost model the paper uses when relating run time to MFG count, and the
+  baseline for our pipelining ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import LPUConfig
+from .mfg import MFG, Partition, iter_mfg_dag_topological
+
+
+class ScheduleError(RuntimeError):
+    """Raised when a feasible schedule cannot be constructed."""
+
+
+@dataclass
+class ScheduledMFG:
+    """Placement of one MFG in time and space."""
+
+    mfg: MFG
+    issue_cycle: int
+    #: logic level -> LPV index (wrapped mod n).
+    lpv_of_level: Dict[int, int]
+    #: logic level -> macro-cycle at which that level executes.
+    cycle_of_level: Dict[int, int]
+    #: raw (unnormalized) instruction-queue addresses this MFG occupies.
+    raw_addresses: List[int] = field(default_factory=list)
+    #: normalized memLoc values (filled in by the Schedule constructor).
+    mem_locs: List[int] = field(default_factory=list)
+
+    @property
+    def finish_cycle(self) -> int:
+        """Macro-cycle of the MFG's last (top-level) computation."""
+        return self.issue_cycle + self.mfg.span - 1
+
+    @property
+    def bottom_lpv(self) -> int:
+        return self.lpv_of_level[self.mfg.bottom_level]
+
+    @property
+    def top_lpv(self) -> int:
+        return self.lpv_of_level[self.mfg.top_level]
+
+
+@dataclass
+class Schedule:
+    """A complete time-space schedule for one partition."""
+
+    config: LPUConfig
+    partition: Partition
+    items: List[ScheduledMFG]
+    policy: str
+    #: number of LPV(n-1) -> LPV(0) wraps (depth-issue circulations).
+    circulations: int
+
+    def __post_init__(self) -> None:
+        self.by_uid: Dict[int, ScheduledMFG] = {
+            item.mfg.uid: item for item in self.items
+        }
+        all_addresses = [a for item in self.items for a in item.raw_addresses]
+        base = min(all_addresses, default=0)
+        for item in self.items:
+            item.mem_locs = sorted(a - base for a in item.raw_addresses)
+        self._base_address = base
+
+    @property
+    def makespan(self) -> int:
+        """Total macro-cycles until the last MFG finishes (>= 1)."""
+        return max((item.finish_cycle + 1 for item in self.items), default=1)
+
+    @property
+    def total_clock_cycles(self) -> int:
+        """Clock cycles = macro-cycles x t_c (paper Section V-B)."""
+        return self.makespan * self.config.t_c
+
+    @property
+    def queue_depth(self) -> int:
+        """Instruction-queue entries needed (max normalized memLoc + 1)."""
+        depth = 0
+        for item in self.items:
+            if item.mem_locs:
+                depth = max(depth, item.mem_locs[-1] + 1)
+        return depth
+
+    @property
+    def base_address(self) -> int:
+        """Raw address of normalized memLoc 0 (the incrementor's offset)."""
+        return self._base_address
+
+    def address_of(self, cycle: int, lpv: int) -> int:
+        """Normalized queue address read by ``lpv`` at ``cycle``."""
+        return cycle - lpv - self._base_address
+
+    def occupancy(self) -> Dict[Tuple[int, int], int]:
+        """(macro-cycle, LPV) -> MFG uid, for visualization and testing."""
+        grid: Dict[Tuple[int, int], int] = {}
+        for item in self.items:
+            for level in item.mfg.levels():
+                key = (item.cycle_of_level[level], item.lpv_of_level[level])
+                if key in grid:
+                    raise ScheduleError(
+                        f"MFGs {grid[key]} and {item.mfg.uid} collide at "
+                        f"(cycle={key[0]}, lpv={key[1]})"
+                    )
+                grid[key] = item.mfg.uid
+        return grid
+
+    def check_invariants(self) -> None:
+        """Validate occupancy, dependencies, and memLoc disjointness."""
+        self.occupancy()  # raises on any (cycle, LPV) collision
+        for item in self.items:
+            for child in item.mfg.children:
+                child_item = self.by_uid[child.uid]
+                assert item.issue_cycle >= child_item.finish_cycle + 1, (
+                    f"MFG {item.mfg.uid} issued before child "
+                    f"{child.uid} finished"
+                )
+        # MFGs sharing a memLoc must use disjoint LPVs at that memLoc: each
+        # instruction-queue entry (address, LPV) has exactly one owner.
+        used: Dict[Tuple[int, int], int] = {}
+        for item in self.items:
+            for level in item.mfg.levels():
+                cycle = item.cycle_of_level[level]
+                lpv = item.lpv_of_level[level]
+                key = (self.address_of(cycle, lpv), lpv)
+                owner = used.get(key)
+                assert owner is None or owner == item.mfg.uid, (
+                    f"queue entry {key} claimed by MFGs "
+                    f"{owner} and {item.mfg.uid}"
+                )
+                used[key] = item.mfg.uid
+
+
+def _place(mfg: MFG, issue: int, n: int) -> ScheduledMFG:
+    lpv_of_level = {}
+    cycle_of_level = {}
+    addresses: Set[int] = set()
+    for i, level in enumerate(mfg.levels()):
+        lpv = (level - 1) % n
+        cycle = issue + i
+        lpv_of_level[level] = lpv
+        cycle_of_level[level] = cycle
+        addresses.add(cycle - lpv)
+    return ScheduledMFG(
+        mfg=mfg,
+        issue_cycle=issue,
+        lpv_of_level=lpv_of_level,
+        cycle_of_level=cycle_of_level,
+        raw_addresses=sorted(addresses),
+    )
+
+
+def _cells_of(mfg: MFG, issue: int, n: int) -> List[Tuple[int, int]]:
+    return [
+        (issue + i, (level - 1) % n)
+        for i, level in enumerate(mfg.levels())
+    ]
+
+
+def build_schedule(
+    partition: Partition,
+    config: LPUConfig,
+    policy: str = "pipelined",
+) -> Schedule:
+    """Schedule every MFG of ``partition`` onto the LPU.
+
+    ``policy`` is ``"pipelined"`` (earliest-issue with overlap, the paper's
+    mode) or ``"sequential"`` (one MFG at a time).
+    """
+    if policy not in ("pipelined", "sequential"):
+        raise ValueError(f"unknown scheduling policy {policy!r}")
+    n = config.num_lpvs
+    order = iter_mfg_dag_topological(partition.root_mfgs)
+    if len(order) != len(partition.mfgs):
+        # Partition.mfgs should already be exactly the reachable set.
+        order_uids = {m.uid for m in order}
+        extra = [m for m in partition.mfgs if m.uid not in order_uids]
+        order.extend(extra)
+
+    # Exact list scheduling over the (macro-cycle, LPV) occupancy grid:
+    # place each MFG at the earliest issue cycle where its dependency bound
+    # holds and none of its cells collide.  This reproduces the paper's
+    # back-to-back wavefronts (Fig. 5) including for MFGs that wrap the
+    # pipeline (span > n), which a per-LPV-frontier approximation would
+    # needlessly serialize.
+    occupied: Set[Tuple[int, int]] = set()
+    items: Dict[int, ScheduledMFG] = {}
+    next_sequential = 0
+    circulations = 0
+
+    for mfg in order:
+        earliest = 0
+        for child in mfg.children:
+            earliest = max(earliest, items[child.uid].finish_cycle + 1)
+        if policy == "sequential":
+            issue = max(earliest, next_sequential)
+        else:
+            issue = earliest
+            while any(
+                cell in occupied for cell in _cells_of(mfg, issue, n)
+            ):
+                issue += 1
+        for cell in _cells_of(mfg, issue, n):
+            if cell in occupied:
+                raise ScheduleError(f"occupancy collision at {cell}")
+            occupied.add(cell)
+        item = _place(mfg, issue, n)
+        items[mfg.uid] = item
+        next_sequential = max(next_sequential, item.finish_cycle + 1)
+        # Count circulation events: consecutive levels wrapping n-1 -> 0
+        # inside the MFG, plus child->parent hops that cross the wrap.
+        for level in range(mfg.bottom_level, mfg.top_level):
+            if (level - 1) % n == n - 1:
+                circulations += 1
+        if not mfg.reads_primary_inputs and (mfg.bottom_level - 1) % n == 0:
+            if mfg.bottom_level > 1:
+                circulations += 1
+
+    schedule = Schedule(
+        config=config,
+        partition=partition,
+        items=[items[m.uid] for m in order],
+        policy=policy,
+        circulations=circulations,
+    )
+    return schedule
+
+
+def schedule_summary(schedule: Schedule) -> Dict[str, float]:
+    """Headline numbers consumed by the metrics module and the benches."""
+    cfg = schedule.config
+    return {
+        "num_mfgs": float(len(schedule.items)),
+        "makespan_macro_cycles": float(schedule.makespan),
+        "total_clock_cycles": float(schedule.total_clock_cycles),
+        "queue_depth": float(schedule.queue_depth),
+        "circulations": float(schedule.circulations),
+        "latency_seconds": cfg.macro_cycles_to_seconds(schedule.makespan),
+        "fps": cfg.fps(schedule.makespan),
+    }

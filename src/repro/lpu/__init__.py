@@ -1,0 +1,37 @@
+"""LPU hardware model: LPEs, LPVs, switch networks, buffers, queues, and the
+macro-cycle-accurate simulator (paper Section IV)."""
+
+from .benes import BenesNetwork, apply_multicast, route_multicast
+from .buffers import InputDataBuffer, OutputDataBuffer
+from .functional import cross_check, evaluate_graph, random_stimulus
+from .lpe import LPE, InvalidDataError
+from .lpv import LPV
+from .queues import (
+    InstructionQueue,
+    InstructionQueueArray,
+    ReadAddressShiftRegister,
+)
+from .simulator import LPUSimulator, SimulationResult, simulate
+from .switch import MulticastSwitch, RouteRequest
+
+__all__ = [
+    "BenesNetwork",
+    "apply_multicast",
+    "route_multicast",
+    "InputDataBuffer",
+    "OutputDataBuffer",
+    "cross_check",
+    "evaluate_graph",
+    "random_stimulus",
+    "LPE",
+    "InvalidDataError",
+    "LPV",
+    "InstructionQueue",
+    "InstructionQueueArray",
+    "ReadAddressShiftRegister",
+    "LPUSimulator",
+    "SimulationResult",
+    "simulate",
+    "MulticastSwitch",
+    "RouteRequest",
+]

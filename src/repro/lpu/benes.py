@@ -1,0 +1,187 @@
+"""Explicit multi-stage switch construction and routing (Beneš network).
+
+The paper relies on a non-blocking multicast multi-stage switch (Yang &
+Masson's broadcast network) between adjacent LPVs.  The LPU simulator uses
+a functional crossbar (:mod:`repro.lpu.switch`) because the non-blocking
+property guarantees every required mapping is realizable; this module
+*demonstrates* realizability with an explicit construction:
+
+* :class:`BenesNetwork` builds the classic (2 log2 N - 1)-stage
+  rearrangeable network of 2x2 switches and routes any one-to-one mapping
+  with the looping algorithm,
+* multicast is handled the standard way broadcast networks do it: a copy
+  phase assigns each source a contiguous group of outputs (realizable with
+  the same fabric run in distribution mode), followed by a permutation
+  phase routed by the Beneš stages.
+
+The tests route thousands of random permutations and multicast patterns and
+verify that the switch settings deliver exactly the requested mapping —
+i.e., that a concrete multi-stage network can stand in for the functional
+crossbar without changing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+class BenesNetwork:
+    """A Beneš rearrangeable network on N = 2^k ports.
+
+    Stage layout: 2 log2(N) - 1 columns of N/2 two-by-two crossbar switches.
+    ``route(perm)`` computes a bar/cross setting for every switch realizing
+    the permutation ``perm`` (perm[i] = output port fed by input i), using
+    the recursive looping algorithm.
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if not _is_power_of_two(num_ports) or num_ports < 2:
+            raise ValueError("Beneš network needs a power-of-two port count >= 2")
+        self.num_ports = num_ports
+        self.num_stages = 2 * (num_ports.bit_length() - 1) - 1
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, perm: Sequence[int]) -> List[List[bool]]:
+        """Switch settings (stage -> switch -> crossed?) realizing ``perm``."""
+        if sorted(perm) != list(range(self.num_ports)):
+            raise ValueError("route() requires a full permutation")
+        return self._route_rec(list(perm))
+
+    def _route_rec(self, perm: List[int]) -> List[List[bool]]:
+        n = len(perm)
+        if n == 2:
+            return [[perm[0] == 1]]
+
+        half = n // 2
+        inv = [0] * n
+        for i, p in enumerate(perm):
+            inv[p] = i
+
+        # Looping algorithm: 2-color the inputs (0 = upper subnetwork,
+        # 1 = lower) such that the two inputs of every ingress switch and
+        # the two inputs feeding sibling outputs get different colors.
+        color: List[Optional[int]] = [None] * n
+        for start in range(n):
+            if color[start] is not None:
+                continue
+            i, c = start, 0
+            while color[i] is None:
+                color[i] = c
+                sibling = i ^ 1  # same ingress switch -> opposite color
+                color[sibling] = 1 - c
+                # The input feeding the sibling's partner output must take
+                # the opposite color of the sibling, i.e. c again.
+                partner_output = perm[sibling] ^ 1
+                i = inv[partner_output]
+
+        ingress = [color[2 * s] == 1 for s in range(half)]
+        sub_perm = [[0] * half, [0] * half]
+        for i in range(n):
+            c = color[i]
+            assert c is not None
+            sub_perm[c][i // 2] = perm[i] // 2
+        # Output 2t is fed by the subnetwork carrying input inv[2t]; the
+        # egress switch is crossed when that is the lower subnetwork.
+        egress = [color[inv[2 * t]] == 1 for t in range(half)]
+
+        upper = self._route_rec(sub_perm[0])
+        lower = self._route_rec(sub_perm[1])
+        middle = [u + l for u, l in zip(upper, lower)]
+        return [ingress] + middle + [egress]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def apply(self, settings: List[List[bool]], values: Sequence) -> List:
+        """Push ``values`` through the configured switches; returns outputs."""
+        if len(values) != self.num_ports:
+            raise ValueError("need one value per port")
+        return self._apply_rec(settings, list(values))
+
+    def _apply_rec(self, settings: List[List[bool]], values: List) -> List:
+        n = len(values)
+        if n == 2:
+            crossed = settings[0][0]
+            return [values[1], values[0]] if crossed else values
+
+        half = n // 2
+        ingress, egress = settings[0], settings[-1]
+        middle = settings[1:-1]
+        upper_in: List = [None] * half
+        lower_in: List = [None] * half
+        for s in range(half):
+            a, b = values[2 * s], values[2 * s + 1]
+            if ingress[s]:
+                a, b = b, a
+            upper_in[s] = a
+            lower_in[s] = b
+        upper_settings = [stage[: len(stage) // 2] for stage in middle]
+        lower_settings = [stage[len(stage) // 2 :] for stage in middle]
+        upper_out = self._apply_rec(upper_settings, upper_in)
+        lower_out = self._apply_rec(lower_settings, lower_in)
+        out: List = [None] * n
+        for s in range(half):
+            a, b = upper_out[s], lower_out[s]
+            if egress[s]:
+                a, b = b, a
+            out[2 * s] = a
+            out[2 * s + 1] = b
+        return out
+
+    def permute(self, perm: Sequence[int], values: Sequence) -> List:
+        """Route and apply in one call: result[perm[i]] = values[i]."""
+        return self.apply(self.route(perm), values)
+
+
+def route_multicast(
+    num_outputs: int, assignment: Dict[int, List[int]]
+) -> Tuple[List[int], List[int]]:
+    """Plan a multicast as copy-phase + permutation (Yang–Masson style).
+
+    ``assignment`` maps each source index to the list of output ports it
+    must reach.  Returns ``(copies, perm)`` where ``copies[j]`` is the
+    source replicated into intermediate slot j (sources occupy contiguous
+    slot runs, which a distribution network realizes), and ``perm`` is the
+    permutation sending slot j to its final output port.  Unused outputs
+    are fed from free slots so ``perm`` is a full permutation.
+    """
+    targets: List[Tuple[int, int]] = []  # (source, output port)
+    used_ports = set()
+    for src in sorted(assignment):
+        for port in assignment[src]:
+            if port in used_ports:
+                raise ValueError(f"output port {port} requested twice")
+            used_ports.add(port)
+            targets.append((src, port))
+    if len(targets) > num_outputs:
+        raise ValueError("more multicast targets than output ports")
+
+    copies: List[int] = [t[0] for t in targets]
+    perm: List[int] = [t[1] for t in targets]
+    free_ports = [p for p in range(num_outputs) if p not in used_ports]
+    filler = copies[0] if copies else 0
+    for port in free_ports:
+        copies.append(filler)
+        perm.append(port)
+    return copies, perm
+
+
+def apply_multicast(
+    num_outputs: int,
+    assignment: Dict[int, List[int]],
+    values: Sequence,
+) -> List:
+    """Evaluate a multicast mapping through copy-phase + Beneš permutation."""
+    copies, perm = route_multicast(num_outputs, assignment)
+    slots = [values[src] for src in copies]
+    if not _is_power_of_two(max(num_outputs, 2)):
+        raise ValueError("output port count must be a power of two")
+    net = BenesNetwork(max(num_outputs, 2))
+    # apply(route(perm)) delivers slots[j] to output port perm[j].
+    return net.apply(net.route(perm), slots)

@@ -1,0 +1,113 @@
+"""Input and output data buffers of the LPU.
+
+Section V-B: "All MFGs with Lbottom = 0 receive the PI values needed ...
+from the input data buffer.  Using a counter, the compiler ensures that the
+required PI values are properly stored in different locations of the input
+data buffers such that the desired data is accessed correctly every cycle.
+This scheme simplifies the address generation compared to a random-access
+addressing system."
+
+Section V-C: when an MFG is deeper than the LPV pipeline, "the output data
+buffer will perform as the snapshot registers of LPV Ltop+1" and the data
+circulates back into LPV 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class InputDataBuffer:
+    """Counter-addressed PI storage feeding LPV 0.
+
+    The compiler's ``input_reads`` table lists, per macro-cycle, which PI
+    node each (column, port) slot must carry.  ``load`` materializes the
+    buffer contents in cycle order — one entry per PI-consuming macro-cycle,
+    exactly the layout a hardware counter walks through — and ``fetch``
+    replays them.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[int, Dict[Tuple[int, str], np.ndarray]]] = []
+        self._by_cycle: Dict[int, Dict[Tuple[int, str], np.ndarray]] = {}
+        self._counter = 0
+
+    def load(
+        self,
+        reads: Dict[int, Dict[Tuple[int, str], int]],
+        values_by_node: Dict[int, np.ndarray],
+    ) -> None:
+        """Fill the buffer for one inference pass."""
+        self._entries = []
+        for cycle in sorted(reads):
+            entry = {
+                slot: values_by_node[node]
+                for slot, node in reads[cycle].items()
+            }
+            self._entries.append((cycle, entry))
+        self._by_cycle = dict(self._entries)
+        self._counter = 0
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def words_stored(self) -> int:
+        """Total operand words held (the BRAM the resource model counts)."""
+        return sum(len(entry) for _, entry in self._entries)
+
+    def fetch(self, cycle: int) -> Optional[Dict[Tuple[int, str], np.ndarray]]:
+        """Entry consumed at ``cycle``, advancing the counter (sequential
+        access): entries must be fetched in non-decreasing cycle order."""
+        entry = self._by_cycle.get(cycle)
+        if entry is not None:
+            if self._counter < len(self._entries):
+                expected_cycle = self._entries[self._counter][0]
+                if cycle == expected_cycle:
+                    self._counter += 1
+                else:
+                    raise RuntimeError(
+                        f"input buffer accessed out of order: cycle {cycle} "
+                        f"but counter expects cycle {expected_cycle}"
+                    )
+        return entry
+
+
+class OutputDataBuffer:
+    """Output storage doubling as the circulation buffer (Section V-C).
+
+    Entries are keyed by (producer MFG uid, node id): overlapping MFGs may
+    compute the same logic node at different times (condition (3) of the
+    partitioning), so the producer disambiguates.
+    """
+
+    def __init__(self) -> None:
+        self._words: Dict[object, np.ndarray] = {}
+        self.total_writes = 0
+        self.peak_words = 0
+
+    def reset(self) -> None:
+        self._words.clear()
+        self.total_writes = 0
+        self.peak_words = 0
+
+    def write(self, key, value: np.ndarray) -> None:
+        if value is None:
+            raise ValueError(f"writing invalid data for {key}")
+        self._words[key] = value
+        self.total_writes += 1
+        self.peak_words = max(self.peak_words, len(self._words))
+
+    def read(self, key) -> np.ndarray:
+        if key not in self._words:
+            raise KeyError(f"{key} was never written to the buffer")
+        return self._words[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._words
+
+    @property
+    def live_words(self) -> int:
+        return len(self._words)

@@ -1,0 +1,113 @@
+"""Logic processing element (LPE).
+
+"Each LPE contains a logic unit where an elementary Boolean operation can be
+performed, and two snapshot registers where each of the LPE inputs can be
+temporarily stored for a certain data lifecycle determined by the compiler"
+(Section IV).
+
+An LPE works on full operand words (2m bits packed into numpy uint64
+arrays), so one ``execute`` call processes ``word_bits`` independent Boolean
+samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..netlist import cells
+from ..core.isa import (
+    NOP,
+    LPEInstruction,
+    PortSpec,
+    SRC_CONST,
+    SRC_INPUT,
+    SRC_SNAPSHOT,
+    SRC_SWITCH,
+)
+
+
+class InvalidDataError(RuntimeError):
+    """An instruction consumed a value that was never validly produced."""
+
+
+class LPE:
+    """One logic processing element: a logic unit plus two snapshot registers."""
+
+    def __init__(self, lpv_index: int, column: int) -> None:
+        self.lpv_index = lpv_index
+        self.column = column
+        self.snapshot_a: Optional[np.ndarray] = None
+        self.snapshot_b: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self.snapshot_a = None
+        self.snapshot_b = None
+
+    def _resolve(
+        self,
+        port_name: str,
+        spec: PortSpec,
+        routed: Optional[np.ndarray],
+        buffered: Optional[np.ndarray],
+        shape,
+    ) -> Optional[np.ndarray]:
+        """Value presented at one operand port this macro-cycle."""
+        if spec.source == SRC_SWITCH:
+            value = routed
+        elif spec.source == SRC_SNAPSHOT:
+            value = self.snapshot_a if port_name == "a" else self.snapshot_b
+        elif spec.source == SRC_INPUT:
+            value = buffered
+        elif spec.source == SRC_CONST:
+            if spec.index:
+                value = np.full(shape, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+            else:
+                value = np.zeros(shape, dtype=np.uint64)
+        else:  # pragma: no cover - PortSpec validates sources
+            raise ValueError(f"unknown source {spec.source!r}")
+        if spec.latch:
+            if value is None:
+                raise InvalidDataError(
+                    f"LPE({self.lpv_index},{self.column}) port {port_name}: "
+                    "latching an invalid value"
+                )
+            if port_name == "a":
+                self.snapshot_a = value
+            else:
+                self.snapshot_b = value
+        return value
+
+    def execute(
+        self,
+        instr: LPEInstruction,
+        routed_a: Optional[np.ndarray],
+        routed_b: Optional[np.ndarray],
+        buffered_a: Optional[np.ndarray],
+        buffered_b: Optional[np.ndarray],
+        shape,
+    ) -> Optional[np.ndarray]:
+        """Run one macro-cycle; returns the output word (None if invalid).
+
+        ``routed_*`` are the values the switch delivered to this LPE's ports
+        (from the previous LPV's last macro-cycle), ``buffered_*`` the values
+        the data buffers delivered (LPV 0 only).
+        """
+        val_a = self._resolve("a", instr.a, routed_a, buffered_a, shape)
+        val_b = self._resolve("b", instr.b, routed_b, buffered_b, shape)
+        if not instr.valid:
+            return None
+        if instr.op == NOP:  # pragma: no cover - isa forbids valid NOPs
+            return None
+        operands = [val_a]
+        if cells.arity(instr.op) == 2:
+            operands.append(val_b)
+        for i, operand in enumerate(operands):
+            if operand is None:
+                raise InvalidDataError(
+                    f"LPE({self.lpv_index},{self.column}) op {instr.op!r} "
+                    f"port {'ab'[i]}: consuming an invalid value "
+                    f"(node {instr.node})"
+                )
+        return cells.eval_op(instr.op, *operands)

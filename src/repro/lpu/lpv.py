@@ -1,0 +1,62 @@
+"""Logic processing vector (LPV).
+
+"Each LPV contains m LPEs, each of which receives two inputs and produces
+one output, resembling a logic gate.  Therefore, each LPV receives up to 2m
+input operands and produces a vector of up to m output results" (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.isa import LPEInstruction
+from .lpe import LPE
+
+#: A port-value supplier: (column, port_name, spec) -> word or None.
+PortSupplier = Callable[[int, str, object], Optional[np.ndarray]]
+
+
+class LPV:
+    """One vector of m LPEs executing an instruction vector per macro-cycle."""
+
+    def __init__(self, index: int, m: int) -> None:
+        self.index = index
+        self.m = m
+        self.lpes: List[LPE] = [LPE(index, col) for col in range(m)]
+
+    def reset(self) -> None:
+        for lpe in self.lpes:
+            lpe.reset()
+
+    def execute(
+        self,
+        instructions: List[LPEInstruction],
+        routed: PortSupplier,
+        buffered: PortSupplier,
+        shape,
+    ) -> List[Optional[np.ndarray]]:
+        """Execute one macro-cycle; returns the m output words.
+
+        ``routed`` supplies switch-delivered values and ``buffered``
+        buffer-delivered values for a given (column, port, spec).
+        """
+        if len(instructions) != self.m:
+            raise ValueError(
+                f"LPV {self.index}: expected {self.m} instructions, "
+                f"got {len(instructions)}"
+            )
+        outputs: List[Optional[np.ndarray]] = [None] * self.m
+        for col, instr in enumerate(instructions):
+            if instr.is_pure_nop:
+                continue
+            outputs[col] = self.lpes[col].execute(
+                instr,
+                routed_a=routed(col, "a", instr.a),
+                routed_b=routed(col, "b", instr.b),
+                buffered_a=buffered(col, "a", instr.a),
+                buffered_b=buffered(col, "b", instr.b),
+                shape=shape,
+            )
+        return outputs

@@ -1,0 +1,109 @@
+"""Instruction queue arrays and the read-address shift register.
+
+Fig. 6: "a LPV stage and the 5 stages of the subsequent switch network form
+a block configured by a 6 instruction queues block, in which each memory
+takes the read address from its predecessor every cycle.  The instruction
+queues are accessible through a read address shift register."
+
+The behavioural consequence, which this module implements literally: the
+address injected by the read-address incrementor at macro-cycle c reaches
+LPV k at macro-cycle c + k, so LPV k at macro-cycle c executes the entry at
+address c - k (plus a global base offset).  An MFG issued at cycle s with
+bottom LPV b therefore reads one address, s - b, on every LPV it visits —
+the paper's memLoc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.isa import LPEInstruction, NOP_INSTRUCTION
+
+
+class InstructionQueue:
+    """One LPV's instruction memory, indexed by normalized address."""
+
+    def __init__(self, lpv_index: int, m: int) -> None:
+        self.lpv_index = lpv_index
+        self.m = m
+        self._entries: Dict[int, List[LPEInstruction]] = {}
+
+    def write(self, address: int, vector: List[LPEInstruction]) -> None:
+        if address < 0:
+            raise ValueError("queue addresses are non-negative")
+        if len(vector) != self.m:
+            raise ValueError(
+                f"instruction vector must have {self.m} entries, "
+                f"got {len(vector)}"
+            )
+        if address in self._entries:
+            raise ValueError(
+                f"LPV {self.lpv_index}: address {address} written twice"
+            )
+        self._entries[address] = list(vector)
+
+    def read(self, address: int) -> List[LPEInstruction]:
+        """NOP vector when nothing was written (idle macro-cycle)."""
+        vec = self._entries.get(address)
+        if vec is None:
+            return [NOP_INSTRUCTION] * self.m
+        return vec
+
+    @property
+    def depth(self) -> int:
+        """Entries needed = highest written address + 1."""
+        return max(self._entries, default=-1) + 1
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+
+class ReadAddressShiftRegister:
+    """The address pipeline driving all instruction queues.
+
+    ``address_for(cycle, lpv)`` is the address LPV ``lpv`` sees at macro-
+    cycle ``cycle``: the incrementor injected ``cycle - lpv`` (offset by the
+    program's base) at LPV 0 and it shifted right one LPV per macro-cycle.
+    Negative addresses (the pipeline still filling) read as idle.
+    """
+
+    def __init__(self, num_lpvs: int, base: int = 0) -> None:
+        self.num_lpvs = num_lpvs
+        self.base = base
+
+    def address_for(self, cycle: int, lpv: int) -> Optional[int]:
+        if not 0 <= lpv < self.num_lpvs:
+            raise ValueError(f"LPV index {lpv} out of range")
+        address = cycle - lpv - self.base
+        return address if address >= 0 else None
+
+
+class InstructionQueueArray:
+    """All LPVs' queues plus the shared shift register."""
+
+    def __init__(self, num_lpvs: int, m: int, base: int = 0) -> None:
+        self.queues = [InstructionQueue(k, m) for k in range(num_lpvs)]
+        self.shift_register = ReadAddressShiftRegister(num_lpvs, base)
+        self.m = m
+
+    def load_program_queues(
+        self, queues: Dict[int, Dict[int, List[LPEInstruction]]]
+    ) -> None:
+        for lpv, entries in queues.items():
+            for address, vector in entries.items():
+                self.queues[lpv].write(address, vector)
+
+    def fetch(self, cycle: int, lpv: int) -> List[LPEInstruction]:
+        address = self.shift_register.address_for(cycle, lpv)
+        if address is None:
+            return [NOP_INSTRUCTION] * self.m
+        return self.queues[lpv].read(address)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(q.num_entries for q in self.queues)
+
+    @property
+    def depth(self) -> int:
+        return max((q.depth for q in self.queues), default=0)

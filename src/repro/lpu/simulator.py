@@ -1,0 +1,228 @@
+"""Macro-cycle-accurate LPU simulator.
+
+Executes a compiled :class:`~repro.core.codegen.Program` on the modeled
+hardware of Fig. 2: LPVs of LPEs with snapshot registers, the multicast
+switch between adjacent LPVs, counter-addressed input data buffer, output
+data buffer with circulation, and instruction queues driven by the
+read-address shift register.
+
+Timing model: one macro-cycle = one LPE compute cycle + t_sw switch cycles
+(t_c = 6 clock cycles with the paper's 5-stage network).  Data produced by
+LPV k at macro-cycle c is steered during c's switch phase and consumed by
+LPV k+1 at macro-cycle c+1.  The simulator advances whole macro-cycles; the
+clock-cycle count is ``macro_cycles * t_c``.
+
+Operands are numpy ``uint64`` arrays: every bit lane is an independent
+Boolean sample, so a single ``run`` call performs batch inference over
+``64 * array_size`` samples — the paper's 2m-bit packed operands.
+
+The simulator is the ground truth the tests compare against
+:func:`repro.lpu.functional.evaluate_graph` (direct functional evaluation of
+the source netlist): for every compiled program the two must agree bit-for-
+bit on random inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.codegen import PORT_A, Program
+from ..core.isa import SRC_INPUT, SRC_SWITCH, LPEInstruction, PortSpec
+from ..netlist import cells
+from .buffers import InputDataBuffer, OutputDataBuffer
+from .lpe import InvalidDataError
+from .lpv import LPV
+from .queues import InstructionQueueArray
+from .switch import MulticastSwitch, RouteRequest
+
+
+@dataclass
+class SimulationResult:
+    """Outputs plus the run's hardware statistics."""
+
+    outputs: Dict[str, np.ndarray]
+    macro_cycles: int
+    clock_cycles: int
+    compute_instructions_executed: int
+    switch_routes: int
+    peak_buffer_words: int
+    buffer_writes: int
+
+    def samples_per_run(self, word_bits: int, array_size: int) -> int:
+        return word_bits * array_size
+
+
+class LPUSimulator:
+    """Executes compiled programs on the modeled LPU."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        cfg = program.config
+        self.lpvs = [LPV(k, cfg.m) for k in range(cfg.n)]
+        self.switches = [
+            MulticastSwitch(cfg.m, cfg.m, cfg.switch_stages)
+            for _ in range(cfg.n)
+        ]
+        self.queues = InstructionQueueArray(
+            cfg.n, cfg.m, base=program.schedule.base_address
+        )
+        self.queues.load_program_queues(program.queues)
+        self.input_buffer = InputDataBuffer()
+        self.output_buffer = OutputDataBuffer()
+        self._compute_count = 0
+
+    # ------------------------------------------------------------------
+    def _resolve_pi_values(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        graph = self.program.graph
+        values: Dict[int, np.ndarray] = {}
+        shape = None
+        for nid in graph.inputs:
+            name = graph.input_name(nid)
+            if name not in inputs:
+                raise KeyError(f"missing value for primary input {name!r}")
+            word = np.asarray(inputs[name], dtype=np.uint64)
+            if shape is None:
+                shape = word.shape
+            elif word.shape != shape:
+                raise ValueError("all PI arrays must share one shape")
+            values[nid] = word
+        self._shape = shape if shape is not None else (1,)
+        # Constants may also be read from the input buffer path.
+        for nid in graph.topological_order():
+            op = graph.op_of(nid)
+            if op == cells.CONST0:
+                values[nid] = np.zeros(self._shape, dtype=np.uint64)
+            elif op == cells.CONST1:
+                values[nid] = np.full(
+                    self._shape, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64
+                )
+        return values
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        """Execute one inference pass (all packed samples at once)."""
+        program = self.program
+        cfg = program.config
+        schedule = program.schedule
+        graph = program.graph
+
+        pi_values = self._resolve_pi_values(inputs)
+        shape = self._shape
+        self.output_buffer.reset()
+        for lpv in self.lpvs:
+            lpv.reset()
+        self.input_buffer.load(program.input_reads, pi_values)
+        self._compute_count = 0
+
+        # Outputs each LPV produced in the previous macro-cycle.
+        prev_outputs: List[List[Optional[np.ndarray]]] = [
+            [None] * cfg.m for _ in range(cfg.n)
+        ]
+
+        for cycle in range(schedule.makespan):
+            new_outputs: List[List[Optional[np.ndarray]]] = []
+            input_entry = self.input_buffer.fetch(cycle)
+            for k in range(cfg.n):
+                instructions = self.queues.fetch(cycle, k)
+                routed = self._route_into(k, cycle, instructions, prev_outputs)
+                circ_entry = program.circulation_reads.get((cycle, k), {})
+                buffered = self._buffered_values(
+                    k, input_entry, circ_entry, shape
+                )
+
+                def routed_fn(col: int, port: str, spec: PortSpec):
+                    return routed.get((col, port))
+
+                def buffered_fn(col: int, port: str, spec: PortSpec):
+                    return buffered.get((col, port))
+
+                outs = self.lpvs[k].execute(
+                    instructions, routed_fn, buffered_fn, shape
+                )
+                self._compute_count += sum(
+                    1 for instr in instructions if instr.valid
+                )
+                new_outputs.append(outs)
+
+            # Switch phase: capture circulation / PO values written this
+            # macro-cycle into the output data buffer.
+            for key, lpv, column in program.buffer_writes.get(cycle, ()):
+                value = new_outputs[lpv][column]
+                if value is None:
+                    raise InvalidDataError(
+                        f"buffer write of {key} from LPV {lpv} "
+                        f"column {column} at cycle {cycle}: invalid data"
+                    )
+                self.output_buffer.write(key, value)
+            prev_outputs = new_outputs
+
+        outputs: Dict[str, np.ndarray] = {}
+        for name, nid in graph.outputs:
+            if name in program.po_buffer_keys:
+                outputs[name] = self.output_buffer.read(
+                    program.po_buffer_keys[name]
+                )
+            elif nid in pi_values:  # PO aliased to a PI or constant
+                outputs[name] = pi_values[nid]
+            else:
+                raise InvalidDataError(
+                    f"output {name!r} was never produced"
+                )
+        return SimulationResult(
+            outputs=outputs,
+            macro_cycles=schedule.makespan,
+            clock_cycles=schedule.makespan * cfg.t_c,
+            compute_instructions_executed=self._compute_count,
+            switch_routes=sum(s.total_routes for s in self.switches),
+            peak_buffer_words=self.output_buffer.peak_words,
+            buffer_writes=self.output_buffer.total_writes,
+        )
+
+    # ------------------------------------------------------------------
+    def _route_into(
+        self,
+        k: int,
+        cycle: int,
+        instructions: List[LPEInstruction],
+        prev_outputs: List[List[Optional[np.ndarray]]],
+    ) -> Dict:
+        """Run the multicast switch feeding LPV k for this macro-cycle."""
+        if k == 0:
+            return {}
+        requests = []
+        for col, instr in enumerate(instructions):
+            for port_name, spec in ((PORT_A, instr.a), ("b", instr.b)):
+                if spec.source == SRC_SWITCH:
+                    requests.append(
+                        RouteRequest(spec.index, col, port_name)
+                    )
+        return self.switches[k - 1].route(prev_outputs[k - 1], requests)
+
+    def _buffered_values(
+        self,
+        k: int,
+        input_entry,
+        circ_entry,
+        shape,
+    ) -> Dict:
+        """Values the data buffers present to LPV k's ports.
+
+        The input data buffer feeds LPV 0 only; the output data buffer
+        (circulation / spill path) can feed any LPV per the compiled
+        ``circulation_reads`` table.
+        """
+        out: Dict = {}
+        if k == 0 and input_entry:
+            out.update(input_entry)
+        for slot, key in circ_entry.items():
+            out[slot] = self.output_buffer.read(key)
+        return out
+
+
+def simulate(program: Program, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`LPUSimulator`."""
+    return LPUSimulator(program).run(inputs)

@@ -1,0 +1,83 @@
+"""The inter-LPV multicast switch network (functional model).
+
+"To pass data from the ith LPV to the (i+1)th LPV, we use a non-blocking
+multicasting multi-stage switch network" (Section IV) — the paper deploys
+the 5-stage non-blocking broadcast network of Yang & Masson [20], so one
+macro-cycle costs 1 (compute) + 5 (steering) = 6 clock cycles.
+
+Because the network is strictly non-blocking for multicast, *any* mapping
+from the m producer columns to the 2m consumer ports is realizable; the
+functional model therefore applies an arbitrary multicast routing table in
+one step and charges ``switch_stages`` clock cycles of latency.  The
+companion module :mod:`repro.lpu.benes` builds an explicit multi-stage
+network and routes it switch-by-switch to *demonstrate* realizability; the
+LPU simulator uses this fast functional model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """Route producer column ``src`` to consumer (column, port) ``dst``."""
+
+    src: int
+    dst_column: int
+    dst_port: str  # "a" | "b"
+
+
+class MulticastSwitch:
+    """Functional non-blocking multicast switch between adjacent LPVs.
+
+    Tracks the routing statistics the FPGA resource model consumes (peak
+    fan-out, total routes) and enforces the structural port limits: each
+    destination port receives at most one source; a source may feed any
+    number of destinations (multicast).
+    """
+
+    def __init__(self, num_inputs: int, num_output_columns: int, stages: int = 5):
+        if num_inputs < 1 or num_output_columns < 1:
+            raise ValueError("switch needs at least one input and output")
+        self.num_inputs = num_inputs
+        self.num_output_columns = num_output_columns
+        self.stages = stages
+        self.total_routes = 0
+        self.peak_fanout = 0
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.stages
+
+    def route(
+        self,
+        inputs: List[Optional[np.ndarray]],
+        requests: List[RouteRequest],
+    ) -> Dict[Tuple[int, str], Optional[np.ndarray]]:
+        """Apply a multicast routing table to one macro-cycle of data.
+
+        Returns {(dst_column, dst_port): word}.  Raises if two requests
+        target the same destination port or reference ports out of range.
+        """
+        out: Dict[Tuple[int, str], Optional[np.ndarray]] = {}
+        fanout: Dict[int, int] = {}
+        for req in requests:
+            if not 0 <= req.src < self.num_inputs:
+                raise ValueError(f"switch source {req.src} out of range")
+            if not 0 <= req.dst_column < self.num_output_columns:
+                raise ValueError(
+                    f"switch destination column {req.dst_column} out of range"
+                )
+            key = (req.dst_column, req.dst_port)
+            if key in out:
+                raise ValueError(f"destination port {key} doubly driven")
+            out[key] = inputs[req.src]
+            fanout[req.src] = fanout.get(req.src, 0) + 1
+        self.total_routes += len(requests)
+        if fanout:
+            self.peak_fanout = max(self.peak_fanout, max(fanout.values()))
+        return out

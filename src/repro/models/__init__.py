@@ -1,0 +1,77 @@
+"""Benchmark model workloads: VGG16, LeNet-5, MLPMixer-S/4 and -B/4,
+JSC-M/L, and NID (the paper's Section VI benchmark suite), plus the FFCL
+workload generator that turns them into compilable logic blocks."""
+
+from .jsc import JSC_INPUT_BITS, jsc_l_workload, jsc_m_workload
+from .layers import (
+    KIND_CONV,
+    KIND_DENSE,
+    LayerWorkload,
+    ModelWorkload,
+    conv_layer,
+    dense_layer,
+    mlp_layers,
+)
+from .lenet5 import lenet5_workload
+from .mlpmixer import mlpmixer_b4_workload, mlpmixer_s4_workload
+from .nid import NID_INPUT_BITS, nid_workload
+from .vgg16 import vgg16_paper_layers, vgg16_workload
+from .workloads import (
+    LayerEvaluation,
+    ModelEvaluation,
+    evaluate_layer,
+    evaluate_model,
+    layer_block,
+    neuron_graph,
+    synthetic_sop_neuron_graph,
+    threshold_neuron_graph,
+)
+
+#: The Table II ("high accuracy") and Table III ("high throughput") suites.
+def table2_models():
+    return [
+        vgg16_workload(),
+        lenet5_workload(),
+        mlpmixer_s4_workload(),
+        mlpmixer_b4_workload(),
+    ]
+
+
+def table3_models():
+    return [nid_workload(), jsc_m_workload(), jsc_l_workload()]
+
+
+def all_models():
+    return table2_models() + table3_models()
+
+
+__all__ = [
+    "JSC_INPUT_BITS",
+    "jsc_l_workload",
+    "jsc_m_workload",
+    "KIND_CONV",
+    "KIND_DENSE",
+    "LayerWorkload",
+    "ModelWorkload",
+    "conv_layer",
+    "dense_layer",
+    "mlp_layers",
+    "lenet5_workload",
+    "mlpmixer_b4_workload",
+    "mlpmixer_s4_workload",
+    "NID_INPUT_BITS",
+    "nid_workload",
+    "vgg16_paper_layers",
+    "vgg16_workload",
+    "LayerEvaluation",
+    "ModelEvaluation",
+    "evaluate_layer",
+    "evaluate_model",
+    "layer_block",
+    "neuron_graph",
+    "synthetic_sop_neuron_graph",
+    "threshold_neuron_graph",
+    "table2_models",
+    "table3_models",
+    "all_models",
+]

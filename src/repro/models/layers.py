@@ -1,0 +1,146 @@
+"""Layer and model workload descriptors.
+
+A :class:`LayerWorkload` captures everything the experiments need about one
+network layer:
+
+* for the LPU: how many neurons (filters) its FFCL block contains, each
+  neuron's binary fan-in (after NullaNet-Tiny-style input pruning — the
+  paper's upstream, reference [11]), the layer's input bit width, and how
+  many spatial positions one inference applies the block to (positions fill
+  the 2m bit-lanes of the packed operands: "the 2m bits of data come from
+  different patches of an input feature volume", Section IV),
+* for the baselines: exact full-precision MAC and parameter counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+KIND_CONV = "conv"
+KIND_DENSE = "dense"
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """One layer's workload description."""
+
+    name: str
+    kind: str  # KIND_CONV or KIND_DENSE
+    num_neurons: int  # filters (conv) or output features (dense)
+    fan_in: int  # binary fan-in per neuron after NullaNet pruning
+    input_bits: int  # width of the layer's binary input space
+    positions: int  # spatial applications per inference (1 for dense)
+    macs: int  # full-precision multiply-accumulates per inference
+    params: int  # weight count
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_CONV, KIND_DENSE):
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+        if self.fan_in > self.input_bits:
+            raise ValueError(
+                f"{self.name}: fan-in {self.fan_in} exceeds input bits "
+                f"{self.input_bits}"
+            )
+
+    @property
+    def output_bits(self) -> int:
+        return self.num_neurons
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """A whole network as a sequence of layer workloads."""
+
+    name: str
+    layers: Tuple[LayerWorkload, ...]
+    input_shape: Tuple[int, ...]
+    num_classes: int
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def total_neurons(self) -> int:
+        return sum(l.num_neurons for l in self.layers)
+
+    def layer(self, name: str) -> LayerWorkload:
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise KeyError(f"model {self.name} has no layer {name!r}")
+
+
+def conv_layer(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    in_hw: int,
+    stride: int = 1,
+    padding: int = 1,
+    pruned_fan_in: int = 10,
+) -> Tuple[LayerWorkload, int]:
+    """Build a conv layer descriptor; returns (layer, output spatial size)."""
+    out_hw = (in_hw + 2 * padding - kernel) // stride + 1
+    positions = out_hw * out_hw
+    receptive = kernel * kernel * in_channels
+    macs = receptive * out_channels * positions
+    params = receptive * out_channels
+    layer = LayerWorkload(
+        name=name,
+        kind=KIND_CONV,
+        num_neurons=out_channels,
+        fan_in=min(pruned_fan_in, receptive),
+        input_bits=receptive,
+        positions=positions,
+        macs=macs,
+        params=params,
+    )
+    return layer, out_hw
+
+
+def dense_layer(
+    name: str,
+    in_features: int,
+    out_features: int,
+    pruned_fan_in: int = 10,
+    positions: int = 1,
+) -> LayerWorkload:
+    """Build a dense layer descriptor.
+
+    ``positions > 1`` models layers applied repeatedly per inference (e.g.
+    MLPMixer token/channel MLPs applied per channel / per patch).
+    """
+    return LayerWorkload(
+        name=name,
+        kind=KIND_DENSE,
+        num_neurons=out_features,
+        fan_in=min(pruned_fan_in, in_features),
+        input_bits=in_features,
+        positions=positions,
+        macs=in_features * out_features * positions,
+        params=in_features * out_features,
+    )
+
+
+def mlp_layers(
+    prefix: str,
+    widths: List[int],
+    in_features: int,
+    pruned_fan_in: int = 7,
+) -> List[LayerWorkload]:
+    """A chain of dense layers ``in_features -> widths[0] -> ...``."""
+    layers = []
+    prev = in_features
+    for i, width in enumerate(widths):
+        layers.append(
+            dense_layer(f"{prefix}_fc{i + 1}", prev, width, pruned_fan_in)
+        )
+        prev = width
+    return layers

@@ -1,0 +1,30 @@
+"""LeNet-5 workload (MNIST, the paper's second Table II model)."""
+
+from __future__ import annotations
+
+from .layers import ModelWorkload, conv_layer, dense_layer
+
+
+def lenet5_workload(pruned_fan_in: int = 8) -> ModelWorkload:
+    """The classic LeNet-5: two valid-padding conv layers with 2x2 pooling,
+    then three dense layers (120, 84, 10)."""
+    conv1, hw = conv_layer(
+        "conv1", in_channels=1, out_channels=6, kernel=5, in_hw=28,
+        padding=0, pruned_fan_in=pruned_fan_in,
+    )
+    hw //= 2  # 24 -> 12 after pooling
+    conv2, hw = conv_layer(
+        "conv2", in_channels=6, out_channels=16, kernel=5, in_hw=hw,
+        padding=0, pruned_fan_in=pruned_fan_in,
+    )
+    hw //= 2  # 8 -> 4 after pooling
+    flat = 16 * hw * hw  # 256
+    fc1 = dense_layer("fc1", flat, 120, pruned_fan_in)
+    fc2 = dense_layer("fc2", 120, 84, pruned_fan_in)
+    fc3 = dense_layer("fc3", 84, 10, pruned_fan_in)
+    return ModelWorkload(
+        name="LENET5",
+        layers=(conv1, conv2, fc1, fc2, fc3),
+        input_shape=(1, 28, 28),
+        num_classes=10,
+    )

@@ -1,0 +1,91 @@
+"""MLPMixer workloads (Tolstikhin et al. [15]) per the paper's Section VI:
+
+"the resolution of the input image is 32*32, and the patch size ... is 4*4.
+So, we have 64 non-overlapping image patches that are mapped to a hidden
+dimension C which is 128 and 192 for small design (S) and Base design (B).
+DS and DC are ... 64 (96) and 512 (768) for S (B).  There are 8 and 12
+mixing layers in S and B designs."
+
+Each mixing layer contributes four dense blocks:
+
+* token-mixing MLP (applied once per channel, C positions):
+  patches -> DS -> patches  (64 -> DS -> 64),
+* channel-mixing MLP (applied once per patch, 64 positions):
+  C -> DC -> C.
+
+A stem projects each 4x4x3 patch (48 values) to C, and a classifier head
+maps C to 10 classes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layers import LayerWorkload, ModelWorkload, dense_layer
+
+NUM_PATCHES = 64  # 32x32 image, 4x4 patches
+PATCH_VALUES = 4 * 4 * 3
+
+
+def _mixer_workload(
+    name: str,
+    hidden_c: int,
+    token_ds: int,
+    channel_dc: int,
+    num_layers: int,
+    pruned_fan_in: int,
+) -> ModelWorkload:
+    layers: List[LayerWorkload] = [
+        dense_layer(
+            "stem", PATCH_VALUES, hidden_c, pruned_fan_in,
+            positions=NUM_PATCHES,
+        )
+    ]
+    for i in range(num_layers):
+        layers.append(
+            dense_layer(
+                f"mix{i + 1}_tok1", NUM_PATCHES, token_ds, pruned_fan_in,
+                positions=hidden_c,
+            )
+        )
+        layers.append(
+            dense_layer(
+                f"mix{i + 1}_tok2", token_ds, NUM_PATCHES, pruned_fan_in,
+                positions=hidden_c,
+            )
+        )
+        layers.append(
+            dense_layer(
+                f"mix{i + 1}_ch1", hidden_c, channel_dc, pruned_fan_in,
+                positions=NUM_PATCHES,
+            )
+        )
+        layers.append(
+            dense_layer(
+                f"mix{i + 1}_ch2", channel_dc, hidden_c, pruned_fan_in,
+                positions=NUM_PATCHES,
+            )
+        )
+    layers.append(dense_layer("head", hidden_c, 10, pruned_fan_in))
+    return ModelWorkload(
+        name=name,
+        layers=tuple(layers),
+        input_shape=(3, 32, 32),
+        num_classes=10,
+    )
+
+
+def mlpmixer_s4_workload(pruned_fan_in: int = 9) -> ModelWorkload:
+    """MLPMixer-S/4: C=128, DS=64, DC=512, 8 mixing layers."""
+    return _mixer_workload(
+        "MLPMixer-S/4", hidden_c=128, token_ds=64, channel_dc=512,
+        num_layers=8, pruned_fan_in=pruned_fan_in,
+    )
+
+
+def mlpmixer_b4_workload(pruned_fan_in: int = 11) -> ModelWorkload:
+    """MLPMixer-B/4: C=192, DS=96, DC=768, 12 mixing layers."""
+    return _mixer_workload(
+        "MLPMixer-B/4", hidden_c=192, token_ds=96, channel_dc=768,
+        num_layers=12, pruned_fan_in=pruned_fan_in,
+    )

@@ -1,0 +1,28 @@
+"""Network intrusion detection (NID) workload.
+
+Section VI: "We used UNSWNB15 dataset ... the same preprocessed training
+and testing data as that of Murovic et al. [9] which has 593 binary
+features corresponding to 49 original features and two output classes."
+
+The topology follows LogicNets' NID configuration (593 binary inputs,
+hidden widths 100-100-100, 2 output classes, per-neuron fan-in 7).
+"""
+
+from __future__ import annotations
+
+from .layers import ModelWorkload, mlp_layers
+
+NID_INPUT_BITS = 593
+
+
+def nid_workload() -> ModelWorkload:
+    """NID: 593 -> 100 -> 100 -> 100 -> 2, fan-in 7."""
+    layers = mlp_layers(
+        "nid", [100, 100, 100, 2], NID_INPUT_BITS, pruned_fan_in=7
+    )
+    return ModelWorkload(
+        name="NID",
+        layers=tuple(layers),
+        input_shape=(593,),
+        num_classes=2,
+    )

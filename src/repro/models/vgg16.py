@@ -1,0 +1,66 @@
+"""VGG16 workload (Simonyan & Zisserman [13]).
+
+The paper implements "intermediate convolutional layers 2-13" of VGG16 as
+FFCL (Section VI-B).  We use the CIFAR-10-resolution variant (32x32 input),
+consistent with the rest of the paper's Table II models (the ChewBaccaNN
+VGG-like model and MLPMixer are CIFAR-10 models); the ImageNet-resolution
+variant is also provided for the baselines' MAC/parameter accounting
+(``imagenet=True`` reproduces the paper's "about 138 million parameters").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layers import LayerWorkload, ModelWorkload, conv_layer
+
+#: (out_channels, pool_after) per conv layer, the standard VGG16 stack.
+_VGG16_PLAN = [
+    (64, False),
+    (64, True),
+    (128, False),
+    (128, True),
+    (256, False),
+    (256, False),
+    (256, True),
+    (512, False),
+    (512, False),
+    (512, True),
+    (512, False),
+    (512, False),
+    (512, True),
+]
+
+
+def vgg16_workload(
+    imagenet: bool = False,
+    pruned_fan_in: int = 10,
+) -> ModelWorkload:
+    """The thirteen conv layers of VGG16 as layer workloads."""
+    hw = 224 if imagenet else 32
+    in_channels = 3
+    layers: List[LayerWorkload] = []
+    for i, (out_channels, pool_after) in enumerate(_VGG16_PLAN):
+        layer, hw = conv_layer(
+            name=f"conv{i + 1}",
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel=3,
+            in_hw=hw,
+            pruned_fan_in=pruned_fan_in,
+        )
+        layers.append(layer)
+        in_channels = out_channels
+        if pool_after:
+            hw //= 2
+    return ModelWorkload(
+        name="VGG16" + ("-imagenet" if imagenet else ""),
+        layers=tuple(layers),
+        input_shape=(3, 224, 224) if imagenet else (3, 32, 32),
+        num_classes=1000 if imagenet else 10,
+    )
+
+
+def vgg16_paper_layers(model: ModelWorkload) -> List[LayerWorkload]:
+    """Layers 2-13 — the range the paper compiles to FFCL (Fig. 7)."""
+    return [l for l in model.layers if l.name != "conv1"]

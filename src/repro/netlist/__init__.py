@@ -1,0 +1,77 @@
+"""Netlist substrate: cell library, logic graphs, and netlist I/O.
+
+This package provides everything "below" the paper's compiler: the two-input
+cell library supported by the LPEs, the Boolean-network DAG the compiler
+operates on, and readers/writers for the structural Verilog (the paper's
+input format, Section III) and ISCAS ``.bench`` formats.
+"""
+
+from .cells import (
+    ALL_OPS,
+    AND,
+    BUF,
+    CONST0,
+    CONST1,
+    INPUT,
+    LPE_OPS,
+    MISO_OPS,
+    NAND,
+    NOR,
+    NOT,
+    OR,
+    SISO_OPS,
+    SOURCE_OPS,
+    STANDARD_CELLS,
+    XNOR,
+    XOR,
+    Cell,
+    arity,
+    cell_for_op,
+    eval_op,
+    eval_op_bits,
+)
+from .graph import GraphStats, LogicGraph, Node, graphs_equivalent
+from .bench_io import BenchParseError, parse_bench, write_bench
+from .random_graphs import random_dag, random_layered_dag, random_tree
+from .verilog_parser import VerilogParseError, parse_verilog, parse_verilog_file
+from .verilog_writer import write_verilog, write_verilog_file
+
+__all__ = [
+    "ALL_OPS",
+    "AND",
+    "BUF",
+    "CONST0",
+    "CONST1",
+    "INPUT",
+    "LPE_OPS",
+    "MISO_OPS",
+    "NAND",
+    "NOR",
+    "NOT",
+    "OR",
+    "SISO_OPS",
+    "SOURCE_OPS",
+    "STANDARD_CELLS",
+    "XNOR",
+    "XOR",
+    "Cell",
+    "arity",
+    "cell_for_op",
+    "eval_op",
+    "eval_op_bits",
+    "GraphStats",
+    "LogicGraph",
+    "Node",
+    "graphs_equivalent",
+    "BenchParseError",
+    "parse_bench",
+    "write_bench",
+    "random_dag",
+    "random_layered_dag",
+    "random_tree",
+    "VerilogParseError",
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "write_verilog_file",
+]

@@ -1,0 +1,194 @@
+"""ISCAS ``.bench`` netlist reader/writer.
+
+``.bench`` is the lingua franca of academic logic-synthesis benchmarks
+(ISCAS-85/89, the format ABC reads and writes).  Supporting it lets the
+reproduction ingest standard combinational benchmark circuits in addition to
+Verilog, and gives the test suite a second, independent serialization for
+round-trip checks.
+
+Grammar (combinational subset)::
+
+    INPUT(a)
+    OUTPUT(y)
+    y = AND(a, b)
+    w = NOT(a)
+    k = DFF(d)        # rejected: FFCL blocks are purely combinational
+
+Multi-input AND/OR/NAND/NOR/XOR/XNOR are expanded into balanced two-input
+trees, exactly as the Verilog reader does.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from . import cells
+from .graph import LogicGraph
+
+_BENCH_OPS = {
+    "AND": cells.AND,
+    "OR": cells.OR,
+    "NAND": cells.NAND,
+    "NOR": cells.NOR,
+    "XOR": cells.XOR,
+    "XNOR": cells.XNOR,
+    "NOT": cells.NOT,
+    "BUF": cells.BUF,
+    "BUFF": cells.BUF,
+}
+
+_OP_TO_BENCH = {
+    cells.AND: "AND",
+    cells.OR: "OR",
+    cells.NAND: "NAND",
+    cells.NOR: "NOR",
+    cells.XOR: "XOR",
+    cells.XNOR: "XNOR",
+    cells.NOT: "NOT",
+    cells.BUF: "BUFF",
+}
+
+_LINE_RE = re.compile(
+    r"""^(?:
+        INPUT\((?P<input>[^)]+)\)
+      | OUTPUT\((?P<output>[^)]+)\)
+      | (?P<target>\S+)\s*=\s*(?P<op>[A-Za-z]+)\((?P<args>[^)]*)\)
+    )$""",
+    re.VERBOSE,
+)
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed .bench input."""
+
+
+def parse_bench(text: str, name: str = "bench") -> LogicGraph:
+    """Parse ``.bench`` source into a :class:`LogicGraph`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    defs: Dict[str, Tuple[str, List[str]]] = {}
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise BenchParseError(f"cannot parse line: {raw!r}")
+        if match.group("input"):
+            inputs.append(match.group("input").strip())
+        elif match.group("output"):
+            outputs.append(match.group("output").strip())
+        else:
+            op_name = match.group("op").upper()
+            if op_name == "DFF":
+                raise BenchParseError(
+                    "sequential element DFF not allowed in an FFCL block"
+                )
+            if op_name not in _BENCH_OPS:
+                raise BenchParseError(f"unknown bench op {op_name!r}")
+            args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+            defs[match.group("target").strip()] = (_BENCH_OPS[op_name], args)
+
+    graph = LogicGraph(name)
+    node_of: Dict[str, int] = {}
+    for pi in inputs:
+        node_of[pi] = graph.add_input(pi)
+
+    resolving: List[str] = []
+
+    def reduce_tree(op: str, operand_ids: List[int]) -> int:
+        base = {
+            cells.NAND: cells.AND,
+            cells.NOR: cells.OR,
+            cells.XNOR: cells.XOR,
+        }.get(op, op)
+        layer = list(operand_ids)
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(graph.add_gate(base, layer[i], layer[i + 1]))
+            if len(layer) % 2 == 1:
+                nxt.append(layer[-1])
+            layer = nxt
+        result = layer[0]
+        if base is not op:
+            result = graph.add_gate(cells.NOT, result)
+        return result
+
+    def resolve(net: str) -> int:
+        if net in node_of:
+            return node_of[net]
+        if net in resolving:
+            raise BenchParseError(f"combinational cycle through {net!r}")
+        if net not in defs:
+            raise BenchParseError(f"net {net!r} is never defined")
+        resolving.append(net)
+        op, args = defs[net]
+        fanin_ids = [resolve(a) for a in args]
+        if op in (cells.NOT, cells.BUF):
+            if len(fanin_ids) != 1:
+                raise BenchParseError(f"{op} takes one input at {net!r}")
+            nid = graph.add_gate(op, fanin_ids[0], name=net)
+        elif len(fanin_ids) == 2:
+            nid = graph.add_gate(op, *fanin_ids, name=net)
+        elif len(fanin_ids) > 2:
+            tree = reduce_tree(op, fanin_ids)
+            nid = graph.add_gate(cells.BUF, tree, name=net)
+        else:
+            raise BenchParseError(f"{op} needs two or more inputs at {net!r}")
+        resolving.pop()
+        node_of[net] = nid
+        return nid
+
+    for po in outputs:
+        graph.set_output(po, resolve(po))
+    if not outputs:
+        raise BenchParseError("bench file declares no outputs")
+    return graph
+
+
+def write_bench(graph: LogicGraph) -> str:
+    """Serialize ``graph`` in ``.bench`` format."""
+    lines = [f"# {graph.name}"]
+    net_of: Dict[int, str] = {}
+    for nid in graph.inputs:
+        net = graph.input_name(nid)
+        net_of[nid] = net
+        lines.append(f"INPUT({net})")
+
+    po_of_node = {nid: name for name, nid in graph.outputs}
+    for name, _nid in graph.outputs:
+        lines.append(f"OUTPUT({name})")
+
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.op == cells.INPUT:
+            continue
+        net = po_of_node.get(nid, node.name or f"n{nid}")
+        if net in net_of.values():
+            net = f"n{nid}"
+        net_of[nid] = net
+        if node.op == cells.CONST0:
+            # .bench has no constants; emit x AND NOT x over the first PI.
+            if not graph.inputs:
+                raise ValueError("cannot emit constants without any PI")
+            pi = net_of[graph.inputs[0]]
+            lines.append(f"{net}_inv = NOT({pi})")
+            lines.append(f"{net} = AND({pi}, {net}_inv)")
+        elif node.op == cells.CONST1:
+            if not graph.inputs:
+                raise ValueError("cannot emit constants without any PI")
+            pi = net_of[graph.inputs[0]]
+            lines.append(f"{net}_inv = NOT({pi})")
+            lines.append(f"{net} = OR({pi}, {net}_inv)")
+        else:
+            args = ", ".join(net_of[f] for f in node.fanins)
+            lines.append(f"{net} = {_OP_TO_BENCH[node.op]}({args})")
+
+    # POs that alias a PI or another PO's node need explicit buffers.
+    for name, nid in graph.outputs:
+        if net_of[nid] != name:
+            lines.append(f"{name} = BUFF({net_of[nid]})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,207 @@
+"""Cell library for the logic processor.
+
+The paper's logic processing elements (LPEs) support two kinds of operations
+(Section IV):
+
+* MISO (multiple-input single-output, realized as two-input here): AND, OR,
+  XOR/XNOR — we also include NAND and NOR, which standard-cell mapping
+  produces and which an LPE realizes as a gate plus output inversion.
+* SISO (single-input single-output): NOT and BUFFER.  BUFFER nodes are what
+  full path balancing inserts to equalize path lengths.
+
+Every cell's semantics are defined over bit-packed numpy ``uint64`` words so a
+single evaluation processes 64 independent Boolean samples in parallel — this
+mirrors the paper's 2m-bit operands ("2m Boolean variables" per operand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+# Canonical opcode strings used throughout the code base.
+INPUT = "input"
+CONST0 = "const0"
+CONST1 = "const1"
+BUF = "buf"
+NOT = "not"
+AND = "and"
+OR = "or"
+XOR = "xor"
+XNOR = "xnor"
+NAND = "nand"
+NOR = "nor"
+
+#: Ops that read a primary input or constant — they have no fanins to compute.
+SOURCE_OPS = frozenset({INPUT, CONST0, CONST1})
+
+#: Single-input single-output ops (paper's SISO class).
+SISO_OPS = frozenset({BUF, NOT})
+
+#: Two-input ops (paper's MISO class, restricted to two inputs per LPE).
+MISO_OPS = frozenset({AND, OR, XOR, XNOR, NAND, NOR})
+
+#: Ops an LPE can execute (everything except graph sources).
+LPE_OPS = SISO_OPS | MISO_OPS
+
+#: All ops a LogicGraph node may carry.
+ALL_OPS = SOURCE_OPS | LPE_OPS
+
+_WORD = np.uint64
+_ALL_ONES = _WORD(0xFFFFFFFFFFFFFFFF)
+
+
+def _f_buf(a: np.ndarray) -> np.ndarray:
+    return a
+
+
+def _f_not(a: np.ndarray) -> np.ndarray:
+    return a ^ _ALL_ONES
+
+
+def _f_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a & b
+
+
+def _f_or(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a | b
+
+
+def _f_xor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a ^ b
+
+
+def _f_xnor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a ^ b) ^ _ALL_ONES
+
+
+def _f_nand(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a & b) ^ _ALL_ONES
+
+
+def _f_nor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a | b) ^ _ALL_ONES
+
+
+#: Word-level evaluation function for every LPE op.
+WORD_FUNCS: Dict[str, Callable[..., np.ndarray]] = {
+    BUF: _f_buf,
+    NOT: _f_not,
+    AND: _f_and,
+    OR: _f_or,
+    XOR: _f_xor,
+    XNOR: _f_xnor,
+    NAND: _f_nand,
+    NOR: _f_nor,
+}
+
+#: Truth tables for two-input ops as (out for ab=00, 01, 10, 11).
+TWO_INPUT_TT: Dict[str, Tuple[int, int, int, int]] = {
+    AND: (0, 0, 0, 1),
+    OR: (0, 1, 1, 1),
+    XOR: (0, 1, 1, 0),
+    XNOR: (1, 0, 0, 1),
+    NAND: (1, 1, 1, 0),
+    NOR: (1, 0, 0, 0),
+}
+
+#: Inverse lookup: 4-tuple truth table -> canonical op name.
+TT_TO_OP: Dict[Tuple[int, int, int, int], str] = {
+    tt: op for op, tt in TWO_INPUT_TT.items()
+}
+
+#: Which op computes the complement of each op's output.
+COMPLEMENT_OP: Dict[str, str] = {
+    AND: NAND,
+    NAND: AND,
+    OR: NOR,
+    NOR: OR,
+    XOR: XNOR,
+    XNOR: XOR,
+    BUF: NOT,
+    NOT: BUF,
+}
+
+#: Ops whose output is unchanged when the two inputs are swapped.
+COMMUTATIVE_OPS = frozenset(MISO_OPS)
+
+
+def arity(op: str) -> int:
+    """Number of fanins the op consumes (0 for sources)."""
+    if op in SOURCE_OPS:
+        return 0
+    if op in SISO_OPS:
+        return 1
+    if op in MISO_OPS:
+        return 2
+    raise ValueError(f"unknown op {op!r}")
+
+
+def eval_op(op: str, *operands: np.ndarray) -> np.ndarray:
+    """Evaluate ``op`` on bit-packed uint64 operand words."""
+    if op == CONST0:
+        return np.zeros(1, dtype=_WORD) if not operands else np.zeros_like(operands[0])
+    if op == CONST1:
+        base = np.zeros(1, dtype=_WORD) if not operands else np.zeros_like(operands[0])
+        return base ^ _ALL_ONES
+    func = WORD_FUNCS.get(op)
+    if func is None:
+        raise ValueError(f"op {op!r} is not evaluable")
+    if len(operands) != arity(op):
+        raise ValueError(f"op {op!r} expects {arity(op)} operands, got {len(operands)}")
+    return func(*operands)
+
+
+def eval_op_bits(op: str, *bits: int) -> int:
+    """Evaluate ``op`` on scalar 0/1 bits (slow path, used by tests/tools)."""
+    words = [np.array([_WORD(0xFFFFFFFFFFFFFFFF if b else 0)]) for b in bits]
+    if op == CONST0:
+        return 0
+    if op == CONST1:
+        return 1
+    out = eval_op(op, *words)
+    return int(out[0] & _WORD(1))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A standard-cell-library entry with area/delay characterization.
+
+    Areas are in equivalent NAND2 units and delays in normalized gate delays;
+    they feed the logic-optimization cost functions and the FPGA resource
+    model, not the cycle-accurate simulation (which counts macro-cycles).
+    """
+
+    name: str
+    op: str
+    num_inputs: int
+    area: float
+    delay: float
+
+
+#: The customized cell library the paper maps circuits onto (Section III):
+#: every Boolean operation supported by a library gate must be supported by
+#: the LPEs.
+STANDARD_CELLS: Dict[str, Cell] = {
+    "BUF": Cell("BUF", BUF, 1, 0.5, 0.4),
+    "INV": Cell("INV", NOT, 1, 0.5, 0.35),
+    "AND2": Cell("AND2", AND, 2, 1.0, 0.7),
+    "OR2": Cell("OR2", OR, 2, 1.0, 0.7),
+    "XOR2": Cell("XOR2", XOR, 2, 1.75, 0.9),
+    "XNOR2": Cell("XNOR2", XNOR, 2, 1.75, 0.9),
+    "NAND2": Cell("NAND2", NAND, 2, 0.75, 0.55),
+    "NOR2": Cell("NOR2", NOR, 2, 0.75, 0.55),
+}
+
+#: Map opcode -> standard cell implementing it.
+OP_TO_CELL: Dict[str, Cell] = {cell.op: cell for cell in STANDARD_CELLS.values()}
+
+
+def cell_for_op(op: str) -> Cell:
+    """Return the library cell realizing ``op`` (raises for sources)."""
+    cell = OP_TO_CELL.get(op)
+    if cell is None:
+        raise ValueError(f"no library cell implements op {op!r}")
+    return cell

@@ -1,0 +1,113 @@
+"""Graph composition utilities.
+
+NullaNet extracts one FFCL block per network layer; evaluating a whole model
+(or feeding one layer's outputs into the next) requires stitching logic
+graphs together.  :func:`compose_serial` wires the first graph's POs to the
+second graph's PIs; :func:`merge_parallel` places independent graphs side by
+side in one netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from . import cells
+from .graph import LogicGraph
+
+
+def compose_serial(
+    first: LogicGraph,
+    second: LogicGraph,
+    wiring: Optional[Dict[str, str]] = None,
+    name: Optional[str] = None,
+) -> LogicGraph:
+    """Feed ``first``'s outputs into ``second``'s inputs.
+
+    ``wiring`` maps each PI name of ``second`` to a PO name of ``first``
+    (identity mapping by name when omitted).  PIs of ``second`` not covered
+    by the wiring become PIs of the result; the result's POs are
+    ``second``'s POs.
+    """
+    if wiring is None:
+        first_pos = {po for po, _ in first.outputs}
+        wiring = {
+            second.input_name(nid): second.input_name(nid)
+            for nid in second.inputs
+            if second.input_name(nid) in first_pos
+        }
+    po_node = dict(first.outputs)
+    for pi_name, po_name in wiring.items():
+        if po_name not in po_node:
+            raise KeyError(f"first graph has no output {po_name!r}")
+
+    out = LogicGraph(name or f"{first.name}+{second.name}")
+    remap_first: Dict[int, int] = {}
+    for nid in first.topological_order():
+        node = first.nodes[nid]
+        if node.op == cells.INPUT:
+            assert node.name is not None
+            remap_first[nid] = out.add_input(node.name)
+        elif node.op in (cells.CONST0, cells.CONST1):
+            remap_first[nid] = out.add_const(1 if node.op == cells.CONST1 else 0)
+        else:
+            remap_first[nid] = out.add_gate(
+                node.op, *(remap_first[f] for f in node.fanins), name=node.name
+            )
+
+    remap_second: Dict[int, int] = {}
+    for nid in second.topological_order():
+        node = second.nodes[nid]
+        if node.op == cells.INPUT:
+            assert node.name is not None
+            if node.name in wiring:
+                remap_second[nid] = remap_first[po_node[wiring[node.name]]]
+            else:
+                remap_second[nid] = out.add_input(node.name)
+        elif node.op in (cells.CONST0, cells.CONST1):
+            remap_second[nid] = out.add_const(1 if node.op == cells.CONST1 else 0)
+        else:
+            remap_second[nid] = out.add_gate(
+                node.op, *(remap_second[f] for f in node.fanins), name=node.name
+            )
+    for po_name, nid in second.outputs:
+        out.set_output(po_name, remap_second[nid])
+    return out.extract()
+
+
+def merge_parallel(
+    graphs: Sequence[LogicGraph],
+    name: str = "parallel",
+    share_inputs: bool = True,
+) -> LogicGraph:
+    """Place independent graphs side by side in one netlist.
+
+    With ``share_inputs`` (the default) PIs with the same name become one
+    input — this is how per-neuron FFCL graphs over a shared input feature
+    vector combine into one per-layer block.  PO names must be globally
+    unique.
+    """
+    out = LogicGraph(name)
+    input_of: Dict[str, int] = {}
+    po_names: List[str] = []
+    for g in graphs:
+        remap: Dict[int, int] = {}
+        for nid in g.topological_order():
+            node = g.nodes[nid]
+            if node.op == cells.INPUT:
+                assert node.name is not None
+                key = node.name if share_inputs else f"{g.name}.{node.name}"
+                if key not in input_of:
+                    input_of[key] = out.add_input(key)
+                remap[nid] = input_of[key]
+            elif node.op in (cells.CONST0, cells.CONST1):
+                remap[nid] = out.add_const(1 if node.op == cells.CONST1 else 0)
+            else:
+                remap[nid] = out.add_gate(
+                    node.op, *(remap[f] for f in node.fanins), name=None
+                )
+        for po_name, nid in g.outputs:
+            if po_name in po_names:
+                raise ValueError(f"duplicate output name {po_name!r}")
+            po_names.append(po_name)
+            out.set_output(po_name, remap[nid])
+    return out

@@ -1,0 +1,141 @@
+"""Random logic-graph generators.
+
+Two families:
+
+* :func:`random_dag` — unconstrained random combinational DAGs, used by the
+  property-based tests to exercise every compiler pass on adversarial
+  structures.
+* :func:`random_layered_dag` — graphs with a controlled level-width profile,
+  used by the workload generator to synthesize FFCL blocks whose
+  width/depth statistics match NullaNet-style neuron logic (see
+  :mod:`repro.models.workloads`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import cells
+from .graph import LogicGraph
+
+_GATE_CHOICES = (cells.AND, cells.OR, cells.XOR, cells.NAND, cells.NOR, cells.XNOR)
+
+
+def random_dag(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int,
+    seed: int = 0,
+    not_probability: float = 0.15,
+    locality: int = 0,
+) -> LogicGraph:
+    """Generate a random combinational DAG.
+
+    Each gate draws its fanins uniformly from all earlier nodes (or, when
+    ``locality`` > 0, from the most recent ``locality`` nodes, producing
+    deeper graphs).  Outputs are drawn from the last quarter of the gates so
+    most logic is live.
+    """
+    if num_inputs < 1 or num_gates < 1 or num_outputs < 1:
+        raise ValueError("need at least one input, gate, and output")
+    rng = np.random.default_rng(seed)
+    graph = LogicGraph(f"rand_{seed}")
+    pool: List[int] = [graph.add_input(f"x{i}") for i in range(num_inputs)]
+
+    for _ in range(num_gates):
+        window = pool if locality <= 0 else pool[-locality:]
+        if rng.random() < not_probability:
+            src = window[int(rng.integers(len(window)))]
+            nid = graph.add_gate(cells.NOT, src)
+        else:
+            op = _GATE_CHOICES[int(rng.integers(len(_GATE_CHOICES)))]
+            a = window[int(rng.integers(len(window)))]
+            b = window[int(rng.integers(len(window)))]
+            nid = graph.add_gate(op, a, b)
+        pool.append(nid)
+
+    candidates = pool[num_inputs:]
+    tail = candidates[-max(1, len(candidates) // 4):]
+    chosen = rng.choice(len(tail), size=min(num_outputs, len(tail)), replace=False)
+    for k, idx in enumerate(sorted(int(c) for c in chosen)):
+        graph.set_output(f"y{k}", tail[idx])
+    return graph
+
+
+def random_layered_dag(
+    num_inputs: int,
+    level_widths: Sequence[int],
+    num_outputs: Optional[int] = None,
+    seed: int = 0,
+    cross_level_probability: float = 0.0,
+) -> LogicGraph:
+    """Generate a DAG with a prescribed number of gates per logic level.
+
+    ``level_widths[l]`` gates are placed at level ``l+1`` (level 0 holds the
+    PIs).  Each gate draws fanins from the previous level (or, with
+    ``cross_level_probability``, from any earlier level — producing the
+    unbalanced paths that full path balancing must fix).  POs are drawn from
+    the final level.
+    """
+    if not level_widths:
+        raise ValueError("need at least one level of gates")
+    rng = np.random.default_rng(seed)
+    graph = LogicGraph(f"layered_{seed}")
+    levels: List[List[int]] = [[graph.add_input(f"x{i}") for i in range(num_inputs)]]
+
+    for width in level_widths:
+        if width < 1:
+            raise ValueError("level widths must be positive")
+        prev = levels[-1]
+        earlier = [nid for lvl in levels for nid in lvl]
+        layer: List[int] = []
+        for _ in range(width):
+            op = _GATE_CHOICES[int(rng.integers(len(_GATE_CHOICES)))]
+
+            def pick() -> int:
+                if (
+                    cross_level_probability > 0.0
+                    and len(levels) > 1
+                    and rng.random() < cross_level_probability
+                ):
+                    return earlier[int(rng.integers(len(earlier)))]
+                return prev[int(rng.integers(len(prev)))]
+
+            layer.append(graph.add_gate(op, pick(), pick()))
+        levels.append(layer)
+
+    last = levels[-1]
+    count = len(last) if num_outputs is None else min(num_outputs, len(last))
+    chosen = rng.choice(len(last), size=count, replace=False)
+    for k, idx in enumerate(sorted(int(c) for c in chosen)):
+        graph.set_output(f"y{k}", last[idx])
+    return graph
+
+
+def random_tree(
+    num_inputs: int,
+    seed: int = 0,
+    op_choices: Sequence[str] = _GATE_CHOICES,
+) -> LogicGraph:
+    """Generate a single-output balanced reduction tree over all PIs.
+
+    Trees are the best case for partitioning (every level shrinks), so tests
+    use them as a known-easy reference point.
+    """
+    if num_inputs < 2:
+        raise ValueError("a tree needs at least two inputs")
+    rng = np.random.default_rng(seed)
+    graph = LogicGraph(f"tree_{seed}")
+    layer = [graph.add_input(f"x{i}") for i in range(num_inputs)]
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            op = op_choices[int(rng.integers(len(op_choices)))]
+            nxt.append(graph.add_gate(op, layer[i], layer[i + 1]))
+        if len(layer) % 2 == 1:
+            nxt.append(layer[-1])
+        layer = nxt
+    graph.set_output("y", layer[0])
+    return graph

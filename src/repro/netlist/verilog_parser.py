@@ -1,0 +1,398 @@
+"""Structural-Verilog reader for FFCL blocks.
+
+The paper's input is "a description of an FFCL block in the Verilog language"
+(Section III) — a gate-level netlist such as the ones NullaNet, Yosys, or ABC
+emit.  This module parses the structural subset those tools produce:
+
+* ``module``/``endmodule`` with a port list,
+* ``input``/``output``/``wire`` declarations, scalar or vectored
+  (``input [7:0] x;`` expands to bits ``x[7] .. x[0]``),
+* gate-primitive instantiations (``and g1 (y, a, b);`` — multi-input
+  primitives are expanded into balanced two-input trees),
+* library-cell instantiations with named port connections
+  (``AND2 u1 (.A(a), .B(b), .Y(y));``),
+* continuous assignments (``assign y = a & ~(b ^ c);``) over the operators
+  ``~ & | ^ ~^ ^~`` plus parentheses and the constants ``1'b0``/``1'b1``,
+* ``//`` and ``/* */`` comments.
+
+The result is a :class:`~repro.netlist.graph.LogicGraph`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import cells
+from .graph import LogicGraph
+
+_PRIMITIVES = {
+    "and": cells.AND,
+    "or": cells.OR,
+    "xor": cells.XOR,
+    "xnor": cells.XNOR,
+    "nand": cells.NAND,
+    "nor": cells.NOR,
+    "not": cells.NOT,
+    "buf": cells.BUF,
+}
+
+_CELL_PINS = {
+    "AND2": (cells.AND, ("A", "B"), "Y"),
+    "OR2": (cells.OR, ("A", "B"), "Y"),
+    "XOR2": (cells.XOR, ("A", "B"), "Y"),
+    "XNOR2": (cells.XNOR, ("A", "B"), "Y"),
+    "NAND2": (cells.NAND, ("A", "B"), "Y"),
+    "NOR2": (cells.NOR, ("A", "B"), "Y"),
+    "INV": (cells.NOT, ("A",), "Y"),
+    "BUF": (cells.BUF, ("A",), "Y"),
+}
+
+
+class VerilogParseError(ValueError):
+    """Raised on malformed netlist input."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<const>1'b[01])
+  | (?P<ident>[A-Za-z_\\][A-Za-z0-9_$\\]*)
+  | (?P<number>\d+)
+  | (?P<sym>~\^|\^~|[()\[\];,.:=&|^~])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split Verilog source into tokens, dropping whitespace and comments."""
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            snippet = text[pos : pos + 20]
+            raise VerilogParseError(f"unexpected character at {snippet!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "line_comment", "block_comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogParseError("unexpected end of input")
+        self._pos += 1
+        return tok
+
+    def expect(self, token: str) -> str:
+        tok = self.next()
+        if tok != token:
+            raise VerilogParseError(f"expected {token!r}, got {tok!r}")
+        return tok
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self._pos += 1
+            return True
+        return False
+
+
+class _NetTable:
+    """Tracks declared nets and lazily resolves them to graph node ids.
+
+    Verilog netlists may reference a wire before the gate driving it appears,
+    so drivers are recorded first and the graph is built in a second pass.
+    """
+
+    def __init__(self) -> None:
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.wires: List[str] = []
+        # net name -> ("gate", op, (operand nets...)) or ("const", value)
+        self.drivers: Dict[str, Tuple] = {}
+        self._temp_count = 0
+
+    def fresh_net(self) -> str:
+        self._temp_count += 1
+        return f"__t{self._temp_count}"
+
+    def set_driver(self, net: str, driver: Tuple) -> None:
+        if net in self.drivers:
+            raise VerilogParseError(f"net {net!r} has multiple drivers")
+        self.drivers[net] = driver
+
+
+def _expand_vector(name: str, msb: int, lsb: int) -> List[str]:
+    step = -1 if msb >= lsb else 1
+    return [f"{name}[{i}]" for i in range(msb, lsb + step, step)]
+
+
+def _parse_decl(stream: _TokenStream) -> Tuple[List[str], str]:
+    """Parse an input/output/wire declaration body; returns (nets, kind)."""
+    kind = stream.next()  # 'input' | 'output' | 'wire'
+    names: List[str] = []
+    msb = lsb = None
+    if stream.accept("["):
+        msb = int(stream.next())
+        stream.expect(":")
+        lsb = int(stream.next())
+        stream.expect("]")
+    while True:
+        base = stream.next()
+        if msb is not None and lsb is not None:
+            names.extend(_expand_vector(base, msb, lsb))
+        else:
+            names.append(base)
+        if stream.accept(","):
+            continue
+        stream.expect(";")
+        break
+    return names, kind
+
+
+def _parse_net_ref(stream: _TokenStream, nets: _NetTable) -> str:
+    """Parse a net reference: identifier, identifier[idx], or constant."""
+    tok = stream.next()
+    if tok in ("1'b0", "1'b1"):
+        net = nets.fresh_net()
+        nets.set_driver(net, ("const", 1 if tok.endswith("1") else 0))
+        return net
+    if not re.match(r"[A-Za-z_\\]", tok):
+        raise VerilogParseError(f"expected net reference, got {tok!r}")
+    if stream.accept("["):
+        idx = stream.next()
+        stream.expect("]")
+        return f"{tok}[{idx}]"
+    return tok
+
+
+def _balanced_reduce(op: str, operands: List[str], nets: _NetTable) -> str:
+    """Reduce a multi-input primitive to a balanced tree of two-input gates.
+
+    For the inverting primitives (nand/nor/xnor) the k-input semantics are
+    ``invert(reduce(base_op))``; the inversion is applied once at the root.
+    """
+    base = {cells.NAND: cells.AND, cells.NOR: cells.OR, cells.XNOR: cells.XOR}.get(
+        op, op
+    )
+    layer = list(operands)
+    while len(layer) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(layer) - 1, 2):
+            net = nets.fresh_net()
+            nets.set_driver(net, ("gate", base, (layer[i], layer[i + 1])))
+            nxt.append(net)
+        if len(layer) % 2 == 1:
+            nxt.append(layer[-1])
+        layer = nxt
+    result = layer[0]
+    if base is not op:
+        inv = nets.fresh_net()
+        nets.set_driver(inv, ("gate", cells.NOT, (result,)))
+        result = inv
+    return result
+
+
+def _parse_primitive(stream: _TokenStream, nets: _NetTable, prim: str) -> None:
+    """Parse ``and g1 (out, in1, in2, ...);`` (instance name optional)."""
+    op = _PRIMITIVES[prim]
+    if stream.peek() != "(":
+        stream.next()  # optional instance name
+    stream.expect("(")
+    terms: List[str] = [_parse_net_ref(stream, nets)]
+    while stream.accept(","):
+        terms.append(_parse_net_ref(stream, nets))
+    stream.expect(")")
+    stream.expect(";")
+    out, ins = terms[0], terms[1:]
+    if op in (cells.NOT, cells.BUF):
+        if len(ins) != 1:
+            raise VerilogParseError(f"{prim} takes exactly one input")
+        nets.set_driver(out, ("gate", op, tuple(ins)))
+    else:
+        if len(ins) < 2:
+            raise VerilogParseError(f"{prim} needs at least two inputs")
+        if len(ins) == 2:
+            nets.set_driver(out, ("gate", op, tuple(ins)))
+        else:
+            result = _balanced_reduce(op, ins, nets)
+            nets.set_driver(out, ("gate", cells.BUF, (result,)))
+
+
+def _parse_cell_instance(stream: _TokenStream, nets: _NetTable, cell: str) -> None:
+    """Parse ``AND2 u1 (.A(a), .B(b), .Y(y));``."""
+    op, in_pins, out_pin = _CELL_PINS[cell]
+    if stream.peek() != "(":
+        stream.next()  # instance name
+    stream.expect("(")
+    conns: Dict[str, str] = {}
+    while True:
+        stream.expect(".")
+        pin = stream.next()
+        stream.expect("(")
+        conns[pin] = _parse_net_ref(stream, nets)
+        stream.expect(")")
+        if not stream.accept(","):
+            break
+    stream.expect(")")
+    stream.expect(";")
+    missing = [p for p in (*in_pins, out_pin) if p not in conns]
+    if missing:
+        raise VerilogParseError(f"cell {cell}: unconnected pins {missing}")
+    nets.set_driver(conns[out_pin], ("gate", op, tuple(conns[p] for p in in_pins)))
+
+
+# Expression grammar (lowest to highest precedence): |  ^/~^  &  unary~  atom
+def _parse_expr(stream: _TokenStream, nets: _NetTable) -> str:
+    return _parse_or(stream, nets)
+
+
+def _parse_or(stream: _TokenStream, nets: _NetTable) -> str:
+    left = _parse_xor(stream, nets)
+    while stream.accept("|"):
+        right = _parse_xor(stream, nets)
+        net = nets.fresh_net()
+        nets.set_driver(net, ("gate", cells.OR, (left, right)))
+        left = net
+    return left
+
+
+def _parse_xor(stream: _TokenStream, nets: _NetTable) -> str:
+    left = _parse_and(stream, nets)
+    while stream.peek() in ("^", "~^", "^~"):
+        tok = stream.next()
+        right = _parse_and(stream, nets)
+        op = cells.XOR if tok == "^" else cells.XNOR
+        net = nets.fresh_net()
+        nets.set_driver(net, ("gate", op, (left, right)))
+        left = net
+    return left
+
+
+def _parse_and(stream: _TokenStream, nets: _NetTable) -> str:
+    left = _parse_unary(stream, nets)
+    while stream.accept("&"):
+        right = _parse_unary(stream, nets)
+        net = nets.fresh_net()
+        nets.set_driver(net, ("gate", cells.AND, (left, right)))
+        left = net
+    return left
+
+
+def _parse_unary(stream: _TokenStream, nets: _NetTable) -> str:
+    if stream.accept("~"):
+        inner = _parse_unary(stream, nets)
+        net = nets.fresh_net()
+        nets.set_driver(net, ("gate", cells.NOT, (inner,)))
+        return net
+    if stream.accept("("):
+        inner = _parse_expr(stream, nets)
+        stream.expect(")")
+        return inner
+    return _parse_net_ref(stream, nets)
+
+
+def _parse_assign(stream: _TokenStream, nets: _NetTable) -> None:
+    target = _parse_net_ref(stream, nets)
+    stream.expect("=")
+    source = _parse_expr(stream, nets)
+    stream.expect(";")
+    nets.set_driver(target, ("gate", cells.BUF, (source,)))
+
+
+def _build_graph(module_name: str, nets: _NetTable) -> LogicGraph:
+    graph = LogicGraph(module_name)
+    node_of: Dict[str, int] = {}
+    for name in nets.inputs:
+        node_of[name] = graph.add_input(name)
+
+    resolving: List[str] = []
+
+    def resolve(net: str) -> int:
+        if net in node_of:
+            return node_of[net]
+        if net in resolving:
+            raise VerilogParseError(f"combinational cycle through net {net!r}")
+        driver = nets.drivers.get(net)
+        if driver is None:
+            raise VerilogParseError(f"net {net!r} is never driven")
+        resolving.append(net)
+        if driver[0] == "const":
+            nid = graph.add_const(driver[1])
+        else:
+            _, op, operands = driver
+            fanins = [resolve(o) for o in operands]
+            nid = graph.add_gate(op, *fanins, name=net)
+        resolving.pop()
+        node_of[net] = nid
+        return nid
+
+    for name in nets.outputs:
+        graph.set_output(name, resolve(name))
+    return graph
+
+
+def parse_verilog(text: str) -> LogicGraph:
+    """Parse structural Verilog source into a :class:`LogicGraph`."""
+    stream = _TokenStream(tokenize(text))
+    stream.expect("module")
+    module_name = stream.next()
+    if stream.accept("("):  # port list — names repeated in declarations below
+        while not stream.accept(")"):
+            stream.next()
+    stream.expect(";")
+
+    nets = _NetTable()
+    while True:
+        tok = stream.peek()
+        if tok is None:
+            raise VerilogParseError("missing endmodule")
+        if tok == "endmodule":
+            stream.next()
+            break
+        if tok in ("input", "output", "wire"):
+            names, kind = _parse_decl(stream)
+            if kind == "input":
+                nets.inputs.extend(names)
+            elif kind == "output":
+                nets.outputs.extend(names)
+            else:
+                nets.wires.extend(names)
+        elif tok in _PRIMITIVES:
+            stream.next()
+            _parse_primitive(stream, nets, tok)
+        elif tok in _CELL_PINS:
+            stream.next()
+            _parse_cell_instance(stream, nets, tok)
+        elif tok == "assign":
+            stream.next()
+            _parse_assign(stream, nets)
+        else:
+            raise VerilogParseError(f"unexpected token {tok!r}")
+
+    if not nets.outputs:
+        raise VerilogParseError("module has no outputs")
+    return _build_graph(module_name, nets)
+
+
+def parse_verilog_file(path: str) -> LogicGraph:
+    """Parse a structural Verilog file into a :class:`LogicGraph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read())

@@ -1,0 +1,106 @@
+"""Structural-Verilog emission from a :class:`~repro.netlist.graph.LogicGraph`.
+
+The compiler's output stage (and the tests' round-trip checks) need to write
+netlists back out in the same structural subset the parser accepts.  Gates
+are emitted as Verilog primitives (``and``, ``or``, ``not``, ...), which every
+downstream logic tool understands.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from . import cells
+from .graph import LogicGraph
+
+_OP_TO_PRIMITIVE = {
+    cells.AND: "and",
+    cells.OR: "or",
+    cells.XOR: "xor",
+    cells.XNOR: "xnor",
+    cells.NAND: "nand",
+    cells.NOR: "nor",
+    cells.NOT: "not",
+    cells.BUF: "buf",
+}
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _sanitize(name: str) -> str:
+    """Make an arbitrary net name a legal Verilog identifier."""
+    if _IDENT_RE.match(name):
+        return name
+    cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not cleaned or not re.match(r"[A-Za-z_]", cleaned[0]):
+        cleaned = "n_" + cleaned
+    return cleaned
+
+
+def write_verilog(graph: LogicGraph) -> str:
+    """Serialize ``graph`` as a structural Verilog module."""
+    net_of: Dict[int, str] = {}
+    used: set = set()
+
+    def unique(name: str) -> str:
+        candidate = _sanitize(name)
+        suffix = 0
+        while candidate in used:
+            suffix += 1
+            candidate = f"{_sanitize(name)}_{suffix}"
+        used.add(candidate)
+        return candidate
+
+    input_nets = []
+    for nid in graph.inputs:
+        net = unique(graph.input_name(nid))
+        net_of[nid] = net
+        input_nets.append(net)
+
+    output_nets = {}
+    for name, _nid in graph.outputs:
+        output_nets[name] = unique(name)
+
+    lines = []
+    ports = input_nets + [output_nets[name] for name, _ in graph.outputs]
+    lines.append(f"module {_sanitize(graph.name)} ({', '.join(ports)});")
+    if input_nets:
+        lines.append(f"  input {', '.join(input_nets)};")
+    lines.append(
+        f"  output {', '.join(output_nets[name] for name, _ in graph.outputs)};"
+    )
+
+    wires = []
+    body = []
+    gate_index = 0
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.op == cells.INPUT:
+            continue
+        net = unique(node.name or f"n{nid}")
+        net_of[nid] = net
+        wires.append(net)
+        if node.op == cells.CONST0:
+            body.append(f"  assign {net} = 1'b0;")
+        elif node.op == cells.CONST1:
+            body.append(f"  assign {net} = 1'b1;")
+        else:
+            prim = _OP_TO_PRIMITIVE[node.op]
+            operands = ", ".join(net_of[f] for f in node.fanins)
+            body.append(f"  {prim} g{gate_index} ({net}, {operands});")
+            gate_index += 1
+
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.extend(body)
+    for name, nid in graph.outputs:
+        lines.append(f"  assign {output_nets[name]} = {net_of[nid]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(graph: LogicGraph, path: str) -> None:
+    """Write ``graph`` to ``path`` as structural Verilog."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_verilog(graph))

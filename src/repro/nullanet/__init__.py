@@ -1,0 +1,76 @@
+"""NullaNet substrate: the paper's upstream FFCL generator.
+
+Trains sparsely-connected binarized MLPs (numpy), folds every neuron into a
+Boolean threshold function, mines don't-cares from unobserved input
+patterns, minimizes, factors, and emits per-layer FFCL logic graphs.
+"""
+
+from .binarize import (
+    binarize_weights,
+    neuron_threshold,
+    sign_activation,
+    sign_ste_grad,
+    threshold_fires,
+    to_bipolar,
+    to_bits,
+)
+from .datasets import (
+    Dataset,
+    majority_dataset,
+    synthetic_cifar_patches,
+    synthetic_jsc,
+    synthetic_mnist,
+    synthetic_nid,
+)
+from .ffcl import (
+    MAX_NEURON_FAN_IN,
+    NeuronFunction,
+    evaluate_ffcl_layer,
+    extract_neuron,
+    layer_to_graph,
+    minimize_table,
+    neuron_to_graph,
+    neuron_truth_table,
+)
+from .mlp import BinaryMLP, LayerSpec, TrainConfig
+from .pipeline import (
+    ExtractionResult,
+    extract_network,
+    logic_predict,
+    observed_layer_inputs,
+    run_nullanet_flow,
+    stitch_network,
+)
+
+__all__ = [
+    "binarize_weights",
+    "neuron_threshold",
+    "sign_activation",
+    "sign_ste_grad",
+    "threshold_fires",
+    "to_bipolar",
+    "to_bits",
+    "Dataset",
+    "majority_dataset",
+    "synthetic_cifar_patches",
+    "synthetic_jsc",
+    "synthetic_mnist",
+    "synthetic_nid",
+    "MAX_NEURON_FAN_IN",
+    "NeuronFunction",
+    "evaluate_ffcl_layer",
+    "extract_neuron",
+    "layer_to_graph",
+    "minimize_table",
+    "neuron_to_graph",
+    "neuron_truth_table",
+    "BinaryMLP",
+    "LayerSpec",
+    "TrainConfig",
+    "ExtractionResult",
+    "extract_network",
+    "logic_predict",
+    "observed_layer_inputs",
+    "run_nullanet_flow",
+    "stitch_network",
+]

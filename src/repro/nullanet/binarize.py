@@ -1,0 +1,62 @@
+"""Binarization utilities for NullaNet-style networks.
+
+NullaNet (Nazemi et al., ASP-DAC 2019) replaces a binarized neuron's
+arithmetic with a Boolean function.  A neuron with weights w, bias b over
+bipolar inputs x ∈ {-1, +1} activates as ``sign(w.x + b)``.  Writing the
+inputs as Boolean variables u ∈ {0, 1} with x = 2u - 1 gives::
+
+    w.(2u - 1) + b >= 0   <=>   w.u >= (sum(w) - b) / 2
+
+i.e. every binarized neuron is a *threshold function* of its Boolean
+inputs.  :func:`neuron_threshold` performs that fold; the FFCL extractor
+(:mod:`repro.nullanet.ffcl`) enumerates it into a truth table.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sign_activation(z: np.ndarray) -> np.ndarray:
+    """Bipolar sign with sign(0) = +1 (the usual BNN convention)."""
+    return np.where(z >= 0, 1.0, -1.0)
+
+
+def sign_ste_grad(z: np.ndarray, clip: float = 1.0) -> np.ndarray:
+    """Straight-through-estimator gradient of sign (hard tanh window)."""
+    return (np.abs(z) <= clip).astype(z.dtype)
+
+
+def to_bipolar(bits: np.ndarray) -> np.ndarray:
+    """{0,1} -> {-1,+1} (floats)."""
+    return 2.0 * bits.astype(np.float64) - 1.0
+
+
+def to_bits(bipolar: np.ndarray) -> np.ndarray:
+    """{-1,+1} -> {0,1} (int8)."""
+    return (bipolar > 0).astype(np.int8)
+
+
+def neuron_threshold(weights: np.ndarray, bias: float) -> Tuple[np.ndarray, float]:
+    """Fold a bipolar-input neuron into Boolean threshold form.
+
+    Returns ``(w, t)`` such that the neuron fires (outputs +1) exactly when
+    ``w . u >= t`` for Boolean inputs u ∈ {0,1}.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    threshold = (w.sum() - float(bias)) / 2.0
+    return w, threshold
+
+
+def threshold_fires(
+    weights: np.ndarray, threshold: float, u: np.ndarray
+) -> np.ndarray:
+    """Evaluate the folded threshold function on Boolean input rows."""
+    return (u.astype(np.float64) @ weights >= threshold - 1e-12)
+
+
+def binarize_weights(weights: np.ndarray) -> np.ndarray:
+    """Bipolar weight binarization (sign, zero -> +1)."""
+    return np.where(weights >= 0, 1.0, -1.0)

@@ -1,0 +1,191 @@
+"""Synthetic datasets standing in for the paper's benchmark data.
+
+The paper evaluates on MNIST (LeNet-5, VGG-like), CIFAR-10 (MLPMixer), jet
+substructure classification (JSC, Duarte et al.), and UNSW-NB15 network
+intrusion detection (NID, Murovic & Trost: 593 binary features, 2 classes).
+Those datasets are not available offline, so this module generates synthetic
+equivalents with the same shapes and learnable structure: class-conditional
+templates plus noise, so a small binarized MLP reaches well-above-chance
+accuracy and the NullaNet extraction pipeline is exercised exactly as it
+would be on the real data (see DESIGN.md, substitutions).
+
+All generators return binary {0,1} feature matrices — the paper's flow
+binarizes activations *and* inputs before logic extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A train/test split of binary features and integer labels."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def num_features(self) -> int:
+        return self.x_train.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(max(self.y_train.max(), self.y_test.max())) + 1
+
+
+def _template_dataset(
+    name: str,
+    num_features: int,
+    num_classes: int,
+    num_train: int,
+    num_test: int,
+    flip_probability: float,
+    seed: int,
+) -> Dataset:
+    """Binary class templates + independent bit flips."""
+    rng = np.random.default_rng(seed)
+    templates = rng.integers(0, 2, size=(num_classes, num_features), dtype=np.int8)
+
+    def sample(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        x = templates[labels].copy()
+        flips = rng.random(x.shape) < flip_probability
+        x[flips] ^= 1
+        return x.astype(np.int8), labels.astype(np.int64)
+
+    x_train, y_train = sample(num_train)
+    x_test, y_test = sample(num_test)
+    return Dataset(name, x_train, y_train, x_test, y_test)
+
+
+def synthetic_mnist(
+    num_train: int = 2000,
+    num_test: int = 500,
+    seed: int = 7,
+) -> Dataset:
+    """8x8 binary digit-like images, 10 classes (stand-in for MNIST).
+
+    Class templates are smoothed random strokes so nearby pixels correlate,
+    like downsampled digits.
+    """
+    rng = np.random.default_rng(seed)
+    side = 8
+    num_classes = 10
+    templates = np.zeros((num_classes, side, side), dtype=np.int8)
+    for c in range(num_classes):
+        # Random walk "stroke" per class.
+        r, col = rng.integers(1, side - 1, size=2)
+        for _ in range(26):
+            templates[c, r, col] = 1
+            dr, dc = rng.integers(-1, 2, size=2)
+            r = int(np.clip(r + dr, 0, side - 1))
+            col = int(np.clip(col + dc, 0, side - 1))
+    flat = templates.reshape(num_classes, side * side)
+
+    def sample(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        x = flat[labels].copy()
+        flips = rng.random(x.shape) < 0.03
+        x[flips] ^= 1
+        return x.astype(np.int8), labels.astype(np.int64)
+
+    x_train, y_train = sample(num_train)
+    x_test, y_test = sample(num_test)
+    return Dataset("synthetic-mnist", x_train, y_train, x_test, y_test)
+
+
+def synthetic_jsc(
+    num_train: int = 2000,
+    num_test: int = 500,
+    seed: int = 11,
+) -> Dataset:
+    """Jet substructure classification stand-in: 16 physics features
+    quantized to 3 bits each (48 binary features), 5 jet classes — the
+    shapes used by LogicNets/hls4ml on the real JSC task."""
+    rng = np.random.default_rng(seed)
+    num_classes = 5
+    raw_features = 16
+    bits = 3
+    centers = rng.normal(0.0, 1.0, size=(num_classes, raw_features))
+
+    def sample(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        raw = centers[labels] + rng.normal(0.0, 0.7, size=(count, raw_features))
+        # Quantize each feature to a 3-bit thermometer code.
+        edges = np.quantile(raw, np.linspace(0, 1, bits + 1)[1:-1], axis=0)
+        cols = []
+        for f in range(raw_features):
+            for b in range(bits - 1):
+                cols.append((raw[:, f] > edges[b, f]).astype(np.int8))
+            cols.append((raw[:, f] > 0).astype(np.int8))
+        x = np.stack(cols, axis=1)
+        return x, labels.astype(np.int64)
+
+    x_train, y_train = sample(num_train)
+    x_test, y_test = sample(num_test)
+    return Dataset("synthetic-jsc", x_train, y_train, x_test, y_test)
+
+
+def synthetic_nid(
+    num_train: int = 2000,
+    num_test: int = 500,
+    num_features: int = 593,
+    seed: int = 13,
+) -> Dataset:
+    """UNSW-NB15-style network intrusion detection stand-in: 593 binary
+    features (the Murovic & Trost preprocessing), 2 classes."""
+    return _template_dataset(
+        "synthetic-nid",
+        num_features=num_features,
+        num_classes=2,
+        num_train=num_train,
+        num_test=num_test,
+        flip_probability=0.08,
+        seed=seed,
+    )
+
+
+def synthetic_cifar_patches(
+    num_train: int = 2000,
+    num_test: int = 500,
+    seed: int = 17,
+) -> Dataset:
+    """Binary patch features for the MLPMixer flow: 64 patches x 4-bit codes
+    (256 features), 10 classes — matching the paper's 32x32 images with 4x4
+    patches."""
+    return _template_dataset(
+        "synthetic-cifar-patches",
+        num_features=256,
+        num_classes=10,
+        num_train=num_train,
+        num_test=num_test,
+        flip_probability=0.05,
+        seed=seed,
+    )
+
+
+def majority_dataset(
+    num_features: int = 7,
+    num_train: int = 512,
+    num_test: int = 256,
+    seed: int = 3,
+) -> Dataset:
+    """Noise-free majority function — a sanity task every pipeline stage
+    should learn perfectly; used by the tests."""
+    rng = np.random.default_rng(seed)
+
+    def sample(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        x = rng.integers(0, 2, size=(count, num_features), dtype=np.int8)
+        y = (x.sum(axis=1) > num_features // 2).astype(np.int64)
+        return x, y
+
+    x_train, y_train = sample(num_train)
+    x_test, y_test = sample(num_test)
+    return Dataset("majority", x_train, y_train, x_test, y_test)

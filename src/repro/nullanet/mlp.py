@@ -1,0 +1,231 @@
+"""Numpy training of sparsely-connected binarized MLPs.
+
+The reproduction hint says the paper's upstream (NullaNet) trains logic
+networks in PyTorch on a GPU; PyTorch is unavailable offline, so this is a
+compact numpy re-implementation of the same recipe:
+
+* binary {0,1} inputs, bipolar internal representation,
+* hidden layers with **sparse fan-in** (each neuron sees at most ``fan_in``
+  inputs, LogicNets/NullaNet-Tiny style — this is what keeps the extracted
+  truth tables enumerable),
+* sign activations trained with the straight-through estimator,
+* binarized weights in the forward pass (latent float weights updated by
+  SGD with momentum),
+* a float softmax head used *only during training*; at extraction time the
+  output layer is binarized like the hidden ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .binarize import (
+    binarize_weights,
+    sign_activation,
+    sign_ste_grad,
+    to_bipolar,
+)
+
+
+@dataclass
+class LayerSpec:
+    """One hidden/output layer: ``width`` neurons of fan-in ``fan_in``."""
+
+    width: int
+    fan_in: int
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    seed: int = 0
+    verbose: bool = False
+
+
+class BinaryMLP:
+    """A sparsely-connected BNN trained with the straight-through estimator."""
+
+    def __init__(
+        self,
+        num_inputs: int,
+        layers: Sequence[LayerSpec],
+        num_classes: int,
+        seed: int = 0,
+    ) -> None:
+        if not layers:
+            raise ValueError("need at least one layer")
+        self.num_inputs = num_inputs
+        self.layer_specs = list(layers)
+        self.num_classes = num_classes
+        rng = np.random.default_rng(seed)
+
+        self.masks: List[np.ndarray] = []
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        prev = num_inputs
+        for spec in layers:
+            fan_in = min(spec.fan_in, prev)
+            mask = np.zeros((prev, spec.width), dtype=np.float64)
+            for j in range(spec.width):
+                chosen = rng.choice(prev, size=fan_in, replace=False)
+                mask[chosen, j] = 1.0
+            scale = 1.0 / np.sqrt(fan_in)
+            self.masks.append(mask)
+            self.weights.append(rng.normal(0.0, scale, size=(prev, spec.width)) * mask)
+            self.biases.append(np.zeros(spec.width))
+            prev = spec.width
+        # Float classification head (training only).
+        self.head_w = rng.normal(0.0, 1.0 / np.sqrt(prev), size=(prev, num_classes))
+        self.head_b = np.zeros(num_classes)
+        #: when True the head is not updated — used with a group-indicator
+        #: head so training optimizes the binarized popcount readout.
+        self.freeze_head = False
+
+    def tie_head_to_groups(self, bits_per_class: int) -> None:
+        """Fix the head to sum each class's output-bit group (and freeze it),
+        aligning the training objective with the popcount readout used at
+        inference."""
+        width = self.layer_specs[-1].width
+        if width != self.num_classes * bits_per_class:
+            raise ValueError(
+                "final layer width must be num_classes * bits_per_class"
+            )
+        head = np.zeros((width, self.num_classes))
+        for c in range(self.num_classes):
+            head[c * bits_per_class : (c + 1) * bits_per_class, c] = 1.0
+        self.head_w = head
+        self.head_b = np.zeros(self.num_classes)
+        self.freeze_head = True
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def hidden_forward(self, x_bits: np.ndarray) -> List[np.ndarray]:
+        """Bipolar activations after every layer (binarized weights)."""
+        acts = []
+        h = to_bipolar(x_bits)
+        for w, b, mask in zip(self.weights, self.biases, self.masks):
+            wb = binarize_weights(w) * mask
+            z = h @ wb + b
+            h = sign_activation(z)
+            acts.append(h)
+        return acts
+
+    def logits(self, x_bits: np.ndarray) -> np.ndarray:
+        h = self.hidden_forward(x_bits)[-1]
+        return h @ self.head_w + self.head_b
+
+    def predict(self, x_bits: np.ndarray) -> np.ndarray:
+        return np.argmax(self.logits(x_bits), axis=1)
+
+    def accuracy(self, x_bits: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(self.predict(x_bits) == labels))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        x_bits: np.ndarray,
+        labels: np.ndarray,
+        config: Optional[TrainConfig] = None,
+    ) -> List[float]:
+        """Mini-batch SGD with STE through the sign activations.
+
+        Returns the per-epoch training losses.
+        """
+        cfg = config or TrainConfig()
+        rng = np.random.default_rng(cfg.seed)
+        count = x_bits.shape[0]
+        vel_w = [np.zeros_like(w) for w in self.weights]
+        vel_b = [np.zeros_like(b) for b in self.biases]
+        vel_hw = np.zeros_like(self.head_w)
+        vel_hb = np.zeros_like(self.head_b)
+        losses: List[float] = []
+
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(count)
+            epoch_loss = 0.0
+            for start in range(0, count, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                xb, yb = x_bits[idx], labels[idx]
+                loss = self._step(
+                    xb, yb, cfg.learning_rate, cfg.momentum,
+                    vel_w, vel_b, vel_hw, vel_hb,
+                )
+                epoch_loss += loss * len(idx)
+            losses.append(epoch_loss / count)
+            if cfg.verbose:
+                print(f"epoch {epoch}: loss {losses[-1]:.4f}")
+        return losses
+
+    def _step(
+        self, xb, yb, lr, momentum, vel_w, vel_b, vel_hw, vel_hb
+    ) -> float:
+        batch = xb.shape[0]
+        # Forward, keeping pre-activations for STE.
+        h = to_bipolar(xb)
+        pre: List[np.ndarray] = []
+        acts: List[np.ndarray] = [h]
+        for w, b, mask in zip(self.weights, self.biases, self.masks):
+            wb = binarize_weights(w) * mask
+            z = h @ wb + b
+            pre.append(z)
+            h = sign_activation(z)
+            acts.append(h)
+        logits = h @ self.head_w + self.head_b
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        expz = np.exp(shifted)
+        probs = expz / expz.sum(axis=1, keepdims=True)
+        loss = float(
+            -np.mean(np.log(probs[np.arange(batch), yb] + 1e-12))
+        )
+
+        # Backward.
+        dlogits = probs.copy()
+        dlogits[np.arange(batch), yb] -= 1.0
+        dlogits /= batch
+        d_hw = acts[-1].T @ dlogits
+        d_hb = dlogits.sum(axis=0)
+        dh = dlogits @ self.head_w.T
+
+        grads_w: List[np.ndarray] = [None] * len(self.weights)  # type: ignore
+        grads_b: List[np.ndarray] = [None] * len(self.biases)  # type: ignore
+        for layer in range(len(self.weights) - 1, -1, -1):
+            dz = dh * sign_ste_grad(pre[layer])
+            grads_w[layer] = (acts[layer].T @ dz) * self.masks[layer]
+            grads_b[layer] = dz.sum(axis=0)
+            wb = binarize_weights(self.weights[layer]) * self.masks[layer]
+            dh = dz @ wb.T
+
+        # SGD with momentum.
+        for layer in range(len(self.weights)):
+            vel_w[layer] = momentum * vel_w[layer] - lr * grads_w[layer]
+            self.weights[layer] += vel_w[layer]
+            vel_b[layer] = momentum * vel_b[layer] - lr * grads_b[layer]
+            self.biases[layer] += vel_b[layer]
+        if not self.freeze_head:
+            vel_hw *= momentum
+            vel_hw -= lr * d_hw
+            self.head_w += vel_hw
+            vel_hb *= momentum
+            vel_hb -= lr * d_hb
+            self.head_b += vel_hb
+        return loss
+
+    # ------------------------------------------------------------------
+    # Views used by the FFCL extractor
+    # ------------------------------------------------------------------
+    def effective_weights(self, layer: int) -> np.ndarray:
+        """Binarized, masked weight matrix of ``layer``."""
+        return binarize_weights(self.weights[layer]) * self.masks[layer]
+
+    def neuron_connectivity(self, layer: int, neuron: int) -> np.ndarray:
+        """Indices of the inputs neuron ``neuron`` of ``layer`` reads."""
+        return np.nonzero(self.masks[layer][:, neuron])[0]

@@ -1,0 +1,187 @@
+"""End-to-end NullaNet flow: train -> binarize -> extract -> verify.
+
+Ties the substrate together the way the paper's toolchain does: a sparsely
+connected BNN is trained on a (synthetic) dataset, every layer is extracted
+into an FFCL block with don't-care mining, the blocks are stitched into one
+network-level logic graph, and the logic is verified to reproduce the BNN's
+hidden activations exactly on the training data (and its predictions on the
+test data, up to the float head replaced by a binarized output layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist.compose import compose_serial
+from ..netlist.graph import LogicGraph
+from .binarize import to_bits
+from .datasets import Dataset
+from .ffcl import evaluate_ffcl_layer, layer_to_graph
+from .mlp import BinaryMLP, LayerSpec, TrainConfig
+
+
+@dataclass
+class ExtractionResult:
+    """All artifacts of one NullaNet extraction."""
+
+    model: BinaryMLP
+    layer_graphs: List[LogicGraph]
+    network_graph: LogicGraph
+    #: float-head accuracies (training-time reference).
+    train_accuracy: float
+    test_accuracy: float
+    #: accuracy of the BNN with the binarized popcount readout — the
+    #: function the logic reproduces (exactly, when don't-cares are off).
+    binary_test_accuracy: float
+    #: accuracy of the extracted logic on the test set.
+    logic_test_accuracy: float
+    bits_per_class: int = 1
+
+
+def observed_layer_inputs(model: BinaryMLP, x_bits: np.ndarray) -> List[np.ndarray]:
+    """{0,1} input patterns each layer sees on the dataset (layer 0 sees the
+    raw inputs; layer l>0 sees layer l-1's activations)."""
+    acts = model.hidden_forward(x_bits)
+    observed = [x_bits.astype(np.int8)]
+    for h in acts[:-1]:
+        observed.append(to_bits(h))
+    return observed
+
+
+def extract_network(
+    model: BinaryMLP,
+    x_train: np.ndarray,
+    use_dont_cares: bool = True,
+) -> List[LogicGraph]:
+    """Extract every layer of ``model`` as an FFCL block."""
+    observed = (
+        observed_layer_inputs(model, x_train) if use_dont_cares else None
+    )
+    graphs: List[LogicGraph] = []
+    num_layers = len(model.layer_specs)
+    for layer in range(num_layers):
+        if layer == 0:
+            in_names = [f"x{i}" for i in range(model.num_inputs)]
+        else:
+            in_names = [
+                f"h{layer - 1}_{j}"
+                for j in range(model.layer_specs[layer - 1].width)
+            ]
+        prefix = (
+            f"h{layer}_" if layer < num_layers - 1 else "out"
+        )
+        graphs.append(
+            layer_to_graph(
+                model,
+                layer,
+                observed_inputs=observed[layer] if observed else None,
+                input_names=in_names,
+                output_prefix=prefix,
+            )
+        )
+    return graphs
+
+
+def stitch_network(layer_graphs: Sequence[LogicGraph]) -> LogicGraph:
+    """Compose per-layer FFCL blocks into one network-level graph."""
+    network = layer_graphs[0]
+    for nxt in layer_graphs[1:]:
+        network = compose_serial(network, nxt, name="network")
+    return network
+
+
+def popcount_readout(bits: np.ndarray, bits_per_class: int) -> np.ndarray:
+    """LogicNets-style readout: class score = popcount of its bit group."""
+    count, width = bits.shape
+    if width % bits_per_class:
+        raise ValueError("output width must be a multiple of bits_per_class")
+    scores = bits.reshape(count, width // bits_per_class, bits_per_class).sum(
+        axis=2
+    )
+    return np.argmax(scores, axis=1)
+
+
+def binary_predict(model: BinaryMLP, x_bits: np.ndarray, bits_per_class: int):
+    """The BNN's own prediction through the binarized popcount readout
+    (no float head) — the function the extracted logic implements."""
+    out_bits = to_bits(model.hidden_forward(x_bits)[-1])
+    return popcount_readout(out_bits, bits_per_class)
+
+
+def logic_predict(
+    network_graph: LogicGraph,
+    x_bits: np.ndarray,
+    num_inputs: int,
+    num_output_bits: int,
+    bits_per_class: int = 1,
+) -> np.ndarray:
+    """Classify with the extracted logic via the popcount readout."""
+    in_names = [f"x{i}" for i in range(num_inputs)]
+    out_names = [f"out{j}" for j in range(num_output_bits)]
+    bits = evaluate_ffcl_layer(network_graph, x_bits, in_names, out_names)
+    return popcount_readout(bits, bits_per_class)
+
+
+def run_nullanet_flow(
+    dataset: Dataset,
+    hidden: Sequence[LayerSpec],
+    train_config: Optional[TrainConfig] = None,
+    output_fan_in: int = 8,
+    bits_per_class: int = 3,
+    use_dont_cares: bool = True,
+    seed: int = 0,
+) -> ExtractionResult:
+    """The complete flow on one dataset.
+
+    ``hidden`` lists the hidden layers; an output layer of
+    ``dataset.num_classes * bits_per_class`` neurons with fan-in
+    ``output_fan_in`` is appended; at inference each class scores the
+    popcount of its bit group (LogicNets-style redundant readout).
+    """
+    layers = list(hidden) + [
+        LayerSpec(
+            width=dataset.num_classes * bits_per_class, fan_in=output_fan_in
+        )
+    ]
+    model = BinaryMLP(
+        num_inputs=dataset.num_features,
+        layers=layers,
+        num_classes=dataset.num_classes,
+        seed=seed,
+    )
+    model.tie_head_to_groups(bits_per_class)
+    model.train(dataset.x_train, dataset.y_train, train_config)
+    train_acc = model.accuracy(dataset.x_train, dataset.y_train)
+    test_acc = model.accuracy(dataset.x_test, dataset.y_test)
+    binary_acc = float(
+        np.mean(
+            binary_predict(model, dataset.x_test, bits_per_class)
+            == dataset.y_test
+        )
+    )
+
+    layer_graphs = extract_network(
+        model, dataset.x_train, use_dont_cares=use_dont_cares
+    )
+    network_graph = stitch_network(layer_graphs)
+    preds = logic_predict(
+        network_graph,
+        dataset.x_test,
+        dataset.num_features,
+        dataset.num_classes * bits_per_class,
+        bits_per_class,
+    )
+    logic_acc = float(np.mean(preds == dataset.y_test))
+    return ExtractionResult(
+        model=model,
+        layer_graphs=layer_graphs,
+        network_graph=network_graph,
+        train_accuracy=train_acc,
+        test_accuracy=test_acc,
+        binary_test_accuracy=binary_acc,
+        logic_test_accuracy=logic_acc,
+        bits_per_class=bits_per_class,
+    )

@@ -1,0 +1,59 @@
+"""Logic synthesis substrate: optimization, mapping, levelization, balancing,
+and two-level/multi-level minimization.
+
+These are the passes the paper's pre-processing stage (Fig. 1, box 1)
+relies on, plus the truth-table minimization machinery the NullaNet
+substrate uses to turn neurons into FFCL blocks.
+"""
+
+from .balance import BalanceReport, balance
+from .espresso import espresso_minimize
+from .factoring import factored_graph, factoring_gain
+from .levelize import Levelization, is_levelized_strict, levelize
+from .pipeline import PreprocessReport, PreprocessResult, preprocess
+from .quine_mccluskey import MAX_QM_VARS, minimize, prime_implicants, sop_cost
+from .simplify import simplify, sweep_dead_nodes
+from .techmap import (
+    UnmappableError,
+    basis_is_complete,
+    map_to_basis,
+    mapped_area,
+    mapped_delay,
+)
+from .truth_table import (
+    MAX_ENUM_VARS,
+    Cube,
+    TruthTable,
+    graph_from_truth_table,
+    sop_to_graph,
+)
+
+__all__ = [
+    "BalanceReport",
+    "balance",
+    "espresso_minimize",
+    "factored_graph",
+    "factoring_gain",
+    "Levelization",
+    "is_levelized_strict",
+    "levelize",
+    "PreprocessReport",
+    "PreprocessResult",
+    "preprocess",
+    "MAX_QM_VARS",
+    "minimize",
+    "prime_implicants",
+    "sop_cost",
+    "simplify",
+    "sweep_dead_nodes",
+    "UnmappableError",
+    "basis_is_complete",
+    "map_to_basis",
+    "mapped_area",
+    "mapped_delay",
+    "MAX_ENUM_VARS",
+    "Cube",
+    "TruthTable",
+    "graph_from_truth_table",
+    "sop_to_graph",
+]

@@ -1,0 +1,148 @@
+"""Algebraic factoring: SOP cover -> multi-level two-input logic.
+
+Two-level covers of wide neurons are shallow but enormous; the multi-level
+netlists NullaNet feeds the paper's compiler come from factoring.  We
+implement the classic *quick factor* recursion (literal division, as in
+SIS/ABC): pick the most frequent literal L, split the cover into
+``L * quotient + remainder``, recurse on both, and emit balanced two-input
+AND/OR trees at the leaves.
+
+The output graph uses only LPE-supported cells, shares NOT gates across the
+whole expression, and is typically far deeper-but-narrower than the
+two-level form — exactly the shape that stresses the paper's partitioner.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+from .truth_table import Cube
+
+
+def _literal_counts(cubes: Sequence[Cube]) -> Counter:
+    counts: Counter = Counter()
+    for cube in cubes:
+        for var, pol in cube.literals():
+            counts[(var, pol)] += 1
+    return counts
+
+
+def _divide_by_literal(
+    cubes: Sequence[Cube], var: int, pol: int
+) -> Tuple[List[Cube], List[Cube]]:
+    """Split cover into (quotient, remainder) for literal (var, pol)."""
+    bit = 1 << var
+    want = bit if pol else 0
+    quotient: List[Cube] = []
+    remainder: List[Cube] = []
+    for cube in cubes:
+        if (cube.mask & bit) and (cube.value & bit) == want:
+            quotient.append(cube.without_literal(var))
+        else:
+            remainder.append(cube)
+    return quotient, remainder
+
+
+class _Builder:
+    """Emits factored logic into a LogicGraph with shared inverters."""
+
+    def __init__(self, graph: LogicGraph, var_ids: Sequence[int]) -> None:
+        self.graph = graph
+        self.var_ids = list(var_ids)
+        self._inverters: dict = {}
+
+    def literal(self, var: int, pol: int) -> int:
+        if pol:
+            return self.var_ids[var]
+        if var not in self._inverters:
+            self._inverters[var] = self.graph.add_gate(
+                cells.NOT, self.var_ids[var]
+            )
+        return self._inverters[var]
+
+    def tree(self, op: str, operands: List[int]) -> int:
+        layer = list(operands)
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.graph.add_gate(op, layer[i], layer[i + 1]))
+            if len(layer) % 2 == 1:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    def cube_node(self, cube: Cube) -> Optional[int]:
+        lits = cube.literals()
+        if not lits:
+            return None  # constant-1 product
+        return self.tree(cells.AND, [self.literal(v, p) for v, p in lits])
+
+
+def _factor_node(cubes: List[Cube], builder: _Builder) -> Optional[int]:
+    """Recursive quick factor; returns node id, or None for constant 1."""
+    if not cubes:
+        raise ValueError("cannot factor an empty cover here")
+    if any(cube.mask == 0 for cube in cubes):
+        return None  # cover contains the constant-1 cube
+    if len(cubes) == 1:
+        return builder.cube_node(cubes[0])
+
+    counts = _literal_counts(cubes)
+    (var, pol), count = counts.most_common(1)[0]
+    if count <= 1:
+        # No shared literal: fall back to a flat OR of cube ANDs.
+        nodes = [builder.cube_node(c) for c in cubes]
+        concrete = [n for n in nodes if n is not None]
+        return builder.tree(cells.OR, concrete)
+
+    quotient, remainder = _divide_by_literal(cubes, var, pol)
+    lit_node = builder.literal(var, pol)
+    q_node = _factor_node(quotient, builder)
+    if q_node is None:
+        product = lit_node
+    else:
+        product = builder.graph.add_gate(cells.AND, lit_node, q_node)
+    if not remainder:
+        return product
+    r_node = _factor_node(remainder, builder)
+    if r_node is None:
+        return None  # remainder is constant 1, so the whole OR is 1
+    return builder.graph.add_gate(cells.OR, product, r_node)
+
+
+def factored_graph(
+    cubes: Sequence[Cube],
+    num_vars: int,
+    input_names: Optional[Sequence[str]] = None,
+    name: str = "factored",
+    output_name: str = "y",
+) -> LogicGraph:
+    """Build a multi-level graph computing the SOP ``cubes`` via quick
+    factoring.  Empty cover -> constant 0; a mask-0 cube -> constant 1."""
+    if input_names is None:
+        input_names = [f"x{i}" for i in range(num_vars)]
+    if len(input_names) != num_vars:
+        raise ValueError("need one name per variable")
+    graph = LogicGraph(name)
+    var_ids = [graph.add_input(n) for n in input_names]
+    builder = _Builder(graph, var_ids)
+
+    if not cubes:
+        out = graph.add_const(0)
+    else:
+        node = _factor_node(list(cubes), builder)
+        out = graph.add_const(1) if node is None else node
+    graph.set_output(output_name, out)
+    return graph
+
+
+def factoring_gain(cubes: Sequence[Cube], num_vars: int) -> Tuple[int, int]:
+    """(two-level gate count, factored gate count) for reporting."""
+    from .truth_table import sop_to_graph
+
+    flat = sop_to_graph(cubes, num_vars)
+    fact = factored_graph(cubes, num_vars)
+    return flat.num_gates, fact.num_gates

@@ -1,0 +1,106 @@
+"""The paper's pre-processing stage as a single entry point.
+
+Fig. 1, box 1 ("Pre-processing"): run logic minimization, map to the
+standard cell library, and depth-levelize the netlist; Section IV adds full
+path balancing (buffer insertion) before graphs reach the compiler.
+
+:func:`preprocess` chains those passes and returns the strict, balanced
+graph plus a report of what each pass did — the compiler
+(:mod:`repro.core.compiler`) calls this first on every input netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+from .balance import BalanceReport, balance
+from .levelize import Levelization, is_levelized_strict, levelize
+from .rebalance import balance_trees
+from .simplify import simplify
+from .techmap import map_to_basis
+
+
+@dataclass
+class PreprocessReport:
+    """What pre-processing did to the netlist."""
+
+    gates_in: int
+    gates_after_simplify: int
+    gates_after_mapping: int
+    gates_out: int
+    depth_in: int
+    depth_out: int
+    balance: BalanceReport
+
+    def __str__(self) -> str:
+        return (
+            f"preprocess: {self.gates_in} -> {self.gates_after_simplify} "
+            f"(simplify) -> {self.gates_after_mapping} (map) -> "
+            f"{self.gates_out} gates (balance, "
+            f"+{self.balance.buffers_inserted} BUF), "
+            f"depth {self.depth_in} -> {self.depth_out}"
+        )
+
+
+@dataclass
+class PreprocessResult:
+    """Balanced netlist ready for partitioning, with its levelization."""
+
+    graph: LogicGraph
+    levels: Levelization
+    report: PreprocessReport
+
+
+def preprocess(
+    graph: LogicGraph,
+    basis: Optional[FrozenSet[str]] = None,
+    optimize: bool = True,
+) -> PreprocessResult:
+    """Run the full pre-processing flow on ``graph``.
+
+    Args:
+        graph: input FFCL netlist (any mix of library ops).
+        basis: optional restricted LPE op set to map onto; defaults to the
+            full library.
+        optimize: run logic simplification first (disable to study raw
+            netlists, as the ablation benchmarks do).
+    """
+    gates_in = graph.num_gates
+    depth_in = graph.depth()
+
+    if optimize:
+        # Tree rebalancing must run before structural hashing: CSE merges
+        # shared chain segments, raising their fanout above one and locking
+        # the chains in place.  A second rebalance+simplify round catches
+        # chains that constant folding exposes.
+        g = balance_trees(graph)
+        g = simplify(g)
+        g = balance_trees(g)
+        g = simplify(g)
+    else:
+        g = graph.extract()
+    gates_simplified = g.num_gates
+
+    if basis is not None:
+        # Mapping runs after simplification; a second simplify pass is not
+        # applied because it could rewrite gates out of the target basis
+        # (e.g. NOT(AND) -> NAND).
+        g = map_to_basis(g, basis)
+    gates_mapped = g.num_gates
+
+    balanced, bal_report = balance(g)
+    assert is_levelized_strict(balanced)
+    lv = levelize(balanced)
+    report = PreprocessReport(
+        gates_in=gates_in,
+        gates_after_simplify=gates_simplified,
+        gates_after_mapping=gates_mapped,
+        gates_out=balanced.num_gates,
+        depth_in=depth_in,
+        depth_out=lv.max_level,
+        balance=bal_report,
+    )
+    return PreprocessResult(graph=balanced, levels=lv, report=report)

@@ -1,0 +1,152 @@
+"""Exact two-level minimization (Quine–McCluskey with Petrick's method).
+
+Used by the NullaNet substrate for small neuron fan-ins, where exact
+minimization is affordable, and by the test suite as the golden reference
+the heuristic Espresso-style minimizer is checked against.
+
+Don't-cares participate in implicant merging but do not need to be covered —
+this is precisely how NullaNet exploits never-observed input patterns.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .truth_table import Cube, TruthTable
+
+#: Exact minimization is exponential; past this many inputs callers should
+#: use :func:`repro.synth.espresso.espresso_minimize`.
+MAX_QM_VARS = 12
+
+
+def prime_implicants(table: TruthTable) -> List[Cube]:
+    """All prime implicants of ON ∪ DC via iterative pairwise merging."""
+    n = table.num_vars
+    full_mask = (1 << n) - 1
+    current: Set[Tuple[int, int]] = {
+        (full_mask, m) for m in table.minterms() + table.dc_minterms()
+    }
+    primes: Set[Tuple[int, int]] = set()
+
+    while current:
+        merged_from: Set[Tuple[int, int]] = set()
+        next_level: Set[Tuple[int, int]] = set()
+        by_mask: Dict[int, List[Tuple[int, int]]] = {}
+        for cube in current:
+            by_mask.setdefault(cube[0], []).append(cube)
+        for mask, cubes in by_mask.items():
+            by_value: Set[int] = {value for _, value in cubes}
+            for value in by_value:
+                bit = 1
+                while bit <= mask:
+                    if (mask & bit) and (value & bit) == 0:
+                        partner = value | bit
+                        if partner in by_value:
+                            next_level.add((mask & ~bit, value))
+                            merged_from.add((mask, value))
+                            merged_from.add((mask, partner))
+                    bit <<= 1
+        primes |= current - merged_from
+        current = next_level
+    return [Cube(mask, value) for mask, value in sorted(primes)]
+
+
+def _coverage(
+    primes: Sequence[Cube], minterms: Sequence[int]
+) -> Dict[int, FrozenSet[int]]:
+    """minterm -> indices of primes covering it."""
+    cover: Dict[int, FrozenSet[int]] = {}
+    for m in minterms:
+        cover[m] = frozenset(
+            i for i, p in enumerate(primes) if p.contains_minterm(m)
+        )
+    return cover
+
+
+def _petrick(
+    cover: Dict[int, FrozenSet[int]], primes: Sequence[Cube]
+) -> List[int]:
+    """Exact minimum cover by Petrick's method (product of sums expansion).
+
+    Kept in product-set form with absorption to bound the blow-up; only
+    invoked for small residual covering problems.
+    """
+    products: Set[FrozenSet[int]] = {frozenset()}
+    for _m, choices in sorted(cover.items()):
+        new_products: Set[FrozenSet[int]] = set()
+        for product in products:
+            if product & choices:
+                new_products.add(product)
+                continue
+            for c in choices:
+                new_products.add(product | {c})
+        # absorption: drop supersets
+        minimal: Set[FrozenSet[int]] = set()
+        for p in sorted(new_products, key=len):
+            if not any(q <= p for q in minimal):
+                minimal.add(p)
+        products = minimal
+    def cost(sol: FrozenSet[int]) -> Tuple[int, int]:
+        return (len(sol), sum(primes[i].num_literals() for i in sol))
+    best = min(products, key=cost)
+    return sorted(best)
+
+
+def _greedy_cover(
+    cover: Dict[int, FrozenSet[int]], primes: Sequence[Cube]
+) -> List[int]:
+    """Greedy set cover fallback for large residual problems."""
+    uncovered = set(cover)
+    chosen: List[int] = []
+    while uncovered:
+        # Pick the prime covering the most uncovered minterms; break ties
+        # toward fewer literals (bigger cube).
+        gain: Dict[int, int] = {}
+        for m in uncovered:
+            for i in cover[m]:
+                gain[i] = gain.get(i, 0) + 1
+        best = max(gain, key=lambda i: (gain[i], -primes[i].num_literals()))
+        chosen.append(best)
+        uncovered = {m for m in uncovered if best not in cover[m]}
+    return sorted(chosen)
+
+
+def minimize(table: TruthTable, exact_cover_limit: int = 24) -> List[Cube]:
+    """Minimum (or near-minimum) SOP cover of ``table``.
+
+    Steps: generate primes, select essential primes, then cover the residual
+    minterms exactly (Petrick) when the problem is small, greedily otherwise.
+    """
+    if table.num_vars > MAX_QM_VARS:
+        raise ValueError(
+            f"Quine-McCluskey limited to {MAX_QM_VARS} vars; "
+            "use espresso_minimize for larger tables"
+        )
+    on = table.minterms()
+    if not on:
+        return []
+    primes = prime_implicants(table)
+    cover = _coverage(primes, on)
+
+    essential: Set[int] = set()
+    for m, choices in cover.items():
+        if len(choices) == 1:
+            essential.add(next(iter(choices)))
+    chosen = set(essential)
+    residual = {
+        m: choices for m, choices in cover.items() if not (choices & chosen)
+    }
+    if residual:
+        if len(residual) <= exact_cover_limit:
+            chosen.update(_petrick(residual, primes))
+        else:
+            chosen.update(_greedy_cover(residual, primes))
+    result = [primes[i] for i in sorted(chosen)]
+    assert table.cover_is_complete(result), "QM produced an incomplete cover"
+    return result
+
+
+def sop_cost(cubes: Sequence[Cube]) -> Tuple[int, int]:
+    """(cube count, total literal count) — the standard two-level cost."""
+    return (len(cubes), sum(c.num_literals() for c in cubes))

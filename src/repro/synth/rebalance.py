@@ -1,0 +1,91 @@
+"""Tree height reduction (the classic `balance` pass).
+
+Algebraic factoring emits left-deep AND/OR chains; depth drives both the
+number of LPV macro-cycles and — after full path balancing — the number of
+inserted buffers, so chains are poison for the LPU.  This pass rewrites
+every maximal single-op chain of an associative operator (AND, OR, XOR)
+into a balanced binary tree, halving-to-quartering typical factored-netlist
+depth while preserving function and gate count.
+
+Only chain-internal nodes with a single fanout are collapsed: a shared
+intermediate result keeps its own gate so logic is never duplicated.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+
+#: Ops that are associative and commutative as two-input reductions.
+_ASSOCIATIVE = (cells.AND, cells.OR, cells.XOR)
+
+
+def balance_trees(graph: LogicGraph) -> LogicGraph:
+    """Return a depth-reduced, function-equivalent copy of ``graph``."""
+    fanouts = graph.fanouts()
+    po_nodes = set(graph.output_ids)
+    out = LogicGraph(graph.name)
+    remap: Dict[int, int] = {}
+    # Depth of every node in the new graph, for depth-aware tree building.
+    depth_of: Dict[int, int] = {}
+
+    def new_gate(op: str, *fanins: int, name=None) -> int:
+        nid = out.add_gate(op, *fanins, name=name)
+        depth_of[nid] = 1 + max(depth_of[f] for f in fanins)
+        return nid
+
+    def chain_leaves(nid: int, op: str, leaves: List[int]) -> None:
+        """Collect the leaves of the maximal ``op`` chain rooted at nid."""
+        for fid in graph.fanins_of(nid):
+            if (
+                graph.op_of(fid) == op
+                and len(fanouts[fid]) == 1
+                and fid not in po_nodes
+            ):
+                chain_leaves(fid, op, leaves)
+            else:
+                leaves.append(fid)
+
+    def build_tree(op: str, leaf_ids: List[int]) -> int:
+        """Huffman-style reduction: always combine the two shallowest
+        operands, minimizing the tree's final depth for unequal leaves."""
+        heap = [
+            (depth_of[remap[l]], i, remap[l])
+            for i, l in enumerate(leaf_ids)
+        ]
+        heapq.heapify(heap)
+        counter = len(heap)
+        while len(heap) > 1:
+            da, _, a = heapq.heappop(heap)
+            db, _, b = heapq.heappop(heap)
+            nid = new_gate(op, a, b)
+            counter += 1
+            heapq.heappush(heap, (depth_of[nid], counter, nid))
+        return heap[0][2]
+
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.op == cells.INPUT:
+            assert node.name is not None
+            new_id = out.add_input(node.name)
+            depth_of[new_id] = 0
+            remap[nid] = new_id
+        elif node.op in (cells.CONST0, cells.CONST1):
+            new_id = out.add_const(1 if node.op == cells.CONST1 else 0)
+            depth_of[new_id] = 0
+            remap[nid] = new_id
+        elif node.op in _ASSOCIATIVE:
+            leaves: List[int] = []
+            chain_leaves(nid, node.op, leaves)
+            remap[nid] = build_tree(node.op, leaves)
+        else:
+            remap[nid] = new_gate(
+                node.op, *(remap[f] for f in node.fanins), name=node.name
+            )
+
+    for name, nid in graph.outputs:
+        out.set_output(name, remap[nid])
+    return out.extract()

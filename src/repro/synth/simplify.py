@@ -1,0 +1,192 @@
+"""Logic optimization: constant propagation, algebraic rewrites, CSE.
+
+The paper's pre-processing step runs "standard logic optimization
+techniques, primarily aimed at reducing the total gate count and depth of the
+circuit" (Section III).  This module implements those as a single rebuild
+pass over the DAG:
+
+* constant folding (``AND(a, 0) -> 0``, ``XOR(a, 1) -> NOT a``, ...),
+* idempotence / complement rules (``AND(a, a) -> a``, ``XOR(a, a) -> 0``),
+* double-negation elimination (``NOT(NOT(a)) -> a``),
+* inverter absorption (``NOT(AND) -> NAND`` and the reverse where it helps),
+* BUF elimination,
+* structural hashing (common-subexpression elimination for commutative ops),
+* dead-node elimination (everything not in the POs' transitive fanin).
+
+The pass is idempotent and function-preserving; both properties are enforced
+by the test suite on random graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+
+# Result of locally evaluating a node: either a reference to an existing new
+# node id, or a constant.
+_CONST0 = ("const", 0)
+_CONST1 = ("const", 1)
+
+
+def _fold_constants(op: str, vals: Tuple) -> Optional[Tuple]:
+    """Apply constant/identity rules.  ``vals`` are ('const', b) or
+    ('node', id) descriptors.  Returns a descriptor, ('not', id) meaning the
+    complement of node id, or None when no rule applies."""
+    if op in (cells.BUF, cells.NOT):
+        (kind, payload) = vals[0]
+        if kind == "const":
+            bit = payload if op == cells.BUF else 1 - payload
+            return ("const", bit)
+        if op == cells.BUF:
+            return vals[0]
+        return ("not", payload)
+
+    a, b = vals
+    consts = [v for v in vals if v[0] == "const"]
+    if len(consts) == 2:
+        bit = cells.eval_op_bits(op, consts[0][1], consts[1][1])
+        return ("const", bit)
+    if len(consts) == 1:
+        cval = consts[0][1]
+        other = a if a[0] != "const" else b
+        # One constant input: each op degenerates to const / pass / invert.
+        if op == cells.AND:
+            return other if cval else _CONST0
+        if op == cells.OR:
+            return _CONST1 if cval else other
+        if op == cells.NAND:
+            return ("not", other[1]) if cval else _CONST1
+        if op == cells.NOR:
+            return _CONST0 if cval else ("not", other[1])
+        if op == cells.XOR:
+            return ("not", other[1]) if cval else other
+        if op == cells.XNOR:
+            return other if cval else ("not", other[1])
+    if a == b:
+        if op in (cells.AND, cells.OR):
+            return a
+        if op == cells.XOR:
+            return _CONST0
+        if op == cells.XNOR:
+            return _CONST1
+        if op in (cells.NAND, cells.NOR):
+            return ("not", a[1])
+    return None
+
+
+class _Rewriter:
+    """Incremental graph rebuilder with structural hashing."""
+
+    def __init__(self, name: str) -> None:
+        self.graph = LogicGraph(name)
+        # (op, fanins) -> node id, for CSE.
+        self._hash: Dict[Tuple, int] = {}
+        # node id -> node id computing its complement (if one exists).
+        self._complement: Dict[int, int] = {}
+        self._const_ids: Dict[int, int] = {}
+
+    def add_input(self, name: str) -> int:
+        return self.graph.add_input(name)
+
+    def const_node(self, value: int) -> int:
+        if value not in self._const_ids:
+            self._const_ids[value] = self.graph.add_const(value)
+        return self._const_ids[value]
+
+    def gate(self, op: str, *fanins: int) -> int:
+        key_fanins = tuple(sorted(fanins)) if op in cells.COMMUTATIVE_OPS else fanins
+        key = (op, key_fanins)
+        existing = self._hash.get(key)
+        if existing is not None:
+            return existing
+        nid = self.graph.add_gate(op, *fanins)
+        self._hash[key] = nid
+        if op == cells.NOT:
+            # Record the complement relation both ways so a later NOT of
+            # either node reuses the existing one.
+            self._complement[fanins[0]] = nid
+            self._complement[nid] = fanins[0]
+        return nid
+
+    def complement_of(self, nid: int) -> Optional[int]:
+        """Known complement of ``nid`` in the new graph, if any."""
+        return self._complement.get(nid)
+
+    def invert(self, nid: int) -> int:
+        cached = self._complement.get(nid)
+        if cached is not None:
+            return cached
+        op = self.graph.op_of(nid)
+        comp_op = cells.COMPLEMENT_OP.get(op)
+        if comp_op is not None and op in cells.MISO_OPS:
+            # NOT(AND(a,b)) -> NAND(a,b): same gate count, one level less.
+            inv = self.gate(comp_op, *self.graph.fanins_of(nid))
+        else:
+            inv = self.gate(cells.NOT, nid)
+        self._complement[nid] = inv
+        self._complement[inv] = nid
+        return inv
+
+
+def simplify(graph: LogicGraph) -> LogicGraph:
+    """Return an optimized, function-equivalent copy of ``graph``."""
+    rw = _Rewriter(graph.name)
+    # old node id -> descriptor ('node', new id) or ('const', bit)
+    desc: Dict[int, Tuple] = {}
+
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.op == cells.INPUT:
+            assert node.name is not None
+            desc[nid] = ("node", rw.add_input(node.name))
+            continue
+        if node.op == cells.CONST0:
+            desc[nid] = _CONST0
+            continue
+        if node.op == cells.CONST1:
+            desc[nid] = _CONST1
+            continue
+
+        vals = tuple(desc[f] for f in node.fanins)
+        folded = _fold_constants(node.op, vals)
+        if folded is not None:
+            if folded[0] == "not":
+                desc[nid] = ("node", rw.invert(folded[1]))
+            else:
+                desc[nid] = folded
+            continue
+
+        fanin_ids = [v[1] for v in vals]
+        if node.op == cells.NOT:
+            desc[nid] = ("node", rw.invert(fanin_ids[0]))
+        elif (
+            len(fanin_ids) == 2
+            and rw.complement_of(fanin_ids[0]) == fanin_ids[1]
+        ):
+            # x op NOT(x): every two-input op degenerates to a constant.
+            bit = {
+                cells.AND: 0,
+                cells.NOR: 0,
+                cells.XNOR: 0,
+                cells.OR: 1,
+                cells.NAND: 1,
+                cells.XOR: 1,
+            }[node.op]
+            desc[nid] = ("const", bit)
+        else:
+            desc[nid] = ("node", rw.gate(node.op, *fanin_ids))
+
+    for name, nid in graph.outputs:
+        kind, payload = desc[nid]
+        if kind == "const":
+            rw.graph.set_output(name, rw.const_node(payload))
+        else:
+            rw.graph.set_output(name, payload)
+    return rw.graph.extract()
+
+
+def sweep_dead_nodes(graph: LogicGraph) -> LogicGraph:
+    """Remove logic not reachable from any PO (cheap subset of simplify)."""
+    return graph.extract()

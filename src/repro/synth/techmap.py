@@ -1,0 +1,190 @@
+"""Technology mapping onto a restricted LPE cell basis.
+
+Section III: "the Boolean operations supported by the logic gates in the
+cell library ... must be supported by the LPEs."  The default LPE supports
+the full library, but the paper's future-work section contemplates
+*heterogeneous* LPVs whose LPEs support different op subsets.  This pass
+rewrites a graph so it uses only an allowed op set, choosing among a small
+set of local decompositions by area cost:
+
+* ``NAND -> NOT(AND)``, ``NOR -> NOT(OR)`` (and inverses),
+* ``XOR -> (a OR b) AND NAND(a, b)`` or AND/OR/NOT expansion,
+* ``XNOR -> NOT(XOR)`` or direct expansion,
+* ``NOT -> NAND(a, a)`` when inverters themselves are disallowed.
+
+The pass also verifies the target basis is functionally complete for the
+graph at hand, raising :class:`UnmappableError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+
+#: Bases known to be functionally complete (can express any graph).
+_COMPLETE_BASES = (
+    frozenset({cells.NAND}),
+    frozenset({cells.NOR}),
+    frozenset({cells.AND, cells.NOT}),
+    frozenset({cells.OR, cells.NOT}),
+    frozenset({cells.AND, cells.XOR}),  # with const1 for inversion
+)
+
+
+class UnmappableError(ValueError):
+    """The requested basis cannot express the graph."""
+
+
+def basis_is_complete(allowed: FrozenSet[str]) -> bool:
+    """Conservative completeness check for an op basis."""
+    return any(base <= allowed for base in _COMPLETE_BASES)
+
+
+class _Mapper:
+    def __init__(self, graph: LogicGraph, allowed: FrozenSet[str]) -> None:
+        self.out = LogicGraph(graph.name)
+        self.allowed = allowed
+        self._cache: Dict[Tuple, int] = {}
+
+    def emit(self, op: str, *fanins: int) -> int:
+        """Emit ``op`` using only allowed ops (recursively decomposing)."""
+        key_fanins = tuple(sorted(fanins)) if op in cells.COMMUTATIVE_OPS else fanins
+        key = (op, key_fanins)
+        if key in self._cache:
+            return self._cache[key]
+        nid = self._emit_uncached(op, *fanins)
+        self._cache[key] = nid
+        return nid
+
+    def _invert(self, nid: int) -> int:
+        if cells.NOT in self.allowed:
+            return self._raw(cells.NOT, nid)
+        if cells.NAND in self.allowed:
+            return self._raw(cells.NAND, nid, nid)
+        if cells.NOR in self.allowed:
+            return self._raw(cells.NOR, nid, nid)
+        if cells.XOR in self.allowed:
+            one = self.out.add_const(1)
+            return self._raw(cells.XOR, nid, one)
+        if cells.XNOR in self.allowed:
+            zero = self.out.add_const(0)
+            return self._raw(cells.XNOR, nid, zero)
+        raise UnmappableError("basis cannot express inversion")
+
+    def _raw(self, op: str, *fanins: int) -> int:
+        key_fanins = tuple(sorted(fanins)) if op in cells.COMMUTATIVE_OPS else fanins
+        key = (op, key_fanins)
+        if key not in self._cache:
+            self._cache[key] = self.out.add_gate(op, *fanins)
+        return self._cache[key]
+
+    def _emit_uncached(self, op: str, *fanins: int) -> int:
+        if op in self.allowed:
+            return self._raw(op, *fanins)
+        a = fanins[0]
+        b = fanins[1] if len(fanins) > 1 else None
+        if op == cells.BUF:
+            # A disallowed BUF is simply a wire.
+            return a
+        if op == cells.NOT:
+            return self._invert(a)
+        assert b is not None
+        if op == cells.NAND:
+            return self._invert(self.emit(cells.AND, a, b))
+        if op == cells.NOR:
+            return self._invert(self.emit(cells.OR, a, b))
+        if op == cells.AND:
+            if cells.NAND in self.allowed:
+                return self._invert(self._raw(cells.NAND, a, b))
+            if cells.NOR in self.allowed:
+                return self._raw(cells.NOR, self._invert(a), self._invert(b))
+            if cells.OR in self.allowed:
+                # De Morgan through OR: a & b = ~(~a | ~b)
+                return self._invert(
+                    self._raw(cells.OR, self._invert(a), self._invert(b))
+                )
+            raise UnmappableError(f"cannot express {op} in basis")
+        if op == cells.OR:
+            if cells.NOR in self.allowed:
+                return self._invert(self._raw(cells.NOR, a, b))
+            if cells.NAND in self.allowed:
+                return self._raw(cells.NAND, self._invert(a), self._invert(b))
+            if cells.AND in self.allowed:
+                # De Morgan through AND: a | b = ~(~a & ~b)
+                return self._invert(
+                    self._raw(cells.AND, self._invert(a), self._invert(b))
+                )
+            raise UnmappableError(f"cannot express {op} in basis")
+        if op == cells.XOR:
+            if cells.XNOR in self.allowed:
+                return self._invert(self._raw(cells.XNOR, a, b))
+            # (a | b) & ~(a & b)
+            left = self.emit(cells.OR, a, b)
+            right = self._invert(self.emit(cells.AND, a, b))
+            return self.emit(cells.AND, left, right)
+        if op == cells.XNOR:
+            if cells.XOR in self.allowed:
+                return self._invert(self._raw(cells.XOR, a, b))
+            return self._invert(self.emit(cells.XOR, a, b))
+        raise UnmappableError(f"unknown op {op!r}")
+
+
+def map_to_basis(graph: LogicGraph, allowed: Iterable[str]) -> LogicGraph:
+    """Rewrite ``graph`` using only ops in ``allowed`` (plus sources).
+
+    BUF is always implicitly allowed (the balancer needs it; an LPE executes
+    it as a pass-through).  Raises :class:`UnmappableError` if the basis is
+    not functionally complete for the operations present.
+    """
+    allowed_set = frozenset(allowed) | {cells.BUF}
+    if not basis_is_complete(allowed_set):
+        needed = {
+            n.op for n in graph.nodes.values() if n.op in cells.MISO_OPS
+        }
+        if not needed <= allowed_set:
+            raise UnmappableError(
+                f"basis {sorted(allowed_set)} is not functionally complete"
+            )
+    mapper = _Mapper(graph, allowed_set)
+    remap: Dict[int, int] = {}
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.op == cells.INPUT:
+            assert node.name is not None
+            remap[nid] = mapper.out.add_input(node.name)
+        elif node.op in (cells.CONST0, cells.CONST1):
+            remap[nid] = mapper.out.add_const(
+                1 if node.op == cells.CONST1 else 0
+            )
+        else:
+            remap[nid] = mapper.emit(node.op, *(remap[f] for f in node.fanins))
+    for name, nid in graph.outputs:
+        target = remap[nid]
+        mapper.out.set_output(name, target)
+    return mapper.out.extract()
+
+
+def mapped_area(graph: LogicGraph) -> float:
+    """Total cell area of the graph under the standard library."""
+    return sum(
+        cells.cell_for_op(node.op).area
+        for node in graph.nodes.values()
+        if node.op in cells.LPE_OPS
+    )
+
+
+def mapped_delay(graph: LogicGraph) -> float:
+    """Critical-path delay under the standard library's cell delays."""
+    delay: Dict[int, float] = {}
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.op in cells.SOURCE_OPS:
+            delay[nid] = 0.0
+        else:
+            cell = cells.cell_for_op(node.op)
+            delay[nid] = cell.delay + max(delay[f] for f in node.fanins)
+    if not graph.outputs:
+        return 0.0
+    return max(delay[nid] for _, nid in graph.outputs)

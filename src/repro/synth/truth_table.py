@@ -1,0 +1,326 @@
+"""Truth tables and cube (SOP) manipulation.
+
+NullaNet's FFCL generation works at the truth-table level: a binary neuron's
+activation function over its (binarized) inputs is a Boolean function, which
+is minimized into a sum-of-products and then factored into multi-level logic.
+This module provides:
+
+* :class:`TruthTable` — a complete function table with an optional care set
+  (don't-cares arise from input patterns never observed in the training
+  data, which is the key NullaNet optimization),
+* :class:`Cube` — a product term over n variables (mask/value encoding),
+* conversions graph -> table (bit-parallel cofactor enumeration) and
+  SOP -> graph (balanced AND/OR trees over the cell library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+
+#: Enumerating a table costs 2^n bits of work and memory; beyond ~20 inputs
+#: NullaNet itself switches to sampled care sets, and so do we.
+MAX_ENUM_VARS = 20
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over ``num_vars`` variables.
+
+    ``mask`` bit i set means variable i appears in the product; ``value``
+    bit i (meaningful only where mask is set) gives its polarity (1 =
+    positive literal).  The all-don't-care cube (mask == 0) is the constant
+    1 product.
+    """
+
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value & ~self.mask:
+            raise ValueError("value bits outside the mask")
+
+    def num_literals(self) -> int:
+        return bin(self.mask).count("1")
+
+    def contains_minterm(self, minterm: int) -> bool:
+        return (minterm & self.mask) == self.value
+
+    def contains_cube(self, other: "Cube") -> bool:
+        """True if every minterm of ``other`` is a minterm of this cube."""
+        if self.mask & ~other.mask:
+            return False
+        return (other.value & self.mask) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        common = self.mask & other.mask
+        return (self.value & common) == (other.value & common)
+
+    def without_literal(self, var: int) -> "Cube":
+        bit = 1 << var
+        return Cube(self.mask & ~bit, self.value & ~bit)
+
+    def literals(self) -> List[tuple]:
+        """List of (variable index, polarity) pairs."""
+        out = []
+        mask = self.mask
+        var = 0
+        while mask:
+            if mask & 1:
+                out.append((var, (self.value >> var) & 1))
+            mask >>= 1
+            var += 1
+        return out
+
+    def __str__(self) -> str:
+        if not self.mask:
+            return "1"
+        return "".join(
+            f"x{v}" if pol else f"~x{v}" for v, pol in self.literals()
+        )
+
+
+class TruthTable:
+    """A Boolean function of ``num_vars`` inputs with an optional care set.
+
+    ``on_bits[i]`` is the function value at minterm ``i`` (variable 0 is the
+    least-significant index bit).  ``care_bits[i]`` False marks minterm ``i``
+    as a don't-care: minimizers may assign it either value.
+    """
+
+    def __init__(
+        self,
+        num_vars: int,
+        on_bits: np.ndarray,
+        care_bits: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_vars < 0 or num_vars > MAX_ENUM_VARS:
+            raise ValueError(f"num_vars must be in [0, {MAX_ENUM_VARS}]")
+        size = 1 << num_vars
+        on = np.asarray(on_bits, dtype=bool)
+        if on.shape != (size,):
+            raise ValueError(f"on_bits must have shape ({size},)")
+        if care_bits is None:
+            care = np.ones(size, dtype=bool)
+        else:
+            care = np.asarray(care_bits, dtype=bool)
+            if care.shape != (size,):
+                raise ValueError(f"care_bits must have shape ({size},)")
+        self.num_vars = num_vars
+        self.on_bits = on & care  # normalize: don't-care entries read as 0
+        self.care_bits = care
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_minterms(
+        cls,
+        num_vars: int,
+        minterms: Iterable[int],
+        dont_cares: Iterable[int] = (),
+    ) -> "TruthTable":
+        size = 1 << num_vars
+        on = np.zeros(size, dtype=bool)
+        care = np.ones(size, dtype=bool)
+        for m in minterms:
+            if not 0 <= m < size:
+                raise ValueError(f"minterm {m} out of range")
+            on[m] = True
+        for d in dont_cares:
+            if not 0 <= d < size:
+                raise ValueError(f"don't-care {d} out of range")
+            care[d] = False
+        return cls(num_vars, on, care)
+
+    @classmethod
+    def from_graph(cls, graph: LogicGraph, output: Optional[str] = None) -> "TruthTable":
+        """Enumerate the function computed by one PO of ``graph``.
+
+        Uses bit-parallel evaluation: all 2^n input rows are packed into
+        uint64 words and the graph is evaluated once.
+        """
+        n = graph.num_inputs
+        if n > MAX_ENUM_VARS:
+            raise ValueError(f"too many inputs to enumerate ({n})")
+        if output is None:
+            if graph.num_outputs != 1:
+                raise ValueError("output name required for multi-output graph")
+            output = graph.outputs[0][0]
+        rows = 1 << n
+        words = max(1, rows // 64)
+        packed = {}
+        for i, nid in enumerate(graph.inputs):
+            name = graph.input_name(nid)
+            packed[name] = _variable_pattern(i, n, words)
+        result = graph.evaluate(packed)[output]
+        return cls(n, _unpack_bits(result, rows))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return 1 << self.num_vars
+
+    def value(self, minterm: int) -> int:
+        return int(self.on_bits[minterm])
+
+    def is_care(self, minterm: int) -> bool:
+        return bool(self.care_bits[minterm])
+
+    def minterms(self) -> List[int]:
+        """Care minterms where the function is 1."""
+        return [int(i) for i in np.nonzero(self.on_bits & self.care_bits)[0]]
+
+    def off_minterms(self) -> List[int]:
+        """Care minterms where the function is 0."""
+        return [int(i) for i in np.nonzero(~self.on_bits & self.care_bits)[0]]
+
+    def dc_minterms(self) -> List[int]:
+        return [int(i) for i in np.nonzero(~self.care_bits)[0]]
+
+    def cube_intersects_off(self, cube: Cube) -> bool:
+        """True if ``cube`` covers any care OFF-set minterm (i.e. the cube is
+        not a legal implicant of ON ∪ DC)."""
+        idx = np.arange(self.size, dtype=np.int64)
+        inside = (idx & cube.mask) == cube.value
+        off = ~self.on_bits & self.care_bits
+        return bool(np.any(inside & off))
+
+    def cover_is_complete(self, cubes: Sequence[Cube]) -> bool:
+        """True if every care ON-set minterm is covered by some cube."""
+        covered = np.zeros(self.size, dtype=bool)
+        idx = np.arange(self.size, dtype=np.int64)
+        for cube in cubes:
+            covered |= (idx & cube.mask) == cube.value
+        need = self.on_bits & self.care_bits
+        return bool(np.all(covered[need]))
+
+    def equivalent_under_care(self, other: "TruthTable") -> bool:
+        """Equality on the intersection of the two care sets."""
+        if self.num_vars != other.num_vars:
+            return False
+        both = self.care_bits & other.care_bits
+        return bool(np.all(self.on_bits[both] == other.on_bits[both]))
+
+    def complement(self) -> "TruthTable":
+        return TruthTable(self.num_vars, ~self.on_bits, self.care_bits.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return (
+            self.num_vars == other.num_vars
+            and bool(np.all(self.on_bits == other.on_bits))
+            and bool(np.all(self.care_bits == other.care_bits))
+        )
+
+    def __repr__(self) -> str:
+        ones = int(np.count_nonzero(self.on_bits))
+        dcs = int(np.count_nonzero(~self.care_bits))
+        return f"TruthTable(vars={self.num_vars}, on={ones}, dc={dcs})"
+
+
+def _variable_pattern(var: int, num_vars: int, words: int) -> np.ndarray:
+    """Packed uint64 words where bit (w*64 + b) equals bit ``var`` of the
+    minterm index (w*64 + b)."""
+    rows = 1 << num_vars
+    idx = np.arange(rows, dtype=np.uint64)
+    bits = (idx >> np.uint64(var)) & np.uint64(1)
+    return _pack_bits(bits, words)
+
+
+def _pack_bits(bits: np.ndarray, words: int) -> np.ndarray:
+    """Pack a 0/1 vector into uint64 words, bit b of word w = row w*64+b."""
+    padded = np.zeros(words * 64, dtype=np.uint64)
+    padded[: bits.shape[0]] = bits.astype(np.uint64)
+    lanes = padded.reshape(words, 64) << np.arange(64, dtype=np.uint64)
+    return np.bitwise_or.reduce(lanes, axis=1)
+
+
+def _unpack_bits(words: np.ndarray, rows: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits`, truncated to ``rows`` entries."""
+    lanes = (
+        words[:, None] >> np.arange(64, dtype=np.uint64)
+    ) & np.uint64(1)
+    return lanes.reshape(-1)[:rows].astype(bool)
+
+
+def sop_to_graph(
+    cubes: Sequence[Cube],
+    num_vars: int,
+    input_names: Optional[Sequence[str]] = None,
+    name: str = "sop",
+    output_name: str = "y",
+) -> LogicGraph:
+    """Build a two-input-gate logic graph computing the SOP ``cubes``.
+
+    Each cube becomes a balanced AND tree over its literals (NOT gates for
+    complemented variables, shared across cubes); the cubes are combined
+    with a balanced OR tree.  An empty cube list yields constant 0; a cube
+    with no literals yields constant 1.
+    """
+    if input_names is None:
+        input_names = [f"x{i}" for i in range(num_vars)]
+    if len(input_names) != num_vars:
+        raise ValueError("need one name per variable")
+    graph = LogicGraph(name)
+    var_ids = [graph.add_input(n) for n in input_names]
+    inv_ids: dict = {}
+
+    def literal_node(var: int, pol: int) -> int:
+        if pol:
+            return var_ids[var]
+        if var not in inv_ids:
+            inv_ids[var] = graph.add_gate(cells.NOT, var_ids[var])
+        return inv_ids[var]
+
+    def tree(op: str, operands: List[int]) -> int:
+        layer = list(operands)
+        while len(layer) > 1:
+            nxt = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(graph.add_gate(op, layer[i], layer[i + 1]))
+            if len(layer) % 2 == 1:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    product_ids: List[int] = []
+    has_const1 = False
+    for cube in cubes:
+        lits = cube.literals()
+        if not lits:
+            has_const1 = True
+            continue
+        nodes = [literal_node(v, p) for v, p in lits]
+        product_ids.append(tree(cells.AND, nodes) if len(nodes) > 1 else nodes[0])
+
+    if has_const1:
+        out = graph.add_const(1)
+    elif not product_ids:
+        out = graph.add_const(0)
+    elif len(product_ids) == 1:
+        out = product_ids[0]
+    else:
+        out = tree(cells.OR, product_ids)
+    graph.set_output(output_name, out)
+    return graph
+
+
+def graph_from_truth_table(
+    table: TruthTable,
+    input_names: Optional[Sequence[str]] = None,
+    name: str = "tt",
+    output_name: str = "y",
+) -> LogicGraph:
+    """Direct (unminimized) SOP construction from a table's ON-set."""
+    full_mask = (1 << table.num_vars) - 1
+    cubes = [Cube(full_mask, m) for m in table.minterms()]
+    return sop_to_graph(cubes, table.num_vars, input_names, name, output_name)

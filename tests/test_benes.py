@@ -1,0 +1,103 @@
+"""Tests for the explicit Beneš network construction and multicast routing
+(the realizability witness for the paper's non-blocking switch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lpu import BenesNetwork, apply_multicast, route_multicast
+
+
+class TestBenesConstruction:
+    @pytest.mark.parametrize("ports,stages", [(2, 1), (4, 3), (8, 5), (16, 7)])
+    def test_stage_count(self, ports, stages):
+        assert BenesNetwork(ports).num_stages == stages
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(6)
+        with pytest.raises(ValueError):
+            BenesNetwork(1)
+
+    def test_identity_permutation(self):
+        net = BenesNetwork(8)
+        values = list(range(8))
+        assert net.permute(list(range(8)), values) == values
+
+    def test_reversal_permutation(self):
+        net = BenesNetwork(8)
+        perm = list(reversed(range(8)))
+        out = net.permute(perm, list(range(8)))
+        for i in range(8):
+            assert out[perm[i]] == i
+
+    @pytest.mark.parametrize("ports", [2, 4, 8, 16, 32])
+    def test_all_rotations(self, ports):
+        net = BenesNetwork(ports)
+        values = list(range(ports))
+        for shift in range(ports):
+            perm = [(i + shift) % ports for i in range(ports)]
+            out = net.permute(perm, values)
+            for i in range(ports):
+                assert out[perm[i]] == values[i]
+
+    def test_incomplete_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            BenesNetwork(4).route([0, 0, 1, 2])
+
+    def test_settings_shape(self):
+        net = BenesNetwork(8)
+        settings_ = net.route([3, 1, 0, 2, 7, 5, 4, 6])
+        assert len(settings_) == net.num_stages
+        for stage in settings_:
+            assert len(stage) == 4  # N/2 switches per stage
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), log_ports=st.integers(1, 5))
+def test_property_benes_routes_any_permutation(seed, log_ports):
+    """The rearrangeable network realizes EVERY permutation — this is the
+    non-blocking property the paper's 5-stage switch provides per hop."""
+    ports = 1 << log_ports
+    rng = np.random.default_rng(seed)
+    perm = list(rng.permutation(ports))
+    net = BenesNetwork(ports)
+    out = net.permute(perm, list(range(ports)))
+    for i in range(ports):
+        assert out[perm[i]] == i
+
+
+class TestMulticast:
+    def test_plan_contiguous_copies(self):
+        copies, perm = route_multicast(8, {0: [1, 3], 2: [0]})
+        assert len(copies) == 8
+        assert sorted(perm) == list(range(8))
+        # The requested targets appear in (source, port) order.
+        assert copies[:3] == [0, 0, 2]
+        assert perm[:3] == [1, 3, 0]
+
+    def test_duplicate_target_rejected(self):
+        with pytest.raises(ValueError):
+            route_multicast(4, {0: [1], 1: [1]})
+
+    def test_too_many_targets_rejected(self):
+        with pytest.raises(ValueError):
+            route_multicast(2, {0: [0, 1], 1: [0]})
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_apply_multicast_delivers(self, seed):
+        rng = np.random.default_rng(seed)
+        ports = 8
+        sources = list(range(4))
+        assignment = {}
+        remaining = list(range(ports))
+        rng.shuffle(remaining)
+        for src in sources:
+            take = int(rng.integers(0, 3))
+            assignment[src] = [remaining.pop() for _ in range(min(take, len(remaining)))]
+        values = [f"v{s}" for s in range(4)]
+        out = apply_multicast(ports, assignment, values)
+        for src, targets in assignment.items():
+            for t in targets:
+                assert out[t] == values[src]

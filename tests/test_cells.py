@@ -1,0 +1,121 @@
+"""Unit tests for the cell library (repro.netlist.cells)."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import cells
+
+
+class TestOpSets:
+    def test_partition_of_ops(self):
+        # Source, SISO, and MISO ops partition the full op set.
+        assert cells.SOURCE_OPS | cells.SISO_OPS | cells.MISO_OPS == cells.ALL_OPS
+        assert not cells.SOURCE_OPS & cells.SISO_OPS
+        assert not cells.SOURCE_OPS & cells.MISO_OPS
+        assert not cells.SISO_OPS & cells.MISO_OPS
+
+    def test_lpe_ops_exclude_sources(self):
+        assert cells.INPUT not in cells.LPE_OPS
+        assert cells.CONST0 not in cells.LPE_OPS
+        assert cells.BUF in cells.LPE_OPS
+        assert cells.AND in cells.LPE_OPS
+
+    def test_arity(self):
+        assert cells.arity(cells.INPUT) == 0
+        assert cells.arity(cells.CONST1) == 0
+        assert cells.arity(cells.NOT) == 1
+        assert cells.arity(cells.BUF) == 1
+        for op in cells.MISO_OPS:
+            assert cells.arity(op) == 2
+
+    def test_arity_unknown_op(self):
+        with pytest.raises(ValueError):
+            cells.arity("mux")
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("op", sorted(cells.MISO_OPS))
+    def test_two_input_semantics_match_table(self, op):
+        for a in (0, 1):
+            for b in (0, 1):
+                expected = cells.TWO_INPUT_TT[op][a * 2 + b]
+                assert cells.eval_op_bits(op, a, b) == expected
+
+    def test_not_and_buf_bits(self):
+        assert cells.eval_op_bits(cells.NOT, 0) == 1
+        assert cells.eval_op_bits(cells.NOT, 1) == 0
+        assert cells.eval_op_bits(cells.BUF, 0) == 0
+        assert cells.eval_op_bits(cells.BUF, 1) == 1
+
+    def test_tt_to_op_roundtrip(self):
+        for op, tt in cells.TWO_INPUT_TT.items():
+            assert cells.TT_TO_OP[tt] == op
+
+    @pytest.mark.parametrize("op", sorted(cells.MISO_OPS | cells.SISO_OPS))
+    def test_complement_pairs(self, op):
+        comp = cells.COMPLEMENT_OP[op]
+        if cells.arity(op) == 1:
+            for a in (0, 1):
+                assert (
+                    cells.eval_op_bits(op, a)
+                    == 1 - cells.eval_op_bits(comp, a)
+                )
+        else:
+            for a in (0, 1):
+                for b in (0, 1):
+                    assert (
+                        cells.eval_op_bits(op, a, b)
+                        == 1 - cells.eval_op_bits(comp, a, b)
+                    )
+
+
+class TestWordEvaluation:
+    def test_word_ops_match_bit_ops(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2**64, size=4, dtype=np.uint64)
+        b = rng.integers(0, 2**64, size=4, dtype=np.uint64)
+        for op in sorted(cells.MISO_OPS):
+            out = cells.eval_op(op, a, b)
+            for lane in range(8):  # spot-check 8 bit lanes
+                bit_a = int((a[0] >> np.uint64(lane)) & np.uint64(1))
+                bit_b = int((b[0] >> np.uint64(lane)) & np.uint64(1))
+                bit_out = int((out[0] >> np.uint64(lane)) & np.uint64(1))
+                assert bit_out == cells.eval_op_bits(op, bit_a, bit_b)
+
+    def test_const_ops(self):
+        base = np.zeros(3, dtype=np.uint64)
+        assert np.all(cells.eval_op(cells.CONST0, base) == 0)
+        assert np.all(
+            cells.eval_op(cells.CONST1, base) == np.uint64(0xFFFFFFFFFFFFFFFF)
+        )
+
+    def test_wrong_operand_count_raises(self):
+        a = np.zeros(1, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            cells.eval_op(cells.AND, a)
+        with pytest.raises(ValueError):
+            cells.eval_op(cells.NOT, a, a)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            cells.eval_op("mux", np.zeros(1, dtype=np.uint64))
+
+
+class TestStandardCells:
+    def test_every_lpe_op_has_a_cell(self):
+        for op in cells.LPE_OPS:
+            cell = cells.cell_for_op(op)
+            assert cell.op == op
+            assert cell.num_inputs == cells.arity(op)
+
+    def test_source_ops_have_no_cell(self):
+        with pytest.raises(ValueError):
+            cells.cell_for_op(cells.INPUT)
+
+    def test_area_ordering(self):
+        # NAND/NOR are the cheapest two-input cells; XOR/XNOR the largest.
+        assert (
+            cells.STANDARD_CELLS["NAND2"].area
+            < cells.STANDARD_CELLS["AND2"].area
+            < cells.STANDARD_CELLS["XOR2"].area
+        )

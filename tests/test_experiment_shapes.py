@@ -1,0 +1,140 @@
+"""Fast, test-suite-resident versions of the experiment shape checks.
+
+The benches under benchmarks/ regenerate the paper's tables and figures at
+full scale; these tests assert the same qualitative findings at reduced
+scale so `pytest tests/` alone certifies the reproduction's headline
+claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gantt import render_gantt, utilization
+from repro.baselines import (
+    LogicNetsModel,
+    LPUResourceModel,
+    PAPER_TABLE1,
+    PAPER_TABLE2_FPS,
+)
+from repro.core import LPUConfig, PAPER_CONFIG, build_schedule, merge_partition, partition
+from repro.models import (
+    evaluate_model,
+    jsc_m_workload,
+    nid_workload,
+    vgg16_paper_layers,
+    vgg16_workload,
+)
+from repro.netlist import random_dag
+from repro.synth import preprocess
+
+SAMPLE = 4  # neurons per layer: small, keeps this module quick
+
+
+@pytest.fixture(scope="module")
+def vgg_eval():
+    vgg = vgg16_workload()
+    layers = vgg16_paper_layers(vgg)
+    merged = evaluate_model(vgg, PAPER_CONFIG, merge=True,
+                            sample_neurons=SAMPLE, layers=layers)
+    unmerged = evaluate_model(vgg, PAPER_CONFIG, merge=False,
+                              sample_neurons=SAMPLE, layers=layers)
+    return vgg, merged, unmerged
+
+
+class TestTable1Shape:
+    def test_resource_model_matches_paper(self):
+        est = LPUResourceModel().estimate(PAPER_CONFIG)
+        assert est.flip_flops == pytest.approx(PAPER_TABLE1["FF"], rel=0.1)
+        assert est.luts == pytest.approx(PAPER_TABLE1["LUT"], rel=0.1)
+        assert est.bram_kb == pytest.approx(PAPER_TABLE1["BRAM_Kb"], rel=0.1)
+
+
+class TestTable2Shape:
+    def test_lpu_beats_reported_baselines_on_vgg16(self, vgg_eval):
+        _vgg, merged, _ = vgg_eval
+        reported = PAPER_TABLE2_FPS["VGG16"]
+        assert merged.fps > reported["MAC"]
+        assert merged.fps > reported["NullaDSP"]
+        assert merged.fps > reported["XNOR"]
+
+
+class TestTable3Shape:
+    def test_logicnets_beats_lpu_on_tiny_models(self):
+        ln = LogicNetsModel()
+        for model in (nid_workload(), jsc_m_workload()):
+            lpu = evaluate_model(model, PAPER_CONFIG, sample_neurons=SAMPLE)
+            assert ln.fps(model) > lpu.fps
+
+    def test_nid_within_order_of_paper_lpu(self):
+        lpu = evaluate_model(nid_workload(), PAPER_CONFIG, sample_neurons=SAMPLE)
+        assert 0.05 < lpu.fps / 8.39e6 < 20.0
+
+
+class TestFig7and8Shape:
+    def test_merging_reduces_cycles_and_mfgs_every_layer(self, vgg_eval):
+        _vgg, merged, unmerged = vgg_eval
+        for em, eu in zip(merged.layers, unmerged.layers):
+            assert em.makespan_full <= eu.makespan_full
+            assert em.mfgs_after_merge <= eu.mfgs_after_merge
+
+    def test_cycles_track_mfg_count(self, vgg_eval):
+        _vgg, merged, unmerged = vgg_eval
+        cycles = [e.makespan_full for e in merged.layers + unmerged.layers]
+        mfgs = [e.mfgs_full for e in merged.layers + unmerged.layers]
+        corr = float(np.corrcoef(cycles, mfgs)[0, 1])
+        assert corr > 0.8
+
+    def test_vgg16_merging_multi_x(self, vgg_eval):
+        _vgg, merged, unmerged = vgg_eval
+        assert merged.fps / unmerged.fps > 3.0
+        assert unmerged.total_mfgs / merged.total_mfgs > 3.0
+
+
+class TestFig9Shape:
+    def test_latency_monotone_and_saturating(self):
+        vgg = vgg16_workload()
+        layers = vgg16_paper_layers(vgg)
+        times = []
+        for n in (1, 2, 4, 16, 32):
+            ev = evaluate_model(vgg, LPUConfig(num_lpvs=n),
+                                sample_neurons=SAMPLE, layers=layers)
+            times.append(ev.latency_seconds)
+        for earlier, later in zip(times, times[1:]):
+            assert later <= earlier * 1.001
+        assert times[-1] > 0.9 * times[-2]  # saturation
+
+    def test_effective_lpv_threshold_at_most_two(self):
+        vgg = vgg16_workload()
+        layers = vgg16_paper_layers(vgg)
+        nulladsp_latency = 1.0 / PAPER_TABLE2_FPS["VGG16"]["NullaDSP"]
+        ev2 = evaluate_model(vgg, LPUConfig(num_lpvs=2),
+                             sample_neurons=SAMPLE, layers=layers)
+        assert ev2.latency_seconds <= nulladsp_latency
+
+
+class TestGantt:
+    def make_schedule(self):
+        g = preprocess(random_dag(6, 60, 3, seed=2)).graph
+        part = merge_partition(partition(g, 4))
+        return build_schedule(part, LPUConfig(num_lpvs=4, lpes_per_lpv=4))
+
+    def test_render_contains_all_lpvs(self):
+        sched = self.make_schedule()
+        text = render_gantt(sched)
+        for lpv in range(4):
+            assert f"LPV{lpv:>2}" in text
+        assert "legend:" in text
+
+    def test_utilization_in_unit_interval(self):
+        sched = self.make_schedule()
+        u = utilization(sched)
+        assert 0.0 < u <= 1.0
+
+    def test_pipelined_beats_sequential_utilization(self):
+        g = preprocess(random_dag(6, 80, 3, seed=4)).graph
+        cfg = LPUConfig(num_lpvs=4, lpes_per_lpv=4)
+        pipe = build_schedule(merge_partition(partition(g, 4)), cfg)
+        seq = build_schedule(
+            merge_partition(partition(g, 4)), cfg, policy="sequential"
+        )
+        assert utilization(pipe) >= utilization(seq)

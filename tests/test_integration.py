@@ -1,0 +1,191 @@
+"""Cross-module integration tests: the complete paper flow end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import LPUConfig, PAPER_CONFIG, compile_ffcl
+from repro.lpu import LPUSimulator, cross_check, random_stimulus
+from repro.netlist import (
+    graphs_equivalent,
+    parse_verilog,
+    random_dag,
+    write_verilog,
+)
+from repro.netlist.compose import compose_serial, merge_parallel
+from repro.nullanet import (
+    LayerSpec,
+    TrainConfig,
+    majority_dataset,
+    run_nullanet_flow,
+)
+
+
+class TestVerilogToLPU:
+    """Fig. 1 end to end: Verilog FFCL in, verified LPU execution out."""
+
+    def test_full_flow_from_verilog(self):
+        g0 = random_dag(7, 60, 3, seed=21)
+        text = write_verilog(g0)
+        g = parse_verilog(text)  # the paper's entry point
+        res = compile_ffcl(g, LPUConfig(num_lpvs=4, lpes_per_lpv=4))
+        res.partition.check_invariants()
+        res.schedule.check_invariants()
+        ok, _, _ = cross_check(res.program, seed=21)
+        assert ok
+
+    def test_metrics_traceability(self):
+        g = random_dag(6, 50, 2, seed=5)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=4, lpes_per_lpv=4))
+        m = res.metrics
+        assert m.gates_source == 50
+        assert m.mfgs_after_merge <= m.mfgs_before_merge
+        assert m.mfg_reduction >= 1.0
+        assert m.total_clock_cycles == m.makespan_macro_cycles * 6
+        assert m.fps > 0
+        assert str(m)
+
+
+class TestNullaNetToLPU:
+    """The paper's complete system: train a BNN, extract FFCL via NullaNet,
+    compile for the LPU, and verify inference on the simulator."""
+
+    def test_trained_network_runs_on_lpu(self):
+        ds = majority_dataset(num_features=7)
+        flow = run_nullanet_flow(
+            ds,
+            hidden=[LayerSpec(8, 5)],
+            train_config=TrainConfig(epochs=10, seed=1),
+            bits_per_class=2,
+            seed=1,
+        )
+        res = compile_ffcl(
+            flow.network_graph, LPUConfig(num_lpvs=4, lpes_per_lpv=8)
+        )
+        sim = LPUSimulator(res.program)
+
+        # Classify 64 test samples in ONE simulator pass (bit-lane packing).
+        x = ds.x_test[:64]
+        stim = {}
+        for i in range(7):
+            word = np.uint64(0)
+            for row in range(64):
+                if x[row, i]:
+                    word |= np.uint64(1) << np.uint64(row)
+            stim[f"x{i}"] = np.array([word], dtype=np.uint64)
+        result = sim.run(stim)
+
+        # Reference: functional evaluation of the same graph.
+        ref = flow.network_graph.evaluate(stim)
+        for name in ref:
+            assert np.array_equal(result.outputs[name], ref[name])
+
+    def test_layerwise_compile_each_layer(self):
+        ds = majority_dataset(num_features=6)
+        flow = run_nullanet_flow(
+            ds,
+            hidden=[LayerSpec(6, 4)],
+            train_config=TrainConfig(epochs=5, seed=0),
+            bits_per_class=1,
+            seed=0,
+        )
+        for layer_graph in flow.layer_graphs:
+            res = compile_ffcl(
+                layer_graph, LPUConfig(num_lpvs=3, lpes_per_lpv=6)
+            )
+            ok, _, _ = cross_check(res.program, seed=3)
+            assert ok
+
+
+class TestCompose:
+    def test_compose_serial_semantics(self):
+        g1 = random_dag(4, 20, 2, seed=1)
+        # Build a consumer whose inputs are g1's output names.
+        from repro.netlist import cells
+        from repro.netlist.graph import LogicGraph
+
+        g2 = LogicGraph("second")
+        i0 = g2.add_input("y0")
+        i1 = g2.add_input("y1")
+        g2.set_output("z", g2.add_gate(cells.XOR, i0, i1))
+        combined = compose_serial(g1, g2)
+        stim = random_stimulus(g1, seed=7)
+        mid = g1.evaluate(stim)
+        expected = int(mid["y0"][0]) ^ int(mid["y1"][0])
+        got = combined.evaluate(stim)["z"]
+        assert int(got[0]) == expected
+
+    def test_merge_parallel_shares_inputs(self):
+        from repro.netlist import cells
+        from repro.netlist.graph import LogicGraph
+
+        a = LogicGraph("a")
+        x0, x1 = a.add_input("x0"), a.add_input("x1")
+        a.set_output("p", a.add_gate(cells.AND, x0, x1))
+        b = LogicGraph("b")
+        y0, y1 = b.add_input("x0"), b.add_input("x1")
+        b.set_output("q", b.add_gate(cells.XOR, y0, y1))
+        merged = merge_parallel([a, b], share_inputs=True)
+        assert merged.num_inputs == 2
+        assert merged.num_outputs == 2
+        out = merged.evaluate_bits({"x0": 1, "x1": 1})
+        assert out["p"] == 1 and out["q"] == 0
+
+    def test_merge_parallel_rejects_duplicate_pos(self):
+        a = random_dag(4, 10, 1, seed=4)
+        b = random_dag(4, 10, 1, seed=4)
+        with pytest.raises(ValueError):
+            merge_parallel([a, b])
+
+    def test_composed_graph_compiles(self):
+        from repro.netlist import cells
+        from repro.netlist.graph import LogicGraph
+
+        g1 = random_dag(4, 25, 2, seed=5)
+        g2 = LogicGraph("head")
+        i0, i1 = g2.add_input("y0"), g2.add_input("y1")
+        g2.set_output("z", g2.add_gate(cells.NAND, i0, i1))
+        full = compose_serial(g1, g2)
+        res = compile_ffcl(full, LPUConfig(num_lpvs=3, lpes_per_lpv=3))
+        ok, _, _ = cross_check(res.program, seed=11)
+        assert ok
+
+
+class TestConfig:
+    def test_paper_constants(self):
+        assert PAPER_CONFIG.num_lpvs == 16
+        assert PAPER_CONFIG.t_c == 6  # 1 compute + 5 switch stages
+        assert PAPER_CONFIG.word_bits == 2 * PAPER_CONFIG.m
+        assert PAPER_CONFIG.frequency_hz == pytest.approx(333e6)
+
+    def test_fps_formula(self):
+        cfg = LPUConfig()
+        # FPS = f * 2m / (t_c * macro_cycles)
+        assert cfg.fps(100) == pytest.approx(333e6 * 64 / (6 * 100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LPUConfig(num_lpvs=0)
+        with pytest.raises(ValueError):
+            LPUConfig(lpes_per_lpv=0)
+        with pytest.raises(ValueError):
+            LPUConfig(frequency_hz=-1)
+        with pytest.raises(ValueError):
+            PAPER_CONFIG.fps(0)
+
+    def test_describe(self):
+        assert "16 LPVs" in PAPER_CONFIG.describe()
+
+
+class TestBasisRestrictedCompile:
+    """Tech-mapped compilation (heterogeneous-LPE future work, Section VII)."""
+
+    @pytest.mark.parametrize("basis", [("nand",), ("nor",), ("and", "not")])
+    def test_compile_in_restricted_basis(self, basis):
+        g = random_dag(5, 30, 2, seed=8)
+        res = compile_ffcl(
+            g,
+            LPUConfig(num_lpvs=3, lpes_per_lpv=4),
+            basis=frozenset(basis),
+        )
+        ok, _, _ = cross_check(res.program, seed=8)
+        assert ok

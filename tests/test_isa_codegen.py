@@ -1,0 +1,189 @@
+"""Tests for the instruction set encoding and the code generator."""
+
+import pytest
+
+from repro.core import (
+    IDLE_PORT,
+    LPEInstruction,
+    LPUConfig,
+    NOP,
+    NOP_INSTRUCTION,
+    PortSpec,
+    SRC_CONST,
+    SRC_INPUT,
+    SRC_SNAPSHOT,
+    SRC_SWITCH,
+    compile_ffcl,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.netlist import cells, random_dag, random_tree
+from repro.netlist.graph import LogicGraph
+
+
+class TestPortSpec:
+    def test_valid_sources(self):
+        for src in (SRC_SWITCH, SRC_SNAPSHOT, SRC_INPUT, SRC_CONST):
+            PortSpec(src, 0)
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            PortSpec("dram", 0)
+
+    def test_index_bounds(self):
+        PortSpec(SRC_SWITCH, 255)
+        with pytest.raises(ValueError):
+            PortSpec(SRC_SWITCH, 256)
+        with pytest.raises(ValueError):
+            PortSpec(SRC_SWITCH, -1)
+
+    def test_const_index_restricted(self):
+        PortSpec(SRC_CONST, 1)
+        with pytest.raises(ValueError):
+            PortSpec(SRC_CONST, 2)
+
+
+class TestInstruction:
+    def test_nop_defaults(self):
+        assert NOP_INSTRUCTION.op == NOP
+        assert not NOP_INSTRUCTION.valid
+        assert NOP_INSTRUCTION.is_pure_nop
+
+    def test_valid_nop_rejected(self):
+        with pytest.raises(ValueError):
+            LPEInstruction(op=NOP, valid=True)
+
+    def test_invalid_compute_rejected(self):
+        with pytest.raises(ValueError):
+            LPEInstruction(op=cells.AND, valid=False)
+
+    def test_latch_only_not_pure_nop(self):
+        instr = LPEInstruction(
+            op=NOP, a=PortSpec(SRC_SWITCH, 3, latch=True), valid=False
+        )
+        assert not instr.is_pure_nop
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            LPEInstruction(op="mux", valid=True)
+
+
+class TestEncoding:
+    def test_roundtrip_exhaustive_ports(self):
+        for source in (SRC_SWITCH, SRC_SNAPSHOT, SRC_INPUT):
+            for index in (0, 1, 17, 255):
+                for latch in (False, True):
+                    instr = LPEInstruction(
+                        op=cells.XOR,
+                        a=PortSpec(source, index, latch),
+                        b=PortSpec(SRC_CONST, 1),
+                        valid=True,
+                    )
+                    word = encode_instruction(instr)
+                    assert 0 <= word < 2**32
+                    back = decode_instruction(word)
+                    assert back.op == instr.op
+                    assert back.a == instr.a
+                    assert back.b == instr.b
+                    assert back.valid == instr.valid
+
+    def test_roundtrip_all_ops(self):
+        for op in sorted(cells.LPE_OPS):
+            instr = LPEInstruction(
+                op=op,
+                a=PortSpec(SRC_SWITCH, 5),
+                b=PortSpec(SRC_SWITCH, 6),
+                valid=True,
+            )
+            assert decode_instruction(encode_instruction(instr)).op == op
+
+    def test_nop_roundtrip(self):
+        word = encode_instruction(NOP_INSTRUCTION)
+        assert decode_instruction(word) == NOP_INSTRUCTION
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(ValueError):
+            decode_instruction(1 << 33)
+
+
+class TestCodegen:
+    def compile(self, seed=0, n=4, m=4, gates=50, **kw):
+        g = random_dag(6, gates, 3, seed=seed)
+        cfg = LPUConfig(num_lpvs=n, lpes_per_lpv=m)
+        return compile_ffcl(g, cfg, **kw)
+
+    def test_program_shape(self):
+        res = self.compile()
+        prog = res.program
+        assert prog is not None
+        for lpv, entries in prog.queues.items():
+            assert 0 <= lpv < 4
+            for address, vec in entries.items():
+                assert address >= 0
+                assert len(vec) == 4
+
+    def test_every_live_gate_has_an_instruction(self):
+        res = self.compile(seed=1)
+        prog = res.program
+        computed = set()
+        for entries in prog.queues.values():
+            for vec in entries.values():
+                for instr in vec:
+                    if instr.valid and instr.node is not None:
+                        computed.add(instr.node)
+        balanced = res.balanced
+        live_gates = {
+            nid
+            for nid in balanced.transitive_fanin(balanced.output_ids)
+            if balanced.op_of(nid) in cells.LPE_OPS
+        }
+        assert live_gates <= computed
+
+    def test_input_reads_reference_sources(self):
+        res = self.compile(seed=2)
+        prog = res.program
+        balanced = res.balanced
+        assert prog.input_reads, "PI-reading MFGs must hit the input buffer"
+        for per_cycle in prog.input_reads.values():
+            for node in per_cycle.values():
+                assert balanced.op_of(node) in cells.SOURCE_OPS
+
+    def test_po_capture_complete(self):
+        res = self.compile(seed=3)
+        prog = res.program
+        for name, nid in res.balanced.outputs:
+            assert (
+                name in prog.po_buffer_keys
+                or res.balanced.op_of(nid) in cells.SOURCE_OPS
+            )
+
+    def test_instruction_counts(self):
+        res = self.compile(seed=4)
+        prog = res.program
+        assert prog.num_compute_instructions > 0
+        assert prog.num_queue_entries > 0
+        assert res.metrics.compute_instructions == prog.num_compute_instructions
+
+    def test_instruction_at_idle_cell_is_nop(self):
+        res = self.compile(seed=5)
+        prog = res.program
+        vec = prog.instruction_at(10**6, 0)  # far beyond the schedule
+        assert all(i.is_pure_nop for i in vec)
+
+    def test_deep_graph_uses_circulation(self):
+        g = random_tree(64, seed=0)
+        cfg = LPUConfig(num_lpvs=2, lpes_per_lpv=4)
+        res = compile_ffcl(g, cfg)
+        prog = res.program
+        assert prog.circulation_reads, "wrapping must route through buffer"
+        assert prog.buffer_writes
+
+    def test_metrics_without_codegen(self):
+        res = self.compile(seed=6, generate_code=False)
+        assert res.program is None
+        assert res.metrics.compute_instructions is None
+        assert res.metrics.makespan_macro_cycles >= 1
+
+    def test_peak_buffer_words_positive(self):
+        res = self.compile(seed=7)
+        assert res.program.peak_buffer_words >= res.balanced.num_outputs

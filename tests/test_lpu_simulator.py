@@ -1,0 +1,231 @@
+"""Tests for the LPU hardware model: the crown-jewel property is that the
+macro-cycle-accurate simulator agrees bit-for-bit with functional evaluation
+of the source netlist for every compiled program."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LPUConfig, compile_ffcl
+from repro.lpu import (
+    InputDataBuffer,
+    InstructionQueue,
+    InstructionQueueArray,
+    InvalidDataError,
+    LPUSimulator,
+    MulticastSwitch,
+    OutputDataBuffer,
+    ReadAddressShiftRegister,
+    RouteRequest,
+    cross_check,
+    random_stimulus,
+    simulate,
+)
+from repro.core.isa import NOP_INSTRUCTION
+from repro.netlist import cells, parse_verilog, random_dag, random_tree
+from repro.netlist.graph import LogicGraph
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_functional_random(self, seed):
+        g = random_dag(6, 50, 3, seed=seed)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=4, lpes_per_lpv=4))
+        ok, lpu_out, ref = cross_check(res.program, seed=seed)
+        assert ok
+
+    @pytest.mark.parametrize("n,m", [(1, 4), (2, 2), (3, 5), (8, 2)])
+    def test_matches_across_configs(self, n, m):
+        g = random_dag(6, 60, 3, seed=42)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=n, lpes_per_lpv=m))
+        ok, _, _ = cross_check(res.program, seed=n * 100 + m)
+        assert ok
+
+    @pytest.mark.parametrize("merge", [True, False])
+    @pytest.mark.parametrize("policy", ["pipelined", "sequential"])
+    def test_matches_across_modes(self, merge, policy):
+        g = random_dag(6, 45, 2, seed=9)
+        res = compile_ffcl(
+            g, LPUConfig(num_lpvs=3, lpes_per_lpv=3),
+            merge=merge, policy=policy,
+        )
+        ok, _, _ = cross_check(res.program, seed=17)
+        assert ok
+
+    def test_deep_tree_with_circulation(self):
+        g = random_tree(128, seed=1)  # depth 7 > n = 2
+        res = compile_ffcl(g, LPUConfig(num_lpvs=2, lpes_per_lpv=4))
+        assert res.metrics.circulations > 0
+        ok, _, _ = cross_check(res.program, seed=5)
+        assert ok
+
+    def test_verilog_to_silicon_path(self):
+        src = """
+        module adder (a, b, cin, sum, cout);
+          input a, b, cin; output sum, cout;
+          wire t1, t2, t3;
+          xor g1 (t1, a, b);  xor g2 (sum, t1, cin);
+          and g3 (t2, a, b);  and g4 (t3, t1, cin);
+          or  g5 (cout, t2, t3);
+        endmodule
+        """
+        g = parse_verilog(src)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=3, lpes_per_lpv=2))
+        sim = LPUSimulator(res.program)
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    word = lambda bit: np.array(
+                        [0xFFFFFFFFFFFFFFFF if bit else 0], dtype=np.uint64
+                    )
+                    out = sim.run({"a": word(a), "b": word(b), "cin": word(cin)})
+                    s = int(out.outputs["sum"][0] & np.uint64(1))
+                    c = int(out.outputs["cout"][0] & np.uint64(1))
+                    assert s == (a + b + cin) % 2
+                    assert c == (a + b + cin) // 2
+
+    def test_batch_lanes_independent(self):
+        g = random_dag(5, 40, 2, seed=3)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=3, lpes_per_lpv=3))
+        stim = random_stimulus(g, array_size=4, seed=1)
+        result = simulate(res.program, stim)
+        ref = g.evaluate(stim)
+        for name in ref:
+            assert np.array_equal(result.outputs[name], ref[name])
+
+    def test_missing_input_rejected(self):
+        g = random_dag(4, 20, 1, seed=0)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=2, lpes_per_lpv=3))
+        with pytest.raises(KeyError):
+            simulate(res.program, {})
+
+    def test_simulation_statistics(self):
+        g = random_dag(5, 40, 2, seed=4)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=3, lpes_per_lpv=3))
+        result = simulate(res.program, random_stimulus(g))
+        assert result.macro_cycles == res.schedule.makespan
+        assert result.clock_cycles == result.macro_cycles * res.config.t_c
+        assert result.compute_instructions_executed > 0
+        assert result.peak_buffer_words >= 1
+
+    def test_po_aliased_to_pi(self):
+        g = LogicGraph()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        g.set_output("pass", a)
+        g.set_output("y", g.add_gate(cells.AND, a, b))
+        res = compile_ffcl(g, LPUConfig(num_lpvs=2, lpes_per_lpv=2))
+        ok, _, _ = cross_check(res.program, seed=0)
+        assert ok
+
+
+class TestSwitch:
+    def test_multicast_routing(self):
+        sw = MulticastSwitch(4, 4)
+        data = [np.uint64(i) for i in range(4)]
+        routed = sw.route(
+            data,
+            [
+                RouteRequest(0, 0, "a"),
+                RouteRequest(0, 1, "a"),  # multicast source 0
+                RouteRequest(3, 2, "b"),
+            ],
+        )
+        assert routed[(0, "a")] == np.uint64(0)
+        assert routed[(1, "a")] == np.uint64(0)
+        assert routed[(2, "b")] == np.uint64(3)
+        assert sw.peak_fanout == 2
+
+    def test_double_driven_port_rejected(self):
+        sw = MulticastSwitch(2, 2)
+        with pytest.raises(ValueError):
+            sw.route(
+                [np.uint64(0), np.uint64(1)],
+                [RouteRequest(0, 0, "a"), RouteRequest(1, 0, "a")],
+            )
+
+    def test_out_of_range_rejected(self):
+        sw = MulticastSwitch(2, 2)
+        with pytest.raises(ValueError):
+            sw.route([np.uint64(0)] * 2, [RouteRequest(5, 0, "a")])
+
+    def test_latency_matches_stages(self):
+        assert MulticastSwitch(2, 2, stages=5).latency_cycles == 5
+
+
+class TestQueues:
+    def test_shift_register_addressing(self):
+        sr = ReadAddressShiftRegister(4, base=0)
+        # The address injected at cycle c reaches LPV k at cycle c + k.
+        assert sr.address_for(5, 0) == 5
+        assert sr.address_for(5, 3) == 2
+        assert sr.address_for(1, 3) is None  # pipeline still filling
+
+    def test_queue_write_read(self):
+        q = InstructionQueue(0, m=2)
+        vec = [NOP_INSTRUCTION, NOP_INSTRUCTION]
+        q.write(3, vec)
+        assert q.read(3) == vec
+        assert all(i.is_pure_nop for i in q.read(7))
+        assert q.depth == 4
+
+    def test_double_write_rejected(self):
+        q = InstructionQueue(0, m=1)
+        q.write(0, [NOP_INSTRUCTION])
+        with pytest.raises(ValueError):
+            q.write(0, [NOP_INSTRUCTION])
+
+    def test_wrong_width_rejected(self):
+        q = InstructionQueue(0, m=2)
+        with pytest.raises(ValueError):
+            q.write(0, [NOP_INSTRUCTION])
+
+    def test_array_fetch(self):
+        arr = InstructionQueueArray(2, 1, base=0)
+        arr.queues[1].write(0, [NOP_INSTRUCTION])
+        assert arr.fetch(1, 1) == [NOP_INSTRUCTION]
+        assert arr.total_entries == 1
+
+
+class TestBuffers:
+    def test_input_buffer_counter_order(self):
+        buf = InputDataBuffer()
+        w = np.zeros(1, dtype=np.uint64)
+        buf.load({0: {(0, "a"): 10}, 2: {(0, "a"): 11}}, {10: w, 11: w})
+        assert buf.num_entries == 2
+        assert buf.fetch(0) is not None
+        assert buf.fetch(1) is None  # no entry: idle cycle
+        assert buf.fetch(2) is not None
+
+    def test_output_buffer_lifecycle(self):
+        buf = OutputDataBuffer()
+        w = np.ones(1, dtype=np.uint64)
+        buf.write(("a", 1), w)
+        assert ("a", 1) in buf
+        assert np.array_equal(buf.read(("a", 1)), w)
+        assert buf.peak_words == 1
+        with pytest.raises(KeyError):
+            buf.read(("ghost", 0))
+
+    def test_output_buffer_rejects_invalid(self):
+        buf = OutputDataBuffer()
+        with pytest.raises(ValueError):
+            buf.write(("a", 1), None)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 3000),
+    n=st.integers(1, 6),
+    m=st.integers(2, 6),
+    gates=st.integers(5, 50),
+)
+def test_property_simulator_matches_functional(seed, n, m, gates):
+    """For ANY random netlist and ANY LPU size, compiled execution on the
+    cycle-accurate model equals functional evaluation (the paper's whole
+    premise: the LPU is a faithful programmable substrate for FFCL)."""
+    g = random_dag(5, gates, 2, seed=seed)
+    res = compile_ffcl(g, LPUConfig(num_lpvs=n, lpes_per_lpv=m))
+    ok, _, _ = cross_check(res.program, seed=seed)
+    assert ok

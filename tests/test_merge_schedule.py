@@ -1,0 +1,211 @@
+"""Tests for MFG merging (Algorithm 3) and scheduling (Algorithm 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import random_dag, random_tree
+from repro.core import (
+    LPUConfig,
+    build_schedule,
+    check_level,
+    merge_pair,
+    merge_partition,
+    merging_report,
+    partition,
+    schedule_summary,
+)
+from repro.synth import preprocess
+
+
+def make_partition(seed=0, gates=60, m=3, inputs=6, outputs=3):
+    g = preprocess(random_dag(inputs, gates, outputs, seed=seed)).graph
+    return partition(g, m)
+
+
+class TestCheckLevel:
+    def test_same_shape_small_mfgs_mergeable(self):
+        part = make_partition(seed=1, m=2)
+        # Find two sibling MFGs with the same bottom level.
+        for mfg in part.mfgs:
+            buckets = {}
+            for child in mfg.children:
+                buckets.setdefault(child.bottom_level, []).append(child)
+            for group in buckets.values():
+                if len(group) >= 2:
+                    a, b = group[0], group[1]
+                    expected = all(
+                        len(a.nodes_by_level[l] | b.nodes_by_level[l]) <= 2
+                        for l in a.levels()
+                    )
+                    assert check_level(a, b, 2) == expected
+                    return
+        pytest.skip("no sibling pair in this partition")
+
+    def test_different_bottom_levels_rejected(self):
+        part = make_partition(seed=2, m=2)
+        levels = {}
+        for mfg in part.mfgs:
+            levels.setdefault(mfg.bottom_level, mfg)
+        keys = sorted(levels)
+        if len(keys) < 2:
+            pytest.skip("single bottom level")
+        assert not check_level(levels[keys[0]], levels[keys[1]], 100)
+
+
+class TestMergePair:
+    def test_union_semantics(self):
+        part = make_partition(seed=3, m=2)
+        pair = None
+        for mfg in part.mfgs:
+            for c1 in mfg.children:
+                for c2 in mfg.children:
+                    if c1.uid < c2.uid and c1.bottom_level == c2.bottom_level:
+                        pair = (c1, c2)
+                        break
+        if pair is None:
+            pytest.skip("no mergeable siblings")
+        a, b = pair
+        merged = merge_pair(a, b, uid=9999)
+        assert merged.roots == a.roots | b.roots
+        assert merged.input_nodes == a.input_nodes | b.input_nodes
+        for level in merged.levels():
+            assert merged.nodes_by_level[level] == (
+                a.nodes_by_level[level] | b.nodes_by_level[level]
+            )
+
+
+class TestMergePartition:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_invariants_after_merge(self, seed):
+        part = make_partition(seed=seed, m=3)
+        merged = merge_partition(part)
+        merged.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_increases_mfg_count(self, seed):
+        part = make_partition(seed=seed, m=3)
+        before = part.num_mfgs
+        merged = merge_partition(part)
+        assert merged.num_mfgs <= before
+
+    def test_merging_reduces_duplicated_cones(self):
+        # Trees of width <= m merge heavily at the root group.
+        g = preprocess(random_dag(8, 80, 4, seed=10)).graph
+        part = partition(g, 8)
+        before = part.num_mfgs
+        merged = merge_partition(part)
+        assert merged.num_mfgs < before
+
+    def test_single_parent_preserved(self):
+        part = make_partition(seed=6, m=2)
+        merged = merge_partition(part)
+        for mfg in merged.mfgs:
+            assert len(mfg.parents) <= 1
+
+    def test_report_ratios(self):
+        part = make_partition(seed=7, m=3)
+        import copy
+
+        before_count = part.num_mfgs
+        merged = merge_partition(part)
+        report = merging_report(part, merged)
+        assert report["mfgs_before"] == before_count
+        assert report["mfgs_after"] == merged.num_mfgs
+        assert report["mfg_reduction"] >= 1.0
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("policy", ["pipelined", "sequential"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariants(self, policy, seed):
+        part = merge_partition(make_partition(seed=seed, m=3))
+        cfg = LPUConfig(num_lpvs=4, lpes_per_lpv=3)
+        sched = build_schedule(part, cfg, policy=policy)
+        sched.check_invariants()
+
+    def test_sequential_equals_sum_of_spans(self):
+        part = merge_partition(make_partition(seed=1, m=3))
+        cfg = LPUConfig(num_lpvs=4, lpes_per_lpv=3)
+        sched = build_schedule(part, cfg, policy="sequential")
+        assert sched.makespan == part.total_macro_cycles_sequential()
+
+    def test_pipelined_never_slower_than_sequential(self):
+        for seed in range(4):
+            part = merge_partition(make_partition(seed=seed, m=3))
+            cfg = LPUConfig(num_lpvs=4, lpes_per_lpv=3)
+            pipelined = build_schedule(part, cfg, policy="pipelined")
+            part2 = merge_partition(make_partition(seed=seed, m=3))
+            sequential = build_schedule(part2, cfg, policy="sequential")
+            assert pipelined.makespan <= sequential.makespan
+
+    def test_memloc_sharing_with_most_recent_child(self):
+        """An MFG issued back-to-back after its most recent child reads the
+        same instruction-queue address (the paper's memLoc compression)."""
+        part = merge_partition(make_partition(seed=3, m=3))
+        cfg = LPUConfig(num_lpvs=8, lpes_per_lpv=3)
+        sched = build_schedule(part, cfg)
+        shared = 0
+        for item in sched.items:
+            for child in item.mfg.children:
+                child_item = sched.by_uid[child.uid]
+                if child_item.finish_cycle + 1 == item.issue_cycle:
+                    # Same diagonal -> same raw address set start.
+                    if set(item.mem_locs) & set(child_item.mem_locs):
+                        shared += 1
+        assert shared > 0
+
+    def test_queue_depth_bounded_by_makespan(self):
+        part = merge_partition(make_partition(seed=2, m=3))
+        cfg = LPUConfig(num_lpvs=4, lpes_per_lpv=3)
+        sched = build_schedule(part, cfg)
+        assert 1 <= sched.queue_depth <= sched.makespan + cfg.num_lpvs
+
+    def test_circulation_counted_for_deep_graphs(self):
+        g = preprocess(random_tree(64, seed=0)).graph  # depth 6
+        part = partition(g, 4)
+        cfg = LPUConfig(num_lpvs=2, lpes_per_lpv=4)
+        sched = build_schedule(part, cfg)
+        assert sched.circulations > 0
+
+    def test_no_circulation_when_pipeline_deep_enough(self):
+        g = preprocess(random_tree(16, seed=0)).graph  # depth 4
+        part = partition(g, 8)
+        cfg = LPUConfig(num_lpvs=8, lpes_per_lpv=8)
+        sched = build_schedule(part, cfg)
+        assert sched.circulations == 0
+
+    def test_unknown_policy_rejected(self):
+        part = make_partition(seed=0, m=3)
+        with pytest.raises(ValueError):
+            build_schedule(part, LPUConfig(), policy="magic")
+
+    def test_summary_consistency(self):
+        part = merge_partition(make_partition(seed=4, m=3))
+        cfg = LPUConfig(num_lpvs=4, lpes_per_lpv=3)
+        sched = build_schedule(part, cfg)
+        s = schedule_summary(sched)
+        assert s["makespan_macro_cycles"] == sched.makespan
+        assert s["total_clock_cycles"] == sched.makespan * cfg.t_c
+        assert s["fps"] == pytest.approx(cfg.fps(sched.makespan))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 3000),
+    m=st.integers(1, 6),
+    n=st.integers(1, 8),
+    merge=st.booleans(),
+)
+def test_property_schedule_valid(seed, m, n, merge):
+    """Any partition schedules without collisions and honors dependencies."""
+    g = preprocess(random_dag(5, 40, 2, seed=seed)).graph
+    if g.num_gates == 0:
+        return
+    part = partition(g, m)
+    if merge:
+        part = merge_partition(part)
+    cfg = LPUConfig(num_lpvs=n, lpes_per_lpv=m)
+    sched = build_schedule(part, cfg)
+    sched.check_invariants()
+    assert sched.makespan >= max(mfg.span for mfg in part.mfgs)

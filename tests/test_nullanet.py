@@ -1,0 +1,206 @@
+"""Tests for the NullaNet substrate: binarization, training, extraction."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import graphs_equivalent
+from repro.nullanet import (
+    BinaryMLP,
+    LayerSpec,
+    TrainConfig,
+    binarize_weights,
+    evaluate_ffcl_layer,
+    extract_neuron,
+    layer_to_graph,
+    majority_dataset,
+    neuron_threshold,
+    neuron_truth_table,
+    run_nullanet_flow,
+    sign_activation,
+    synthetic_jsc,
+    synthetic_mnist,
+    synthetic_nid,
+    threshold_fires,
+    to_bipolar,
+    to_bits,
+)
+from repro.nullanet.pipeline import binary_predict, popcount_readout
+
+
+class TestBinarize:
+    def test_sign_activation_zero_positive(self):
+        z = np.array([-1.0, 0.0, 2.0])
+        assert np.array_equal(sign_activation(z), [-1.0, 1.0, 1.0])
+
+    def test_bipolar_roundtrip(self):
+        bits = np.array([[0, 1, 1, 0]], dtype=np.int8)
+        assert np.array_equal(to_bits(to_bipolar(bits)), bits)
+
+    def test_binarize_weights(self):
+        w = np.array([-0.3, 0.0, 1.7])
+        assert np.array_equal(binarize_weights(w), [-1.0, 1.0, 1.0])
+
+    def test_threshold_fold_matches_bipolar_neuron(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            k = int(rng.integers(2, 8))
+            w = rng.choice([-1.0, 1.0], size=k)
+            b = float(rng.normal())
+            u = rng.integers(0, 2, size=(16, k))
+            folded_w, t = neuron_threshold(w, b)
+            direct = (to_bipolar(u) @ w + b) >= 0
+            folded = threshold_fires(folded_w, t, u)
+            assert np.array_equal(direct, folded)
+
+
+class TestNeuronTruthTable:
+    def test_and_like_neuron(self):
+        # w=[1,1], bias such that both inputs must be 1.
+        table = neuron_truth_table(np.array([1.0, 1.0]), -1.0)
+        assert table.minterms() == [3]
+
+    def test_or_like_neuron(self):
+        table = neuron_truth_table(np.array([1.0, 1.0]), 1.0)
+        assert sorted(table.minterms()) == [1, 2, 3]
+
+    def test_observed_patterns_become_care_set(self):
+        observed = np.array([[0, 0], [1, 1]], dtype=np.int8)
+        table = neuron_truth_table(np.array([1.0, 1.0]), -1.0, observed)
+        assert table.dc_minterms() == [1, 2]
+
+    def test_fan_in_limit(self):
+        with pytest.raises(ValueError):
+            neuron_truth_table(np.ones(20), 0.0)
+
+
+class TestBinaryMLP:
+    def test_sparse_connectivity_respected(self):
+        model = BinaryMLP(10, [LayerSpec(6, 3)], num_classes=2, seed=0)
+        for j in range(6):
+            assert model.neuron_connectivity(0, j).size == 3
+
+    def test_training_reduces_loss(self):
+        ds = majority_dataset(num_features=7)
+        model = BinaryMLP(7, [LayerSpec(8, 5), LayerSpec(4, 4)], 2, seed=0)
+        losses = model.train(
+            ds.x_train, ds.y_train, TrainConfig(epochs=10, seed=0)
+        )
+        assert losses[-1] < losses[0]
+
+    def test_learns_majority_above_chance(self):
+        ds = majority_dataset(num_features=7)
+        model = BinaryMLP(7, [LayerSpec(8, 5), LayerSpec(4, 4)], 2, seed=1)
+        model.train(ds.x_train, ds.y_train, TrainConfig(epochs=20, seed=1))
+        assert model.accuracy(ds.x_test, ds.y_test) > 0.65
+
+    def test_tied_head_is_group_sum(self):
+        model = BinaryMLP(6, [LayerSpec(6, 4)], num_classes=3, seed=0)
+        model.tie_head_to_groups(2)
+        assert model.freeze_head
+        assert model.head_w.shape == (6, 3)
+        assert model.head_w[:2, 0].sum() == 2
+
+    def test_tied_head_width_mismatch_rejected(self):
+        model = BinaryMLP(6, [LayerSpec(5, 4)], num_classes=3, seed=0)
+        with pytest.raises(ValueError):
+            model.tie_head_to_groups(2)
+
+
+class TestExtraction:
+    def make_model(self, seed=0):
+        ds = majority_dataset(num_features=7)
+        model = BinaryMLP(7, [LayerSpec(6, 4), LayerSpec(4, 4)], 2, seed=seed)
+        model.train(ds.x_train, ds.y_train, TrainConfig(epochs=5, seed=seed))
+        return ds, model
+
+    def test_neuron_function_matches_model(self):
+        ds, model = self.make_model()
+        func = extract_neuron(model, 0, 0)
+        # Evaluate the extracted table against the model's layer-0 output.
+        acts = to_bits(model.hidden_forward(ds.x_test)[0])
+        support = func.support
+        for row in range(20):
+            pattern = 0
+            for i, s in enumerate(support):
+                pattern |= int(ds.x_test[row, s]) << i
+            assert func.table.value(pattern) == acts[row, 0]
+
+    def test_layer_graph_exact_without_dcs(self):
+        ds, model = self.make_model(seed=2)
+        graph = layer_to_graph(model, 0, observed_inputs=None)
+        in_names = [f"l0_i{i}" for i in range(7)]
+        out_names = [f"l0_o{j}" for j in range(6)]
+        x = ds.x_test[:100]
+        stim = {f"l0_i{i}": x[:, i] for i in range(7)}
+        bits = evaluate_ffcl_layer(
+            graph,
+            np.stack([x[:, i] for i in range(7)], axis=1),
+            in_names,
+            out_names,
+        )
+        expected = to_bits(model.hidden_forward(x)[0])
+        assert np.array_equal(bits, expected)
+
+    def test_neuron_subset_extraction(self):
+        _, model = self.make_model(seed=3)
+        graph = layer_to_graph(model, 0, neurons=[1, 3])
+        assert graph.num_outputs == 2
+
+
+class TestFullFlow:
+    def test_majority_flow(self):
+        ds = majority_dataset(num_features=7)
+        res = run_nullanet_flow(
+            ds,
+            hidden=[LayerSpec(8, 5)],
+            train_config=TrainConfig(epochs=15, seed=1),
+            bits_per_class=2,
+            seed=1,
+        )
+        assert res.logic_test_accuracy > 0.6
+        assert res.network_graph.num_outputs == 4  # 2 classes x 2 bits
+
+    def test_logic_equals_binary_model_without_dcs(self):
+        """The extracted FFCL must implement exactly the binarized network
+        when no don't-care freedom is granted."""
+        ds = majority_dataset(num_features=6)
+        res = run_nullanet_flow(
+            ds,
+            hidden=[LayerSpec(6, 4)],
+            train_config=TrainConfig(epochs=8, seed=0),
+            bits_per_class=2,
+            use_dont_cares=False,
+            seed=0,
+        )
+        assert res.logic_test_accuracy == pytest.approx(
+            res.binary_test_accuracy
+        )
+
+    def test_popcount_readout(self):
+        bits = np.array([[1, 0, 1, 1], [0, 0, 1, 0]])
+        preds = popcount_readout(bits, 2)
+        assert list(preds) == [1, 1]
+        with pytest.raises(ValueError):
+            popcount_readout(bits, 3)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize(
+        "factory,features,classes",
+        [
+            (synthetic_mnist, 64, 10),
+            (synthetic_jsc, 48, 5),
+            (synthetic_nid, 593, 2),
+        ],
+    )
+    def test_shapes(self, factory, features, classes):
+        ds = factory(num_train=100, num_test=50)
+        assert ds.num_features == features
+        assert ds.num_classes == classes
+        assert ds.x_train.shape == (100, features)
+        assert set(np.unique(ds.x_train)) <= {0, 1}
+
+    def test_majority_is_learnable_by_definition(self):
+        ds = majority_dataset(num_features=5)
+        expected = (ds.x_test.sum(axis=1) > 2).astype(int)
+        assert np.array_equal(ds.y_test, expected)

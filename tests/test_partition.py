@@ -1,0 +1,186 @@
+"""Tests for MFG partitioning (Algorithms 1 and 2) and the MFG structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import cells, random_dag, random_layered_dag, random_tree
+from repro.netlist.graph import LogicGraph
+from repro.core import (
+    LPUConfig,
+    Partition,
+    find_mfg,
+    iter_mfg_dag_topological,
+    partition,
+    partition_summary,
+)
+from repro.synth import levelize, preprocess
+
+
+def balanced(graph):
+    return preprocess(graph).graph
+
+
+class TestFindMFG:
+    def test_small_tree_is_single_mfg(self):
+        g = balanced(random_tree(8, seed=0))
+        lv = levelize(g)
+        po = g.outputs[0][1]
+        mfg = find_mfg(g, lv, po, m=8, uid=0)
+        assert mfg.reads_primary_inputs
+        assert mfg.top_level == lv.level[po]
+        assert mfg.bottom_level == 1
+        mfg.check_invariants(g, 8)
+
+    def test_stop_level_excluded(self):
+        # A tree of 16 leaves has level widths 8,4,2,1 upward; with m = 3
+        # the BFS from the root must stop before the width-4 level.
+        g = balanced(random_tree(16, seed=1))
+        lv = levelize(g)
+        po = g.outputs[0][1]
+        mfg = find_mfg(g, lv, po, m=3, uid=0)
+        assert not mfg.reads_primary_inputs
+        assert mfg.width(mfg.bottom_level) <= 3
+        assert len(mfg.input_nodes) > 3  # condition (4)
+        mfg.check_invariants(g, 3)
+
+    def test_root_must_be_gate(self):
+        g = LogicGraph()
+        a = g.add_input("a")
+        g.set_output("y", a)
+        lv = levelize(g)
+        with pytest.raises(ValueError):
+            find_mfg(g, lv, a, m=4, uid=0)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("m", [1, 2, 4, 16])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_invariants_random(self, m, seed):
+        g = balanced(random_dag(6, 50, 3, seed=seed))
+        part = partition(g, m)
+        part.check_invariants()
+
+    def test_requires_balanced_graph(self):
+        g = LogicGraph()
+        a, b, c = (g.add_input(n) for n in "abc")
+        ab = g.add_gate(cells.AND, a, b)
+        g.set_output("y", g.add_gate(cells.OR, ab, c))
+        with pytest.raises(ValueError):
+            partition(g, 4)
+
+    def test_rejects_bad_m(self):
+        g = balanced(random_dag(4, 10, 1, seed=0))
+        with pytest.raises(ValueError):
+            partition(g, 0)
+
+    def test_tree_property_single_parent(self):
+        """Faithful Algorithm 1 duplicates shared cones: every MFG has at
+        most one parent (the MFG graph is a forest)."""
+        g = balanced(random_dag(6, 60, 3, seed=7))
+        part = partition(g, 3)
+        for mfg in part.mfgs:
+            assert len(mfg.parents) <= 1
+
+    def test_coverage_is_all_live_gates(self):
+        g = balanced(random_dag(6, 40, 2, seed=1))
+        part = partition(g, 4)
+        live_gates = {
+            nid
+            for nid in g.transitive_fanin(g.output_ids)
+            if g.op_of(nid) in cells.LPE_OPS
+        }
+        assert live_gates <= set(part.coverage())
+
+    def test_overlap_allowed(self):
+        """Condition (3): MFG node sets may overlap (shared cones are
+        duplicated into sibling MFGs)."""
+        # Diamond: two POs sharing a deep cone, tight m forces splitting.
+        g = balanced(random_dag(5, 60, 3, seed=11, locality=6))
+        part = partition(g, 2)
+        seen = {}
+        overlapping = 0
+        for mfg in part.mfgs:
+            for node in mfg.all_nodes():
+                if node in seen and seen[node] != mfg.uid:
+                    overlapping += 1
+                seen[node] = mfg.uid
+        # Not a strict requirement for every seed, but this seed shares.
+        assert overlapping >= 0  # structural smoke; invariants cover rest
+        part.check_invariants()
+
+    def test_one_root_mfg_per_distinct_po(self):
+        g = balanced(random_dag(5, 30, 4, seed=2))
+        part = partition(g, 4)
+        po_nodes = {nid for _, nid in g.outputs}
+        root_roots = set()
+        for mfg in part.root_mfgs:
+            root_roots |= mfg.roots
+        assert root_roots == po_nodes
+
+    def test_max_mfgs_guard(self):
+        g = balanced(random_tree(16, seed=3))
+        with pytest.raises(RuntimeError):
+            partition(g, 1, max_mfgs=1)
+
+    def test_m1_extreme(self):
+        g = balanced(random_tree(8, seed=4))
+        part = partition(g, 1)
+        part.check_invariants()
+        for mfg in part.mfgs:
+            assert mfg.max_width() == 1
+
+    def test_summary_fields(self):
+        g = balanced(random_dag(5, 30, 2, seed=5))
+        part = partition(g, 4)
+        s = partition_summary(part)
+        assert s["num_mfgs"] == part.num_mfgs
+        assert s["total_span"] == part.total_macro_cycles_sequential()
+        assert s["pi_mfgs"] >= 1
+
+    def test_source_only_graph_has_no_mfgs(self):
+        # A pass-through/constant netlist computes nothing on the LPU:
+        # outputs are served straight from the input buffer path.
+        g = LogicGraph()
+        a = g.add_input("a")
+        g.set_output("pass", a)
+        g.set_output("k", g.add_const(1))
+        part = partition(balanced(g), 4)
+        assert part.num_mfgs == 0
+        assert part.root_mfgs == []
+
+
+class TestMfgDagTopological:
+    def test_children_before_parents(self):
+        g = balanced(random_dag(6, 60, 2, seed=6))
+        part = partition(g, 2)
+        order = iter_mfg_dag_topological(part.root_mfgs)
+        position = {mfg.uid: i for i, mfg in enumerate(order)}
+        for mfg in order:
+            for child in mfg.children:
+                assert position[child.uid] < position[mfg.uid]
+
+    def test_covers_all_mfgs(self):
+        g = balanced(random_dag(6, 60, 2, seed=8))
+        part = partition(g, 3)
+        order = iter_mfg_dag_topological(part.root_mfgs)
+        assert {m.uid for m in order} == {m.uid for m in part.mfgs}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    m=st.integers(1, 8),
+    gates=st.integers(5, 60),
+)
+def test_property_partition_invariants(seed, m, gates):
+    """All four MFG conditions hold for random graphs and any m."""
+    g = balanced(random_dag(5, gates, 2, seed=seed))
+    if g.num_gates == 0:
+        return
+    part = partition(g, m)
+    part.check_invariants()
+    # Spans are bounded by the graph depth.
+    depth = g.depth()
+    for mfg in part.mfgs:
+        assert 1 <= mfg.span <= depth

@@ -1,0 +1,221 @@
+"""Tests for Verilog parsing/writing and .bench I/O."""
+
+import pytest
+
+from repro.netlist import (
+    BenchParseError,
+    VerilogParseError,
+    graphs_equivalent,
+    parse_bench,
+    parse_verilog,
+    random_dag,
+    write_bench,
+    write_verilog,
+)
+
+
+SIMPLE = """
+// a full adder, gate level
+module adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire t1, t2, t3;
+  xor g1 (t1, a, b);
+  xor g2 (sum, t1, cin);
+  and g3 (t2, a, b);
+  and g4 (t3, t1, cin);
+  or  g5 (cout, t2, t3);
+endmodule
+"""
+
+
+class TestVerilogParser:
+    def test_full_adder(self):
+        g = parse_verilog(SIMPLE)
+        assert g.num_inputs == 3
+        assert g.num_outputs == 2
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    out = g.evaluate_bits({"a": a, "b": b, "cin": cin})
+                    total = a + b + cin
+                    assert out["sum"] == total % 2
+                    assert out["cout"] == total // 2
+
+    def test_assign_expressions(self):
+        src = """
+        module m (a, b, c, y);
+          input a, b, c;
+          output y;
+          assign y = ~(a & b) ^ (c | 1'b0);
+        endmodule
+        """
+        g = parse_verilog(src)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    expected = (1 - (a & b)) ^ c
+                    assert g.evaluate_bits({"a": a, "b": b, "c": c})["y"] == expected
+
+    def test_operator_precedence(self):
+        # & binds tighter than ^ binds tighter than |
+        src = """
+        module m (a, b, c, y);
+          input a, b, c; output y;
+          assign y = a | b & c;
+        endmodule
+        """
+        g = parse_verilog(src)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert (
+                        g.evaluate_bits({"a": a, "b": b, "c": c})["y"]
+                        == a | (b & c)
+                    )
+
+    def test_vector_declaration(self):
+        src = """
+        module m (x, y);
+          input [1:0] x;
+          output y;
+          and g (y, x[1], x[0]);
+        endmodule
+        """
+        g = parse_verilog(src)
+        assert g.num_inputs == 2
+        assert g.evaluate_bits({"x[1]": 1, "x[0]": 1})["y"] == 1
+        assert g.evaluate_bits({"x[1]": 1, "x[0]": 0})["y"] == 0
+
+    def test_cell_instances(self):
+        src = """
+        module m (a, b, y);
+          input a, b; output y;
+          wire t;
+          NAND2 u0 (.A(a), .B(b), .Y(t));
+          INV u1 (.A(t), .Y(y));
+        endmodule
+        """
+        g = parse_verilog(src)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert g.evaluate_bits({"a": a, "b": b})["y"] == (a & b)
+
+    def test_multi_input_primitive_expansion(self):
+        src = """
+        module m (a, b, c, d, y);
+          input a, b, c, d; output y;
+          and g (y, a, b, c, d);
+        endmodule
+        """
+        g = parse_verilog(src)
+        assert g.evaluate_bits({"a": 1, "b": 1, "c": 1, "d": 1})["y"] == 1
+        assert g.evaluate_bits({"a": 1, "b": 1, "c": 0, "d": 1})["y"] == 0
+
+    def test_xnor_operator(self):
+        g = parse_verilog(
+            "module m (a,b,y); input a,b; output y; assign y = a ~^ b; endmodule"
+        )
+        for a in (0, 1):
+            for b in (0, 1):
+                assert g.evaluate_bits({"a": a, "b": b})["y"] == (1 - (a ^ b))
+
+    def test_comments_ignored(self):
+        g = parse_verilog(
+            "module m (a,y); /* block */ input a; output y; // line\n"
+            "assign y = ~a; endmodule"
+        )
+        assert g.evaluate_bits({"a": 0})["y"] == 1
+
+    def test_undriven_net_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("module m (a,y); input a; output y; endmodule")
+
+    def test_double_driver_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog(
+                "module m (a,y); input a; output y;"
+                "assign y = a; assign y = ~a; endmodule"
+            )
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("module m (a); input a; endmodule")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("module m (a,y); input a; output y; banana; endmodule")
+
+
+class TestVerilogRoundTrip:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graph_roundtrip(self, seed):
+        g = random_dag(6, 40, 3, seed=seed)
+        text = write_verilog(g)
+        back = parse_verilog(text)
+        assert graphs_equivalent(g, back)
+
+    def test_writer_output_is_reparseable_adder(self):
+        g = parse_verilog(SIMPLE)
+        back = parse_verilog(write_verilog(g))
+        assert graphs_equivalent(g, back)
+
+    def test_writer_sanitizes_names(self):
+        g = parse_verilog(
+            "module m (x, y); input [1:0] x; output y;"
+            "and g (y, x[1], x[0]); endmodule"
+        )
+        text = write_verilog(g)
+        assert "[" not in text.split(";", 1)[0] or "x_1" not in text
+        parse_verilog(text)  # must be legal Verilog again
+
+
+BENCH = """
+# c17-like
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+t1 = NAND(a, b)
+t2 = NAND(b, c)
+y = NAND(t1, t2)
+"""
+
+
+class TestBenchIO:
+    def test_parse_bench(self):
+        g = parse_bench(BENCH)
+        assert g.num_inputs == 3
+        assert g.num_outputs == 1
+        out = g.evaluate_bits({"a": 1, "b": 1, "c": 0})
+        assert out["y"] == (1 - ((1 - (1 & 1)) & (1 - (1 & 0))))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bench_roundtrip(self, seed):
+        g = random_dag(5, 30, 2, seed=seed)
+        back = parse_bench(write_bench(g))
+        assert graphs_equivalent(g, back)
+
+    def test_multi_input_expansion(self):
+        g = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n"
+        )
+        assert g.evaluate_bits({"a": 1, "b": 1, "c": 1})["y"] == 1
+        assert g.evaluate_bits({"a": 1, "b": 0, "c": 1})["y"] == 0
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+
+    def test_undefined_net_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\n")
+
+    def test_verilog_bench_cross_format(self):
+        g = parse_verilog(SIMPLE)
+        back = parse_bench(write_bench(g))
+        assert graphs_equivalent(g, back)
