@@ -13,6 +13,7 @@ Expected shape: the LPU column dominates every reported baseline on every
 large model, as in the paper.
 """
 
+import numpy as np
 import pytest
 from conftest import publish
 
@@ -23,9 +24,12 @@ from repro.baselines import (
     PAPER_TABLE2_FPS,
     XNORModel,
 )
-from repro.core import PAPER_CONFIG
+from repro.core import PAPER_CONFIG, compile_ffcl
+from repro.engine import Session
+from repro.lpu import evaluate_graph, random_stimulus
 from repro.models import (
     evaluate_model,
+    layer_block,
     lenet5_workload,
     mlpmixer_b4_workload,
     mlpmixer_s4_workload,
@@ -116,6 +120,33 @@ def test_table2_fps_comparison(benchmark):
                 assert ours > value, (name, column)
     for name in ("MLPMixer-S/4", "MLPMixer-B/4"):
         assert evals[name].fps > PAPER_TABLE2_FPS[name]["MAC"], name
+
+
+def test_table2_measured_execution(benchmark):
+    """The Table II FPS numbers are schedule-length projections; here one
+    VGG16 sampled block actually *executes* through the engine layer: the
+    trace engine's outputs must match the cycle-accurate model and the
+    functional reference bit-for-bit, batch after batch."""
+    model = vgg16_workload()
+    layer = max(vgg16_paper_layers(model), key=lambda l: l.num_neurons)
+    block, _ = layer_block(layer, sample_neurons=SAMPLE_NEURONS, seed=0)
+    result = compile_ffcl(block, PAPER_CONFIG)
+    trace = Session(result.program, engine="trace")
+    cycle = Session(result.program, engine="cycle")
+    for batch in range(3):
+        stim = random_stimulus(
+            result.program.graph, array_size=16, seed=batch
+        )
+        ref = evaluate_graph(result.program.graph, stim)
+        out_t, out_c = trace.run(stim), cycle.run(stim)
+        for name, word in ref.items():
+            assert np.array_equal(out_t.outputs[name], word), name
+            assert np.array_equal(out_c.outputs[name], word), name
+        assert out_t.switch_routes == out_c.switch_routes
+    benchmark(
+        trace.run,
+        random_stimulus(result.program.graph, array_size=16, seed=0),
+    )
 
 
 def test_table2_model_ordering(benchmark):

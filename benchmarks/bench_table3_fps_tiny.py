@@ -10,15 +10,19 @@ measured compile+schedule; the LogicNets analytical model supplies the
 replication counts that explain the huge reported figures.
 """
 
+import numpy as np
 from conftest import publish
 
 from repro.analysis import render_table
 from repro.baselines import LogicNetsModel, PAPER_REPORTED_FPS
-from repro.core import PAPER_CONFIG
+from repro.core import PAPER_CONFIG, compile_ffcl
+from repro.engine import Session
+from repro.lpu import evaluate_graph, random_stimulus
 from repro.models import (
     evaluate_model,
     jsc_l_workload,
     jsc_m_workload,
+    layer_block,
     nid_workload,
 )
 
@@ -76,6 +80,25 @@ def test_table3_fps_comparison(benchmark):
     ours = evals["NID"].fps
     paper = PAPER_REPORTED_FPS["NID"]["LPU (paper)"]
     assert 0.1 < ours / paper < 10.0
+
+
+def test_table3_measured_execution(benchmark):
+    """Execute the NID first-layer sampled block through the engine layer:
+    trace == cycle == functional, so the throughput claims rest on an
+    execution path that is actually verified, not just projected."""
+    layer = nid_workload().layers[0]
+    block, _ = layer_block(layer, sample_neurons=6, seed=0)
+    result = compile_ffcl(block, PAPER_CONFIG)
+    trace = Session(result.program, engine="trace")
+    cycle = Session(result.program, engine="cycle")
+    stim = random_stimulus(result.program.graph, array_size=16, seed=0)
+    ref = evaluate_graph(result.program.graph, stim)
+    out_t, out_c = trace.run(stim), cycle.run(stim)
+    for name, word in ref.items():
+        assert np.array_equal(out_t.outputs[name], word), name
+        assert np.array_equal(out_c.outputs[name], word), name
+    assert out_t.macro_cycles == out_c.macro_cycles
+    benchmark(trace.run, stim)
 
 
 def test_table3_programmability_tradeoff(benchmark):

@@ -13,6 +13,9 @@ The package implements the paper's complete system in pure Python:
   scheduling, and code generation for the logic processor,
 * :mod:`repro.lpu` — the logic-processor hardware model and macro-cycle-
   accurate simulator,
+* :mod:`repro.engine` — the pluggable execution-engine layer: the
+  cycle-accurate model and the precompiled vectorized trace engine behind
+  one interface, plus the compile-once/run-many :class:`Session` API,
 * :mod:`repro.models` — VGG16 / LeNet-5 / MLPMixer / JSC / NID workload
   generators,
 * :mod:`repro.baselines` — MAC, XNOR (FINN), NullaDSP, LogicNets, and
@@ -29,11 +32,29 @@ Quick start::
     graph = parse_verilog(open("block.v").read())
     result = compile_ffcl(graph)
     ok, lpu_out, ref_out = cross_check(result.program)
+
+Serving-oriented fast path (compile once, run many batches)::
+
+    from repro import Session
+    from repro.lpu import random_stimulus
+
+    session = Session(graph, engine="trace")
+    for batch in range(16):
+        stim = random_stimulus(graph, array_size=256, seed=batch)
+        result = session.run(stim)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .core import LPUConfig, PAPER_CONFIG, compile_ffcl
+from .engine import (
+    CycleAccurateEngine,
+    ExecutionEngine,
+    Session,
+    TraceEngine,
+    available_engines,
+    create_engine,
+)
 from .netlist import LogicGraph, parse_verilog, parse_verilog_file
 
 __all__ = [
@@ -41,6 +62,12 @@ __all__ = [
     "LPUConfig",
     "PAPER_CONFIG",
     "compile_ffcl",
+    "CycleAccurateEngine",
+    "ExecutionEngine",
+    "Session",
+    "TraceEngine",
+    "available_engines",
+    "create_engine",
     "LogicGraph",
     "parse_verilog",
     "parse_verilog_file",

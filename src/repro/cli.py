@@ -1,29 +1,44 @@
-"""Command-line interface: compile, simulate, and report on FFCL blocks.
+"""Command-line interface: compile, simulate, benchmark, and report.
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli compile block.v --lpvs 16 --lpes 32
-    python -m repro.cli simulate block.v --seed 7
-    python -m repro.cli report block.v --no-merge --policy sequential
+    python -m repro.cli compile block.v --lpvs 16 --lpes 32 [--json]
+    python -m repro.cli simulate block.v --seed 7 --engine trace
+    python -m repro.cli throughput block.v --array-size 256 --batches 16
+    python -m repro.cli report block.v --no-merge --policy sequential [--json]
 
 ``compile`` prints the compilation metrics (MFG counts, schedule length,
-queue depth, FPS).  ``simulate`` additionally executes the program on the
-cycle-accurate LPU model with random stimulus and cross-checks it against
-functional evaluation.  ``report`` prints the per-stage breakdown
-(pre-processing report, partition summary, schedule summary).
+FPS).  ``simulate`` additionally executes the program on the selected
+execution engine (``--engine cycle`` for the cycle-accurate hardware model,
+``--engine trace`` for the vectorized fast path) with random stimulus and
+cross-checks it against functional evaluation.  ``throughput`` measures
+wall-clock inference throughput of the engines over repeated batched runs
+through the :class:`~repro.engine.Session` API.  ``report`` prints the
+per-stage breakdown.  ``--json`` on ``compile``/``report``/``throughput``
+emits machine-readable output for benchmark harnesses.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Optional, Sequence
 
 from .core import LPUConfig, compile_ffcl
 from .core.partition import partition_summary
 from .core.schedule import schedule_summary
-from .lpu import cross_check
+from .engine import SAMPLES_PER_WORD, Session, available_engines
+from .lpu import cross_check, random_stimulus
 from .netlist import parse_bench, parse_verilog
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _load_graph(path: str):
@@ -55,6 +70,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine(parser: argparse.ArgumentParser, default: str = "cycle") -> None:
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=default,
+        help="execution engine",
+    )
+
+
 def _config(args: argparse.Namespace) -> LPUConfig:
     return LPUConfig(
         num_lpvs=args.lpvs,
@@ -76,6 +100,9 @@ def _compile(args: argparse.Namespace):
 
 def cmd_compile(args: argparse.Namespace) -> int:
     result = _compile(args)
+    if args.json:
+        print(json.dumps(result.metrics.as_dict(), indent=2, sort_keys=True))
+        return 0
     print(result.metrics)
     for key, value in result.metrics.as_dict().items():
         print(f"  {key}: {value}")
@@ -84,16 +111,88 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     result = _compile(args)
-    ok, outputs, _ref = cross_check(result.program, seed=args.seed)
+    ok, outputs, _ref = cross_check(
+        result.program, seed=args.seed, engine=args.engine
+    )
     print(result.metrics)
-    print(f"cycle-accurate == functional: {ok}")
+    print(f"engine: {args.engine}")
+    print(f"{args.engine} == functional: {ok}")
     for name in sorted(outputs):
         print(f"  {name}: {int(outputs[name][0]):#018x}")
     return 0 if ok else 1
 
 
+def cmd_throughput(args: argparse.Namespace) -> int:
+    result = _compile(args)
+    graph = result.program.graph
+    engines = (
+        available_engines() if args.engine == "all" else [args.engine]
+    )
+    stimuli = [
+        random_stimulus(graph, array_size=args.array_size, seed=args.seed + b)
+        for b in range(args.batches)
+    ]
+    word_bits = result.config.word_bits
+    report = {
+        "netlist": args.netlist,
+        "graph": graph.name,
+        "array_size": args.array_size,
+        "batches": args.batches,
+        "samples_per_run": SAMPLES_PER_WORD * args.array_size,
+        "engines": {},
+    }
+    for engine in engines:
+        session = Session(result.program, engine=engine)
+        session.run(stimuli[0])  # warm-up: amortized lowering/caches
+        start = time.perf_counter()
+        for stim in stimuli:
+            session.run(stim)
+        elapsed = time.perf_counter() - start
+        samples = SAMPLES_PER_WORD * args.array_size * args.batches
+        report["engines"][engine] = {
+            "seconds": elapsed,
+            "samples_per_second": samples / elapsed if elapsed > 0 else None,
+            "runs_per_second": args.batches / elapsed if elapsed > 0 else None,
+            "macro_cycles_per_run": result.schedule.makespan,
+            "modeled_fps": result.config.fps(result.schedule.makespan),
+        }
+    report["modeled_word_bits"] = word_bits
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(result.metrics)
+    print(
+        f"throughput over {args.batches} batches x "
+        f"{SAMPLES_PER_WORD * args.array_size} samples:"
+    )
+    for engine, stats in report["engines"].items():
+        print(
+            f"  {engine:>6}: {stats['samples_per_second']:>16,.0f} samples/s "
+            f"({stats['seconds']:.3f}s wall)"
+        )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     result = _compile(args)
+    if args.json:
+        data = {
+            "netlist": args.netlist,
+            "preprocess": str(result.preprocess.report),
+            "partition": partition_summary(result.partition),
+            "schedule": schedule_summary(result.schedule),
+            "metrics": result.metrics.as_dict(),
+        }
+        if result.program is not None:
+            data["program"] = {
+                "compute_instructions":
+                    result.program.num_compute_instructions,
+                "queue_entries": result.program.num_queue_entries,
+                "peak_buffer_words": result.program.peak_buffer_words,
+                "buffer_spills": result.program.buffer_spills,
+            }
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
     print(f"netlist:   {result.source}")
     print(f"preproc:   {result.preprocess.report}")
     print("partition:")
@@ -120,15 +219,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compile = sub.add_parser("compile", help="compile and print metrics")
     _add_common(p_compile)
+    p_compile.add_argument(
+        "--json", action="store_true", help="emit metrics as JSON"
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_sim = sub.add_parser("simulate", help="compile, execute, cross-check")
     _add_common(p_sim)
+    _add_engine(p_sim, default="cycle")
     p_sim.add_argument("--seed", type=int, default=0, help="stimulus seed")
     p_sim.set_defaults(func=cmd_simulate)
 
+    p_thr = sub.add_parser(
+        "throughput", help="measure batched inference throughput"
+    )
+    _add_common(p_thr)
+    p_thr.add_argument(
+        "--engine",
+        choices=available_engines() + ["all"],
+        default="trace",
+        help="execution engine ('all' compares every registered engine)",
+    )
+    p_thr.add_argument(
+        "--array-size", type=_positive_int, default=64,
+        help="uint64 words per primary input per run (64 samples each)",
+    )
+    p_thr.add_argument(
+        "--batches", type=_positive_int, default=8,
+        help="timed Session.run calls",
+    )
+    p_thr.add_argument("--seed", type=int, default=0, help="stimulus seed")
+    p_thr.add_argument(
+        "--json", action="store_true", help="emit measurements as JSON"
+    )
+    p_thr.set_defaults(func=cmd_throughput)
+
     p_report = sub.add_parser("report", help="per-stage compilation report")
     _add_common(p_report)
+    p_report.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     p_report.set_defaults(func=cmd_report)
     return parser
 

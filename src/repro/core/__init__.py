@@ -40,6 +40,12 @@ from .schedule import (
     build_schedule,
     schedule_summary,
 )
+from .trace import (
+    TraceLevel,
+    TraceLoweringError,
+    TraceProgram,
+    lower_program,
+)
 
 __all__ = [
     "PORT_A",
@@ -83,4 +89,8 @@ __all__ = [
     "ScheduleError",
     "build_schedule",
     "schedule_summary",
+    "TraceLevel",
+    "TraceLoweringError",
+    "TraceProgram",
+    "lower_program",
 ]

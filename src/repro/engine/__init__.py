@@ -1,0 +1,38 @@
+"""Pluggable execution engines for compiled LPU programs.
+
+Two engines execute the same :class:`~repro.core.codegen.Program` with
+bit-identical outputs and identical run statistics:
+
+* :class:`CycleAccurateEngine` (``"cycle"``) — the macro-cycle-accurate
+  hardware model (ground truth),
+* :class:`TraceEngine` (``"trace"``) — the program lowered once to flat
+  numpy tables and executed with vectorized gathers (the fast inference
+  path).
+
+:class:`Session` amortizes compile + lowering across repeated runs.
+"""
+
+from .base import (
+    SAMPLES_PER_WORD,
+    ExecutionEngine,
+    SimulationResult,
+    available_engines,
+    create_engine,
+    register_engine,
+)
+from .cycle import CycleAccurateEngine
+from .session import DEFAULT_ENGINE, Session
+from .trace import TraceEngine
+
+__all__ = [
+    "SAMPLES_PER_WORD",
+    "ExecutionEngine",
+    "SimulationResult",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "CycleAccurateEngine",
+    "TraceEngine",
+    "Session",
+    "DEFAULT_ENGINE",
+]

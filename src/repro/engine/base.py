@@ -1,0 +1,95 @@
+"""The pluggable execution-engine interface.
+
+Everything that can execute a compiled :class:`~repro.core.codegen.Program`
+implements :class:`ExecutionEngine`: construct it from a program (doing any
+one-time lowering there), then call :meth:`~ExecutionEngine.run` any number
+of times.  Every run returns a fresh
+:class:`~repro.lpu.simulator.SimulationResult` whose statistics cover that
+run only — never cumulative state.
+
+Engines register themselves by name in a module-level registry so callers
+(the CLI, benchmarks, :class:`~repro.engine.session.Session`) select them
+with a string:
+
+* ``"cycle"`` — :class:`~repro.engine.cycle.CycleAccurateEngine`, the
+  macro-cycle-accurate hardware model (ground truth),
+* ``"trace"`` — :class:`~repro.engine.trace.TraceEngine`, the precompiled
+  vectorized fast path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..lpu.simulator import SimulationResult
+
+__all__ = [
+    "ExecutionEngine",
+    "SAMPLES_PER_WORD",
+    "SimulationResult",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+]
+
+#: Independent Boolean samples carried by one operand word: engines pack
+#: operands into numpy ``uint64`` lanes, so every stimulus word is 64
+#: parallel samples regardless of the modeled 2m-bit operand width.
+SAMPLES_PER_WORD = 64
+
+
+class ExecutionEngine(ABC):
+    """Executes a compiled program; one instance serves many runs."""
+
+    #: Registry name; subclasses override (and register themselves).
+    name: str = "abstract"
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    @abstractmethod
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        """Execute one inference pass over ``inputs``.
+
+        ``inputs`` maps every primary-input name to a ``uint64`` array; all
+        arrays must share one shape (any shape — every element is a packed
+        64-sample word).  Returns the outputs plus this run's statistics.
+        """
+
+    @property
+    def config(self):
+        return self.program.config
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(program={self.program.graph.name!r})"
+
+
+_REGISTRY: Dict[str, Type[ExecutionEngine]] = {}
+
+
+def register_engine(cls: Type[ExecutionEngine]) -> Type[ExecutionEngine]:
+    """Class decorator: make ``cls`` selectable by its ``name``."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} needs a concrete 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_engines() -> List[str]:
+    """Registered engine names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_engine(name: str, program: Program) -> ExecutionEngine:
+    """Instantiate the engine registered under ``name`` for ``program``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {available_engines()}"
+        ) from None
+    return cls(program)

@@ -1,0 +1,33 @@
+"""The cycle-accurate engine: the hardware model behind the engine API.
+
+A thin adapter porting :class:`~repro.lpu.simulator.LPUSimulator` onto the
+:class:`~repro.engine.base.ExecutionEngine` interface.  It models every
+architectural structure of the paper's Fig. 2 (instruction queues, the
+multicast switch, snapshot registers, the data buffers) per macro-cycle —
+the ground truth the fast :class:`~repro.engine.trace.TraceEngine` is
+verified against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..lpu.simulator import LPUSimulator, SimulationResult
+from .base import ExecutionEngine, register_engine
+
+
+@register_engine
+class CycleAccurateEngine(ExecutionEngine):
+    """Macro-cycle-accurate execution on the modeled LPU hardware."""
+
+    name = "cycle"
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program)
+        self.simulator = LPUSimulator(program)
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        return self.simulator.run(inputs)

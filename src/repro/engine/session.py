@@ -1,0 +1,111 @@
+"""Sessions: compile once, run many times.
+
+A :class:`Session` is the serving-oriented entry point of the engine layer:
+it owns one compiled program and one engine instance, so the expensive
+one-time work (netlist preprocessing, partitioning, scheduling, code
+generation, and — for the trace engine — lowering to flat numpy tables) is
+amortized across every subsequent :meth:`Session.run`.  Inputs may have any
+batch shape: each array element is a packed 64-sample ``uint64`` word, so a
+run over shape ``(array_size,)`` inputs performs inference on
+``64 * array_size`` independent samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..core.compiler import CompileResult, compile_ffcl
+from ..core.config import LPUConfig, PAPER_CONFIG
+from ..lpu.simulator import SimulationResult
+from ..netlist.graph import LogicGraph
+from .base import SAMPLES_PER_WORD, ExecutionEngine, create_engine
+
+DEFAULT_ENGINE = "trace"
+
+
+class Session:
+    """One compiled workload bound to one execution engine.
+
+    Args:
+        source: a :class:`LogicGraph` to compile, or an already-compiled
+            :class:`Program` (its embedded config is used).
+        config: LPU parameters, when compiling from a graph
+            (:data:`~repro.core.config.PAPER_CONFIG` by default).
+        engine: registered engine name (``"trace"`` or ``"cycle"``).
+        **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`
+            (``merge``, ``policy``, ``basis``, ...) when compiling.
+    """
+
+    def __init__(
+        self,
+        source: Union[LogicGraph, Program],
+        config: Optional[LPUConfig] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+        **compile_kwargs,
+    ) -> None:
+        self.compile_result: Optional[CompileResult] = None
+        if isinstance(source, Program):
+            if compile_kwargs:
+                raise ValueError(
+                    "compile options are meaningless for a compiled Program"
+                )
+            if config is not None and config != source.config:
+                raise ValueError(
+                    "a compiled Program carries its own config; "
+                    "recompile from the graph to change LPU parameters"
+                )
+            program = source
+        else:
+            self.compile_result = compile_ffcl(
+                source, config if config is not None else PAPER_CONFIG,
+                **compile_kwargs,
+            )
+            program = self.compile_result.program
+            if program is None:  # pragma: no cover - guarded by compile_ffcl
+                raise ValueError("compilation produced no program")
+        self.program = program
+        self.engine: ExecutionEngine = create_engine(engine, program)
+        self.runs_completed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
+
+    @property
+    def config(self) -> LPUConfig:
+        return self.program.config
+
+    @property
+    def graph(self) -> LogicGraph:
+        return self.program.graph
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        """One inference pass; statistics cover this run only."""
+        result = self.engine.run(inputs)
+        self.runs_completed += 1
+        return result
+
+    def run_random(
+        self, array_size: int = 1, seed: int = 0
+    ) -> SimulationResult:
+        """One pass over random stimulus of ``array_size`` words per PI."""
+        from ..lpu.functional import random_stimulus
+
+        return self.run(
+            random_stimulus(self.graph, array_size=array_size, seed=seed)
+        )
+
+    def samples_per_run(self, array_size: int = 1) -> int:
+        """Independent Boolean sample sets processed by one run."""
+        return SAMPLES_PER_WORD * array_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(graph={self.graph.name!r}, engine={self.engine_name!r}, "
+            f"runs={self.runs_completed})"
+        )

@@ -1,0 +1,108 @@
+"""The trace engine: precompiled vectorized execution of lowered programs.
+
+Construction lowers the program once (:func:`repro.core.trace.lower_program`)
+into flat opcode/operand-index tables grouped by macro-cycle.  Each run then
+materializes one value table of shape ``(num_slots, *batch_shape)`` and
+sweeps the macro-cycle levels: gather the operand rows with one fancy index
+per port, apply each Boolean opcode to its contiguous segment with numpy's
+bitwise kernels, and write the level's results back as one contiguous block.
+No per-instruction Python dispatch remains — per macro-cycle the work is a
+handful of array operations over the whole batch, which is what makes large
+``array_size`` batches order(s)-of-magnitude faster than the cycle-accurate
+interpreter while remaining bit-identical to it.
+
+Statistics (macro-cycles, instruction counts, switch routes, buffer traffic)
+are computed during lowering — they depend on the program alone — and are
+reported identically to the cycle-accurate engine, per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..core.trace import TraceProgram, lower_program
+from ..netlist import cells
+from ..lpu.simulator import SimulationResult
+from .base import ExecutionEngine, register_engine
+
+_WORD = np.uint64
+
+
+@register_engine
+class TraceEngine(ExecutionEngine):
+    """Vectorized execution of a program lowered to flat numpy tables."""
+
+    name = "trace"
+
+    def __init__(
+        self, program: Program, trace: Optional[TraceProgram] = None
+    ) -> None:
+        super().__init__(program)
+        self.trace = trace if trace is not None else lower_program(program)
+        # Bind each level's opcode segments to their word kernels up front.
+        self._levels = [
+            (
+                level.out_start,
+                level.a_index,
+                level.b_index,
+                tuple(
+                    (cells.WORD_FUNCS[seg.op], cells.arity(seg.op),
+                     seg.start, seg.end)
+                    for seg in level.segments
+                ),
+            )
+            for level in self.trace.levels
+        ]
+
+    # ------------------------------------------------------------------
+    def _gather_inputs(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], Tuple[int, ...]]:
+        words: Dict[str, np.ndarray] = {}
+        shape: Optional[Tuple[int, ...]] = None
+        for name in self.trace.pi_slots:
+            if name not in inputs:
+                raise KeyError(f"missing value for primary input {name!r}")
+            word = np.asarray(inputs[name], dtype=_WORD)
+            if shape is None:
+                shape = word.shape
+            elif word.shape != shape:
+                raise ValueError("all PI arrays must share one shape")
+            words[name] = word
+        return words, shape if shape is not None else (1,)
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        trace = self.trace
+        words, shape = self._gather_inputs(inputs)
+
+        values = np.empty((trace.num_slots,) + shape, dtype=_WORD)
+        values[0] = 0
+        values[1] = _WORD(0xFFFFFFFFFFFFFFFF)
+        for name, slot in trace.pi_slots.items():
+            values[slot] = words[name]
+
+        for out_start, a_index, b_index, segments in self._levels:
+            a = values[a_index]
+            out = values[out_start:out_start + len(a_index)]
+            for func, arity, s, e in segments:
+                if arity == 2:
+                    out[s:e] = func(a[s:e], values[b_index[s:e]])
+                else:
+                    out[s:e] = func(a[s:e])
+
+        outputs = {
+            name: values[slot].copy()
+            for name, slot in trace.output_slots.items()
+        }
+        return SimulationResult(
+            outputs=outputs,
+            macro_cycles=trace.macro_cycles,
+            clock_cycles=trace.clock_cycles,
+            compute_instructions_executed=trace.compute_instructions,
+            switch_routes=trace.switch_routes,
+            peak_buffer_words=trace.peak_buffer_words,
+            buffer_writes=trace.buffer_writes,
+        )

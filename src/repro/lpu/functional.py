@@ -42,14 +42,19 @@ def cross_check(
     program: Program,
     inputs: Optional[Dict[str, np.ndarray]] = None,
     seed: int = 0,
+    engine: str = "cycle",
 ) -> Tuple[bool, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
-    """Run the LPU simulator and the functional evaluator on the same
-    stimulus; returns (agree, lpu_outputs, reference_outputs)."""
-    from .simulator import simulate
+    """Run an execution engine and the functional evaluator on the same
+    stimulus; returns (agree, lpu_outputs, reference_outputs).
+
+    ``engine`` selects any registered :mod:`repro.engine` backend; the
+    default is the cycle-accurate hardware model.
+    """
+    from ..engine import create_engine
 
     if inputs is None:
         inputs = random_stimulus(program.graph, seed=seed)
-    result = simulate(program, inputs)
+    result = create_engine(engine, program).run(inputs)
     reference = evaluate_graph(program.graph, inputs)
     agree = set(result.outputs) == set(reference)
     if agree:

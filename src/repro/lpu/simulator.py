@@ -115,6 +115,8 @@ class LPUSimulator:
         self.output_buffer.reset()
         for lpv in self.lpvs:
             lpv.reset()
+        for switch in self.switches:
+            switch.reset()  # statistics are per-run, not cumulative
         self.input_buffer.load(program.input_reads, pi_values)
         self._compute_count = 0
 

@@ -49,6 +49,11 @@ class MulticastSwitch:
         self.total_routes = 0
         self.peak_fanout = 0
 
+    def reset(self) -> None:
+        """Clear the per-run routing statistics."""
+        self.total_routes = 0
+        self.peak_fanout = 0
+
     @property
     def latency_cycles(self) -> int:
         return self.stages

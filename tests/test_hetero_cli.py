@@ -126,7 +126,59 @@ class TestCLI:
                        "--seed", "3"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "cycle-accurate == functional: True" in out
+        assert "cycle == functional: True" in out
+
+    @pytest.mark.parametrize("engine", ["cycle", "trace"])
+    def test_simulate_engine_flag(self, tmp_path, capsys, engine):
+        path = self._write_netlist(tmp_path)
+        rc = cli_main(["simulate", path, "--lpvs", "4", "--lpes", "4",
+                       "--engine", engine])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"{engine} == functional: True" in out
+
+    def test_compile_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self._write_netlist(tmp_path)
+        rc = cli_main(["compile", path, "--lpvs", "4", "--lpes", "4",
+                       "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mfgs_after_merge"] <= data["mfgs_before_merge"]
+        assert data["fps"] > 0
+
+    def test_report_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self._write_netlist(tmp_path)
+        rc = cli_main(["report", path, "--lpvs", "4", "--lpes", "4",
+                       "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {"partition", "schedule", "metrics", "program"} <= set(data)
+        assert data["schedule"]["makespan_macro_cycles"] >= 1
+
+    def test_throughput_command(self, tmp_path, capsys):
+        path = self._write_netlist(tmp_path)
+        rc = cli_main(["throughput", path, "--lpvs", "4", "--lpes", "4",
+                       "--engine", "all", "--array-size", "4",
+                       "--batches", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "samples/s" in out
+        assert "trace" in out and "cycle" in out
+
+    def test_throughput_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self._write_netlist(tmp_path)
+        rc = cli_main(["throughput", path, "--lpvs", "4", "--lpes", "4",
+                       "--array-size", "2", "--batches", "2", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["samples_per_run"] == 128
+        assert data["engines"]["trace"]["samples_per_second"] > 0
 
     def test_report_command(self, tmp_path, capsys):
         path = self._write_netlist(tmp_path)

@@ -109,6 +109,22 @@ class TestEndToEnd:
         assert result.compute_instructions_executed > 0
         assert result.peak_buffer_words >= 1
 
+    def test_statistics_reset_between_runs(self):
+        """Regression: switch statistics must be per-run — reusing one
+        simulator used to inflate switch_routes run after run."""
+        g = random_dag(6, 50, 3, seed=2)
+        res = compile_ffcl(g, LPUConfig(num_lpvs=4, lpes_per_lpv=4))
+        sim = LPUSimulator(res.program)
+        first = sim.run(random_stimulus(g, seed=0))
+        second = sim.run(random_stimulus(g, seed=1))
+        assert second.switch_routes == first.switch_routes
+        assert second.buffer_writes == first.buffer_writes
+        assert second.peak_buffer_words == first.peak_buffer_words
+        assert (
+            second.compute_instructions_executed
+            == first.compute_instructions_executed
+        )
+
     def test_po_aliased_to_pi(self):
         g = LogicGraph()
         a = g.add_input("a")
