@@ -1,7 +1,6 @@
 """Micro-benchmarks of the compiler's kernels (partition / merge / schedule
 / codegen / simulate), tracking the toolchain's own performance."""
 
-import pytest
 
 from repro.core import (
     LPUConfig,

@@ -13,7 +13,7 @@ path while the cycle model remains the verification path.
 import time
 
 import numpy as np
-from conftest import publish
+from conftest import fast_mode, publish, publish_json
 
 from repro.analysis import render_table
 from repro.core import PAPER_CONFIG, compile_ffcl
@@ -23,8 +23,8 @@ from repro.models import layer_block, vgg16_paper_layers, vgg16_workload
 
 SAMPLE_NEURONS = 6
 ARRAY_SIZE = 64  # uint64 words per PI per run -> 4096 samples/run
-TRACE_RUNS = 20
-CYCLE_RUNS = 2
+TRACE_RUNS = 5 if fast_mode() else 20
+CYCLE_RUNS = 1 if fast_mode() else 2
 
 _CACHE = {}
 
@@ -107,7 +107,32 @@ def test_engine_throughput(benchmark):
             rows,
         ),
     )
-    assert speedup >= 10.0, f"trace engine only {speedup:.1f}x faster"
+    publish_json(
+        "engine_throughput",
+        {
+            "workload": f"vgg16/{layer.name}",
+            "sample_neurons": SAMPLE_NEURONS,
+            "array_size": ARRAY_SIZE,
+            "samples_per_run": SAMPLES_PER_WORD * ARRAY_SIZE,
+            "macro_cycles": result.schedule.makespan,
+            "fast_mode": fast_mode(),
+            "engines": {
+                "cycle": {
+                    "samples_per_second": rates["cycle"],
+                    "ms_per_run": cycle_latency * 1e3,
+                },
+                "trace": {
+                    "samples_per_second": rates["trace"],
+                    "ms_per_run": trace_latency * 1e3,
+                },
+            },
+            "speedup": speedup,
+        },
+    )
+    # Fast mode still checks the property but relaxes the bar: CI smoke
+    # runners have noisy, throttled cores and CYCLE_RUNS drops to 1.
+    floor = 5.0 if fast_mode() else 10.0
+    assert speedup >= floor, f"trace engine only {speedup:.1f}x faster"
 
 
 def test_trace_throughput_scales_with_batch(benchmark):

@@ -1,0 +1,119 @@
+"""Serving throughput: the batched serving layer vs naive per-request runs.
+
+The serving layer (:mod:`repro.serve`) exists to amortize the engine's
+per-run overhead across concurrent requests: a :class:`BatchScheduler`
+coalesces individual requests into micro-batches (each stimulus word is an
+independent packed 64-sample lane, so coalescing is exact) and a
+:class:`WorkerPool` shards the batches across engine instances.
+
+This bench drives the shared serve-bench procedure
+(:func:`repro.serve.run_serve_bench`) on the VGG16 largest-layer workload
+with 8 concurrent open-loop clients and asserts the acceptance property:
+**>= 2x requests/second over naive per-request Session.run, with
+bit-identical outputs.**
+"""
+
+from conftest import fast_mode, publish, publish_json
+
+from repro.analysis import render_table
+from repro.core import PAPER_CONFIG, compile_ffcl
+from repro.models import layer_block, vgg16_paper_layers, vgg16_workload
+from repro.serve import run_serve_bench
+
+SAMPLE_NEURONS = 6
+ARRAY_SIZE = 2  # uint64 words per PI per request -> 128 samples/request
+REQUESTS = 128 if fast_mode() else 512
+CLIENTS = 8
+WORKERS = 2
+MAX_BATCH = 32
+MAX_WAIT_MS = 1.0
+MIN_SPEEDUP = 2.0
+
+_CACHE = {}
+
+
+def _compiled_block():
+    if "result" not in _CACHE:
+        model = vgg16_workload()
+        layer = max(
+            vgg16_paper_layers(model), key=lambda l: l.num_neurons
+        )
+        block, _ = layer_block(layer, sample_neurons=SAMPLE_NEURONS, seed=0)
+        _CACHE["layer"] = layer
+        _CACHE["result"] = compile_ffcl(block, PAPER_CONFIG)
+    return _CACHE["layer"], _CACHE["result"]
+
+
+def test_serve_throughput(benchmark):
+    layer, result = _compiled_block()
+    benchmark(lambda: None)
+
+    report = run_serve_bench(
+        result.program,
+        requests=REQUESTS,
+        array_size=ARRAY_SIZE,
+        clients=CLIENTS,
+        num_workers=WORKERS,
+        max_batch_size=MAX_BATCH,
+        max_wait_ms=MAX_WAIT_MS,
+        seed=0,
+    )
+    report["fast_mode"] = fast_mode()
+
+    rows = [
+        [
+            "naive Session.run",
+            f"{report['naive']['requests_per_second']:,.0f}",
+            f"{report['naive']['seconds']:.3f}",
+            "1.0x",
+        ],
+        [
+            "repro.serve",
+            f"{report['served']['requests_per_second']:,.0f}",
+            f"{report['served']['seconds']:.3f}",
+            f"{report['speedup']:.2f}x",
+        ],
+    ]
+    publish(
+        "serve_throughput",
+        render_table(
+            f"Serving throughput — VGG16 {layer.name} sampled block, "
+            f"{REQUESTS} requests x {report['samples_per_request']} samples, "
+            f"{CLIENTS} clients, {WORKERS} workers, "
+            f"batch<= {MAX_BATCH} (mean "
+            f"{report['scheduler']['mean_batch']:.1f})",
+            ["path", "requests/s", "seconds", "speedup"],
+            rows,
+        ),
+    )
+    publish_json("serve_throughput", report)
+
+    assert report["bit_identical"], "served outputs diverged from naive runs"
+    # The acceptance property. Fast mode still checks correctness but
+    # relaxes the bar: CI smoke runners have noisy, throttled cores.
+    floor = 1.2 if fast_mode() else MIN_SPEEDUP
+    assert report["speedup"] >= floor, (
+        f"serving only {report['speedup']:.2f}x over naive per-request runs"
+    )
+
+
+def test_serve_least_loaded_and_cache_reuse(benchmark):
+    """A second bench pass: least-loaded placement must also hold the
+    bit-identity invariant, and the program cache must serve the compile
+    from its first pass."""
+    _layer, result = _compiled_block()
+    benchmark(lambda: None)
+
+    report = run_serve_bench(
+        result.program,
+        requests=64 if fast_mode() else 128,
+        array_size=ARRAY_SIZE,
+        clients=CLIENTS,
+        num_workers=WORKERS,
+        max_batch_size=MAX_BATCH,
+        max_wait_ms=MAX_WAIT_MS,
+        placement="least_loaded",
+        seed=1,
+    )
+    assert report["bit_identical"]
+    assert report["cache"]["hits"] >= 1, report["cache"]

@@ -14,7 +14,6 @@ large model, as in the paper.
 """
 
 import numpy as np
-import pytest
 from conftest import publish
 
 from repro.analysis import render_table

@@ -1,3 +1,17 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-lpu",
+    version="1.2.0",
+    description=(
+        "Reproduction of 'Algorithms and Hardware for Efficient Processing "
+        "of Logic-based Neural Networks' (DAC 2023): FFCL-to-LPU compiler, "
+        "cycle-accurate LPU model, vectorized trace engine, and a batched "
+        "serving layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

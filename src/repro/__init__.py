@@ -44,7 +44,7 @@ Serving-oriented fast path (compile once, run many batches)::
         result = session.run(stim)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import LPUConfig, PAPER_CONFIG, compile_ffcl
 from .engine import (
@@ -56,6 +56,15 @@ from .engine import (
     create_engine,
 )
 from .netlist import LogicGraph, parse_verilog, parse_verilog_file
+# NOTE: the serve() *function* stays un-exported here — binding it at the
+# top level would shadow the `repro.serve` submodule attribute.  Use
+# `from repro.serve import serve`.
+from .serve import (
+    BatchScheduler,
+    InferenceServer,
+    ProgramCache,
+    WorkerPool,
+)
 
 __all__ = [
     "__version__",
@@ -71,4 +80,8 @@ __all__ = [
     "LogicGraph",
     "parse_verilog",
     "parse_verilog_file",
+    "BatchScheduler",
+    "InferenceServer",
+    "ProgramCache",
+    "WorkerPool",
 ]

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli compile block.v --lpvs 16 --lpes 32 [--json]
     python -m repro.cli simulate block.v --seed 7 --engine trace
     python -m repro.cli throughput block.v --array-size 256 --batches 16
+    python -m repro.cli serve-bench block.v --requests 256 --workers 2
     python -m repro.cli report block.v --no-merge --policy sequential [--json]
 
 ``compile`` prints the compilation metrics (MFG counts, schedule length,
@@ -13,9 +14,12 @@ execution engine (``--engine cycle`` for the cycle-accurate hardware model,
 ``--engine trace`` for the vectorized fast path) with random stimulus and
 cross-checks it against functional evaluation.  ``throughput`` measures
 wall-clock inference throughput of the engines over repeated batched runs
-through the :class:`~repro.engine.Session` API.  ``report`` prints the
-per-stage breakdown.  ``--json`` on ``compile``/``report``/``throughput``
-emits machine-readable output for benchmark harnesses.
+through the :class:`~repro.engine.Session` API.  ``serve-bench`` measures
+the batched serving layer (:mod:`repro.serve`) against naive per-request
+execution under concurrent clients, verifying bit-identical outputs.
+``report`` prints the per-stage breakdown.  ``--json`` on
+``compile``/``report``/``throughput``/``serve-bench`` emits
+machine-readable output for benchmark harnesses.
 """
 
 from __future__ import annotations
@@ -32,6 +36,8 @@ from .core.schedule import schedule_summary
 from .engine import SAMPLES_PER_WORD, Session, available_engines
 from .lpu import cross_check, random_stimulus
 from .netlist import parse_bench, parse_verilog
+from .serve import run_serve_bench
+from .serve.pool import BACKENDS, PLACEMENTS
 
 
 def _positive_int(text: str) -> int:
@@ -173,6 +179,47 @@ def cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    result = _compile(args)
+    report = run_serve_bench(
+        result.program,
+        engine=args.engine,
+        requests=args.requests,
+        array_size=args.array_size,
+        clients=args.clients,
+        num_workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        placement=args.placement,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    report["netlist"] = args.netlist
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["bit_identical"] else 1
+    print(result.metrics)
+    print(
+        f"serve-bench: {args.requests} requests x "
+        f"{report['samples_per_request']} samples, {args.clients} clients, "
+        f"{args.workers} workers ({args.backend}/{args.placement})"
+    )
+    print(
+        f"  naive : {report['naive']['requests_per_second']:>12,.0f} req/s "
+        f"({report['naive']['seconds']:.3f}s wall)"
+    )
+    print(
+        f"  served: {report['served']['requests_per_second']:>12,.0f} req/s "
+        f"({report['served']['seconds']:.3f}s wall)"
+    )
+    print(
+        f"  speedup {report['speedup']:.2f}x, mean batch "
+        f"{report['scheduler']['mean_batch']:.1f}, bit-identical: "
+        f"{report['bit_identical']}"
+    )
+    return 0 if report["bit_identical"] else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     result = _compile(args)
     if args.json:
@@ -253,6 +300,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit measurements as JSON"
     )
     p_thr.set_defaults(func=cmd_throughput)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="measure the batched serving layer vs naive per-request runs",
+    )
+    _add_common(p_serve)
+    _add_engine(p_serve, default="trace")
+    p_serve.add_argument(
+        "--requests", type=_positive_int, default=256,
+        help="inference requests to serve",
+    )
+    p_serve.add_argument(
+        "--array-size", type=_positive_int, default=2,
+        help="uint64 words per primary input per request (64 samples each)",
+    )
+    p_serve.add_argument(
+        "--clients", type=_positive_int, default=8,
+        help="concurrent client threads submitting requests",
+    )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="engine workers in the serving pool",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=_positive_int, default=32,
+        help="max requests coalesced into one engine run",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=1.0,
+        help="micro-batching deadline for a non-full batch",
+    )
+    p_serve.add_argument(
+        "--placement", choices=PLACEMENTS, default="round_robin",
+        help="worker placement policy",
+    )
+    p_serve.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="worker backend",
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="stimulus seed")
+    p_serve.add_argument(
+        "--json", action="store_true", help="emit measurements as JSON"
+    )
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     p_report = sub.add_parser("report", help="per-stage compilation report")
     _add_common(p_report)

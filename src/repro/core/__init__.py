@@ -44,7 +44,9 @@ from .trace import (
     TraceLevel,
     TraceLoweringError,
     TraceProgram,
+    clear_lowering_cache,
     lower_program,
+    lowering_cache_stats,
 )
 
 __all__ = [
@@ -92,5 +94,7 @@ __all__ = [
     "TraceLevel",
     "TraceLoweringError",
     "TraceProgram",
+    "clear_lowering_cache",
     "lower_program",
+    "lowering_cache_stats",
 ]

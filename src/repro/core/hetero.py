@@ -26,15 +26,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..netlist.graph import LogicGraph
 from ..synth.levelize import is_levelized_strict, levelize
 from .config import LPUConfig
 from .mfg import MFG, Partition
 from .merge import merge_partition
-from .partition import find_mfg
-from .schedule import Schedule, build_schedule
+from .schedule import build_schedule
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ scheduling algorithms (Algorithms 3 and 4) operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List, Set
 
 from ..netlist.graph import LogicGraph
 

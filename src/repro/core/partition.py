@@ -28,7 +28,7 @@ it is the only mechanism that recovers shared logic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from ..netlist import cells
 from ..netlist.graph import LogicGraph

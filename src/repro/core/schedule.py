@@ -33,7 +33,7 @@ Two issue policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .config import LPUConfig
 from .mfg import MFG, Partition, iter_mfg_dag_topological

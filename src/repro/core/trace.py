@@ -31,6 +31,8 @@ as constants.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -103,7 +105,75 @@ class TraceProgram:
         return len(self.levels)
 
 
-def lower_program(program: Program) -> TraceProgram:
+# ----------------------------------------------------------------------
+# Lowering cache: a TraceProgram depends on the Program alone, and its
+# tables are immutable at run time (the index arrays are marked read-only),
+# so every engine lowering the same Program object can share one artifact.
+# The cache holds *weak* references — it never extends the lifetime of a
+# lowering beyond its last consumer — keyed by the program's id with an
+# identity check guarding against id reuse.  This is what makes a
+# multi-worker serving pool over one compiled program pay for lowering
+# once instead of once per worker.
+_LOWER_CACHE: Dict[int, "weakref.ref[TraceProgram]"] = {}
+_LOWER_LOCK = threading.Lock()
+_LOWER_HITS = 0
+_LOWER_MISSES = 0
+
+
+def lowering_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide lowering cache."""
+    with _LOWER_LOCK:
+        return {
+            "hits": _LOWER_HITS,
+            "misses": _LOWER_MISSES,
+            "live_entries": len(_LOWER_CACHE),
+        }
+
+
+def clear_lowering_cache() -> None:
+    """Drop all cached lowerings and reset the counters (for tests)."""
+    global _LOWER_HITS, _LOWER_MISSES
+    with _LOWER_LOCK:
+        _LOWER_CACHE.clear()
+        _LOWER_HITS = 0
+        _LOWER_MISSES = 0
+
+
+def lower_program(program: Program, *, cache: bool = True) -> TraceProgram:
+    """Lower ``program`` to a :class:`TraceProgram`, memoized per program.
+
+    With ``cache=True`` (the default) repeated lowerings of the *same*
+    :class:`Program` object return one shared :class:`TraceProgram`; pass
+    ``cache=False`` to force a fresh lowering.
+    """
+    global _LOWER_HITS, _LOWER_MISSES
+    if not cache:
+        return _lower_program_uncached(program)
+    key = id(program)
+    with _LOWER_LOCK:
+        ref = _LOWER_CACHE.get(key)
+        cached = ref() if ref is not None else None
+        if cached is not None and cached.program is program:
+            _LOWER_HITS += 1
+            return cached
+    trace = _lower_program_uncached(program)
+    with _LOWER_LOCK:
+        _LOWER_MISSES += 1
+        # Dead entries are swept here, on the (rare, compile-scale) miss
+        # path — never from a weakref callback, which could fire at any
+        # refcount drop and race live replacements out of the cache.
+        dead = [k for k, r in _LOWER_CACHE.items() if r() is None]
+        for k in dead:
+            del _LOWER_CACHE[k]
+        ref = _LOWER_CACHE.get(key)
+        racing = ref() if ref is not None else None
+        if racing is not None and racing.program is program:
+            return racing  # another thread lowered first: share theirs
+        _LOWER_CACHE[key] = weakref.ref(trace)
+    return trace
+
+
+def _lower_program_uncached(program: Program) -> TraceProgram:
     """Symbolically replay ``program`` once, producing a :class:`TraceProgram`.
 
     Raises :class:`TraceLoweringError` where the simulator would raise
@@ -208,6 +278,10 @@ def lower_program(program: Program) -> TraceProgram:
                     segments.append(OpSegment(op, i, i + 1))
                 next_slot += 1
             compute_instructions += len(pending)
+            # Lowered tables may be shared across engines and threads
+            # (see the lowering cache): freeze them.
+            a_index.setflags(write=False)
+            b_index.setflags(write=False)
             levels.append(
                 TraceLevel(
                     cycle=cycle,

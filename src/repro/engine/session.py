@@ -34,7 +34,10 @@ class Session:
             :class:`Program` (its embedded config is used).
         config: LPU parameters, when compiling from a graph
             (:data:`~repro.core.config.PAPER_CONFIG` by default).
-        engine: registered engine name (``"trace"`` or ``"cycle"``).
+        engine: registered engine name (``"trace"`` or ``"cycle"``), or an
+            already-constructed :class:`ExecutionEngine` bound to ``source``
+            — the reuse hook serving layers use to share one-time lowering
+            artifacts across many sessions over the same program.
         **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`
             (``merge``, ``policy``, ``basis``, ...) when compiling.
     """
@@ -44,7 +47,7 @@ class Session:
         source: Union[LogicGraph, Program],
         config: Optional[LPUConfig] = None,
         *,
-        engine: str = DEFAULT_ENGINE,
+        engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
         **compile_kwargs,
     ) -> None:
         self.compile_result: Optional[CompileResult] = None
@@ -68,7 +71,15 @@ class Session:
             if program is None:  # pragma: no cover - guarded by compile_ffcl
                 raise ValueError("compilation produced no program")
         self.program = program
-        self.engine: ExecutionEngine = create_engine(engine, program)
+        if isinstance(engine, ExecutionEngine):
+            if engine.program is not program:
+                raise ValueError(
+                    "the supplied engine instance executes a different "
+                    "program than this session's source"
+                )
+            self.engine: ExecutionEngine = engine
+        else:
+            self.engine = create_engine(engine, program)
         self.runs_completed = 0
 
     # ------------------------------------------------------------------

@@ -50,6 +50,17 @@ class InputDataBuffer:
         self._by_cycle = dict(self._entries)
         self._counter = 0
 
+    def release(self) -> None:
+        """Drop the batch's operand words (end-of-run housekeeping).
+
+        A buffer loaded for one pass would otherwise pin that pass's
+        stimulus arrays until the next ``load`` — a leak when a long-lived
+        session alternates batch shapes.
+        """
+        self._entries = []
+        self._by_cycle = {}
+        self._counter = 0
+
     @property
     def num_entries(self) -> int:
         return len(self._entries)
@@ -92,6 +103,10 @@ class OutputDataBuffer:
         self._words.clear()
         self.total_writes = 0
         self.peak_words = 0
+
+    def release(self) -> None:
+        """Drop the stored words but keep this run's statistics readable."""
+        self._words.clear()
 
     def write(self, key, value: np.ndarray) -> None:
         if value is None:

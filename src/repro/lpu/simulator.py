@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.codegen import PORT_A, Program
-from ..core.isa import SRC_INPUT, SRC_SWITCH, LPEInstruction, PortSpec
+from ..core.isa import SRC_SWITCH, LPEInstruction, PortSpec
 from ..netlist import cells
 from .buffers import InputDataBuffer, OutputDataBuffer
 from .lpe import InvalidDataError
@@ -106,10 +106,6 @@ class LPUSimulator:
     def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
         """Execute one inference pass (all packed samples at once)."""
         program = self.program
-        cfg = program.config
-        schedule = program.schedule
-        graph = program.graph
-
         pi_values = self._resolve_pi_values(inputs)
         shape = self._shape
         self.output_buffer.reset()
@@ -119,6 +115,26 @@ class LPUSimulator:
             switch.reset()  # statistics are per-run, not cumulative
         self.input_buffer.load(program.input_reads, pi_values)
         self._compute_count = 0
+        try:
+            return self._run_loaded(pi_values, shape)
+        finally:
+            # Per-batch state (buffer words, snapshot registers) would
+            # otherwise pin this batch's arrays until the next run — a
+            # leak when a long-lived session alternates batch shapes.
+            # Statistics stay readable: release() drops values only.
+            self.input_buffer.release()
+            self.output_buffer.release()
+            for lpv in self.lpvs:
+                lpv.reset()
+            self._shape = None
+
+    def _run_loaded(
+        self, pi_values: Dict[int, np.ndarray], shape
+    ) -> SimulationResult:
+        program = self.program
+        cfg = program.config
+        schedule = program.schedule
+        graph = program.graph
 
         # Outputs each LPV produced in the previous macro-cycle.
         prev_outputs: List[List[Optional[np.ndarray]]] = [

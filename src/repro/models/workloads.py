@@ -40,7 +40,7 @@ from ..netlist.compose import merge_parallel
 from ..netlist.graph import LogicGraph
 from ..nullanet.ffcl import minimize_table
 from ..synth.factoring import factored_graph
-from ..synth.truth_table import Cube, TruthTable, sop_to_graph
+from ..synth.truth_table import Cube, sop_to_graph
 from .layers import LayerWorkload, ModelWorkload
 
 #: Neuron graphs are cached by (fan_in, seed): workload generation is a hot

@@ -17,7 +17,7 @@ compact numpy re-implementation of the same recipe:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

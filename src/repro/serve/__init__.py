@@ -1,0 +1,50 @@
+"""The serving layer: batched, cached, sharded inference over the engines.
+
+Built on :mod:`repro.engine`, this package turns the compile-once
+:class:`~repro.engine.session.Session` into a servable system:
+
+* :class:`ProgramCache` — memoized compilation + lowering keyed by
+  (workload fingerprint, engine, config, options), LRU-evicted,
+* :class:`BatchScheduler` — dynamic micro-batching of individual requests
+  under a max-batch-size / max-wait policy, bit-identical to per-request
+  execution,
+* :class:`WorkerPool` — batches sharded across N engine instances
+  (thread- or process-backed) with round-robin or least-loaded placement,
+* :class:`InferenceServer` / :func:`serve` — the facade wiring all three.
+
+Quick start::
+
+    from repro.serve import serve
+    results = serve(graph, requests, num_workers=4, max_batch_size=16)
+"""
+
+from .bench import run_serve_bench
+from .cache import (
+    CacheEntry,
+    CacheKey,
+    CacheStats,
+    ProgramCache,
+    default_program_cache,
+    graph_fingerprint,
+)
+from .pool import BACKENDS, PLACEMENTS, WorkerPool
+from .scheduler import BatchScheduler, SchedulerStats
+from .server import InferenceServer, naive_serve, serve
+
+__all__ = [
+    "BACKENDS",
+    "PLACEMENTS",
+    "BatchScheduler",
+    "CacheEntry",
+    "CacheKey",
+    "CacheStats",
+    "InferenceServer",
+    "ProgramCache",
+    "SchedulerStats",
+    "WorkerPool",
+    "default_program_cache",
+    "graph_fingerprint",
+    "naive_serve",
+    "run_serve_bench",
+    "serve",
+]

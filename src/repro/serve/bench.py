@@ -1,0 +1,151 @@
+"""The serve-bench driver: serving layer vs. naive per-request execution.
+
+One measurement procedure shared by the ``repro serve-bench`` CLI and
+``benchmarks/bench_serve_throughput.py``:
+
+1. compile (through the program cache) and pre-generate ``requests``
+   random stimuli of ``array_size`` words each,
+2. **naive baseline** — one compile-once :class:`~repro.engine.session.
+   Session`, one engine run per request, sequentially (what every caller
+   had to hand-roll before the serving layer existed),
+3. **served** — an :class:`~repro.serve.server.InferenceServer` under
+   ``clients`` concurrent open-loop client threads, each submitting its
+   share of the requests and gathering the results,
+4. verify every served output is bit-identical to its naive counterpart,
+5. report requests/second for both, the speedup, and the scheduler /
+   pool / cache statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..core.config import LPUConfig
+from ..engine.base import SAMPLES_PER_WORD
+from ..engine.session import DEFAULT_ENGINE, Session
+from ..lpu.functional import random_stimulus
+from ..netlist.graph import LogicGraph
+from .cache import ProgramCache, default_program_cache
+from .server import InferenceServer
+
+__all__ = ["run_serve_bench"]
+
+
+def run_serve_bench(
+    source: Union[LogicGraph, Program],
+    config: Optional[LPUConfig] = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+    requests: int = 256,
+    array_size: int = 2,
+    clients: int = 8,
+    num_workers: int = 2,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 1.0,
+    placement: str = "round_robin",
+    backend: str = "thread",
+    seed: int = 0,
+    verify: bool = True,
+    cache: Optional[ProgramCache] = None,
+    **compile_kwargs,
+) -> Dict[str, object]:
+    """Measure served vs. naive throughput; returns a JSON-able report."""
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    cache = cache if cache is not None else default_program_cache()
+    entry = cache.get_or_compile(
+        source, config, engine=engine, **compile_kwargs
+    )
+    program = entry.program
+    graph = program.graph
+    stimuli = [
+        random_stimulus(graph, array_size=array_size, seed=seed + i)
+        for i in range(requests)
+    ]
+
+    # Naive baseline: compile-once, one engine run per request.
+    session = Session(program, engine=engine)
+    session.run(stimuli[0])  # warm-up
+    start = time.perf_counter()
+    naive_results = [session.run(stim) for stim in stimuli]
+    naive_seconds = time.perf_counter() - start
+
+    # Served: concurrent open-loop clients over one InferenceServer.
+    server = InferenceServer(
+        program,
+        engine=engine,
+        num_workers=num_workers,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        placement=placement,
+        backend=backend,
+        cache=cache,
+    )
+    try:
+        server.infer(stimuli[0])  # warm-up
+
+        def client(indices: List[int]) -> List:
+            futures = [(i, server.submit(stimuli[i])) for i in indices]
+            return [(i, future.result()) for i, future in futures]
+
+        shards = [list(range(c, requests, clients)) for c in range(clients)]
+        shards = [shard for shard in shards if shard]
+        start = time.perf_counter()
+        with ThreadPoolExecutor(len(shards)) as executor:
+            gathered = list(executor.map(client, shards))
+        served_seconds = time.perf_counter() - start
+        stats = server.stats()
+    finally:
+        server.close()
+
+    served_results: Dict[int, object] = {
+        i: result for shard in gathered for i, result in shard
+    }
+    bit_identical = True
+    if verify:
+        for i, naive in enumerate(naive_results):
+            served = served_results[i]
+            for name, word in naive.outputs.items():
+                if not np.array_equal(served.outputs[name], word):
+                    bit_identical = False
+            if naive.macro_cycles != served.macro_cycles:
+                bit_identical = False
+
+    naive_rps = requests / naive_seconds if naive_seconds > 0 else None
+    served_rps = requests / served_seconds if served_seconds > 0 else None
+    return {
+        "graph": graph.name,
+        "engine": engine,
+        "requests": requests,
+        "array_size": array_size,
+        "samples_per_request": SAMPLES_PER_WORD * array_size,
+        "clients": clients,
+        "num_workers": num_workers,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "placement": placement,
+        "backend": backend,
+        "macro_cycles_per_run": program.schedule.makespan,
+        "naive": {
+            "seconds": naive_seconds,
+            "requests_per_second": naive_rps,
+        },
+        "served": {
+            "seconds": served_seconds,
+            "requests_per_second": served_rps,
+        },
+        "speedup": (
+            naive_seconds / served_seconds if served_seconds > 0 else None
+        ),
+        "bit_identical": bit_identical if verify else None,
+        "scheduler": stats["scheduler"],
+        "pool": stats["pool"],
+        "cache": stats["cache"],
+    }

@@ -1,0 +1,233 @@
+"""The program cache: memoized compilation + lowering for serving.
+
+Serving the same workload from many entry points (CLI invocations in one
+process, repeated server construction, benchmark sweeps) must not pay
+compile + lowering more than once.  :class:`ProgramCache` memoizes
+:class:`~repro.core.codegen.Program` objects — and, for the trace engine,
+their lowered :class:`~repro.core.trace.TraceProgram` tables — keyed by
+*(workload fingerprint, engine, config, compile options)* with LRU
+eviction and hit/miss statistics.
+
+The workload key is a content fingerprint of the logic graph
+(:func:`graph_fingerprint`), so two structurally-identical graph objects
+share one cache entry regardless of object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.codegen import Program
+from ..core.compiler import CompileResult, compile_ffcl
+from ..core.config import LPUConfig, PAPER_CONFIG
+from ..core.trace import TraceProgram, lower_program
+from ..engine.session import DEFAULT_ENGINE
+from ..netlist.graph import LogicGraph
+
+__all__ = [
+    "CacheEntry",
+    "CacheKey",
+    "CacheStats",
+    "ProgramCache",
+    "default_program_cache",
+    "graph_fingerprint",
+]
+
+
+def graph_fingerprint(graph: LogicGraph) -> str:
+    """Stable content hash of a logic graph's structure and interface.
+
+    Nodes are renumbered in topological order, so the fingerprint depends
+    only on the graph's logical content — never on node-id allocation
+    history or object identity.
+    """
+    digest = hashlib.sha256()
+    order = graph.topological_order()
+    renumber = {nid: i for i, nid in enumerate(order)}
+    for nid in order:
+        fanins = tuple(renumber[f] for f in graph.fanins_of(nid))
+        digest.update(repr((renumber[nid], graph.op_of(nid), fanins)).encode())
+    for nid in graph.inputs:
+        digest.update(repr(("pi", graph.input_name(nid), renumber[nid])).encode())
+    for name, nid in graph.outputs:
+        digest.update(repr(("po", name, renumber[nid])).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one memoized compilation."""
+
+    workload: str  # graph content fingerprint
+    engine: str
+    config: LPUConfig
+    options: Tuple[Tuple[str, object], ...]  # sorted compile kwargs
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters of one :class:`ProgramCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One memoized workload: the program plus its lowering artifacts."""
+
+    key: CacheKey
+    program: Program
+    trace: Optional[TraceProgram] = None
+    compile_result: Optional[CompileResult] = None
+    uses: int = field(default=0)
+
+
+class ProgramCache:
+    """LRU cache of compiled programs and lowered trace tables.
+
+    Args:
+        capacity: maximum retained entries; least-recently-used entries
+            are evicted beyond it.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def make_key(
+        self,
+        source: Union[LogicGraph, Program],
+        config: Optional[LPUConfig] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+        **compile_kwargs,
+    ) -> CacheKey:
+        if isinstance(source, Program):
+            # An already-compiled program is its own identity: the same
+            # graph+config compiled with different options (merge, policy)
+            # yields different programs, which must never share an entry.
+            # The entry keeps the program alive, so its id cannot be
+            # reused while the key is live.
+            options = tuple(sorted(compile_kwargs.items()))
+            options += (("__program_id__", id(source)),)
+            return CacheKey(
+                workload=graph_fingerprint(source.graph),
+                engine=engine,
+                config=source.config,
+                options=options,
+            )
+        cfg = config if config is not None else PAPER_CONFIG
+        return CacheKey(
+            workload=graph_fingerprint(source),
+            engine=engine,
+            config=cfg,
+            options=tuple(sorted(compile_kwargs.items())),
+        )
+
+    def get_or_compile(
+        self,
+        source: Union[LogicGraph, Program],
+        config: Optional[LPUConfig] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+        **compile_kwargs,
+    ) -> CacheEntry:
+        """Return the cached entry for ``source``, compiling on a miss.
+
+        ``source`` may be a :class:`LogicGraph` (compiled with ``config``
+        and ``compile_kwargs`` on a miss) or an already-compiled
+        :class:`Program` (memoizes its lowering artifacts only).
+        """
+        key = self.make_key(source, config, engine=engine, **compile_kwargs)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                entry.uses += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
+        # Compile and lower OUTSIDE the lock: a seconds-long compilation
+        # must not block hits for unrelated cached workloads.  Concurrent
+        # misses on the same key may compile twice; the first insert wins.
+        compile_result: Optional[CompileResult] = None
+        if isinstance(source, Program):
+            program = source
+        else:
+            compile_result = compile_ffcl(source, key.config, **compile_kwargs)
+            program = compile_result.program
+            if program is None:  # pragma: no cover - compile_ffcl guards
+                raise ValueError("compilation produced no program")
+        trace = lower_program(program) if engine == "trace" else None
+        entry = CacheEntry(
+            key=key,
+            program=program,
+            trace=trace,
+            compile_result=compile_result,
+            uses=1,
+        )
+        with self._lock:
+            racing = self._entries.get(key)
+            if racing is not None:
+                racing.uses += 1
+                self._entries.move_to_end(key)
+                return racing
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return entry
+
+
+_DEFAULT_CACHE: Optional[ProgramCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
+
+
+def default_program_cache() -> ProgramCache:
+    """The process-wide cache servers fall back to when given none."""
+    global _DEFAULT_CACHE
+    with _DEFAULT_CACHE_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = ProgramCache()
+        return _DEFAULT_CACHE

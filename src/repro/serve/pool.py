@@ -1,0 +1,232 @@
+"""Sharding batches across parallel engine workers.
+
+A :class:`WorkerPool` owns N engine instances over ONE compiled program and
+places incoming batches on them with a configurable policy:
+
+* ``"round_robin"`` — cycle through the workers,
+* ``"least_loaded"`` — place on the worker with the fewest outstanding
+  operand words.
+
+Workers are **thread-backed** by default: trace execution is numpy-bound,
+so worker threads overlap the vector kernels while sharing one lowered
+:class:`~repro.core.trace.TraceProgram` (see the lowering cache in
+:mod:`repro.core.trace` — lowering is paid once, not once per worker).
+A **process-backed** mode (``backend="process"``, fork platforms only)
+sidesteps the interpreter lock entirely at the cost of pickling batches
+across the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..engine.session import DEFAULT_ENGINE, Session
+from ..lpu.simulator import SimulationResult
+
+__all__ = ["BACKENDS", "PLACEMENTS", "WorkerPool"]
+
+PLACEMENTS = ("round_robin", "least_loaded")
+BACKENDS = ("thread", "process")
+
+_STOP = object()
+
+
+class _ThreadWorker:
+    """One worker thread owning one engine-bound session."""
+
+    def __init__(self, index: int, program: Program, engine: str) -> None:
+        self.index = index
+        self.session = Session(program, engine=engine)
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-worker-{index}", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        future: "Future[SimulationResult]" = Future()
+        self._queue.put((inputs, future))
+        return future
+
+    def close(self) -> None:
+        self._queue.put(_STOP)
+        self._thread.join()
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            inputs, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self.session.run(inputs))
+            except Exception as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+
+
+# -- process backend ----------------------------------------------------
+# The program reaches the child through fork inheritance (initargs are not
+# pickled under the fork start method); only batches and results cross the
+# process boundary.
+_PROC_SESSION: Optional[Session] = None
+
+
+def _proc_initializer(program: Program, engine: str) -> None:
+    global _PROC_SESSION
+    _PROC_SESSION = Session(program, engine=engine)
+
+
+def _proc_run(inputs: Dict[str, np.ndarray]) -> SimulationResult:
+    assert _PROC_SESSION is not None, "worker process not initialized"
+    return _PROC_SESSION.run(inputs)
+
+
+class _ProcessWorker:
+    """One worker backed by a single-process executor (its own queue, so
+    pool-level placement stays in charge of sharding)."""
+
+    def __init__(self, index: int, program: Program, engine: str) -> None:
+        self.index = index
+        context = multiprocessing.get_context("fork")
+        self._executor = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=context,
+            initializer=_proc_initializer,
+            initargs=(program, engine),
+        )
+
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        return self._executor.submit(_proc_run, inputs)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class WorkerPool:
+    """N engine workers over one program, with batch placement.
+
+    Args:
+        program: the compiled program every worker executes.
+        num_workers: engine instances (threads or processes).
+        engine: registered engine name each worker runs.
+        placement: ``"round_robin"`` or ``"least_loaded"``.
+        backend: ``"thread"`` (default) or ``"process"`` (fork only).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        num_workers: int = 2,
+        engine: str = DEFAULT_ENGINE,
+        placement: str = "round_robin",
+        backend: str = "thread",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; available: {PLACEMENTS}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; available: {BACKENDS}"
+            )
+        if backend == "process":
+            if "fork" not in multiprocessing.get_all_start_methods():
+                raise RuntimeError(
+                    "the process backend needs the 'fork' start method; "
+                    "use backend='thread' on this platform"
+                )
+        self.program = program
+        self.engine = engine
+        self.placement = placement
+        self.backend = backend
+        worker_cls = _ThreadWorker if backend == "thread" else _ProcessWorker
+        self._workers: List[Union[_ThreadWorker, _ProcessWorker]] = [
+            worker_cls(i, program, engine) for i in range(num_workers)
+        ]
+        self._lock = threading.Lock()
+        self._next = 0
+        self._pending_words = [0] * num_workers
+        self._dispatched = [0] * num_workers
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        """Place one batch on a worker; resolves to the batch's result."""
+        words = 0
+        for value in inputs.values():
+            words = int(np.asarray(value).size)
+            break
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self.placement == "round_robin":
+                index = self._next
+                self._next = (self._next + 1) % len(self._workers)
+            else:  # least_loaded
+                index = min(
+                    range(len(self._workers)),
+                    key=lambda i: (self._pending_words[i], i),
+                )
+            self._pending_words[index] += words
+            self._dispatched[index] += 1
+            # Enqueue while still holding the lock: a close() racing in
+            # after the closed-check would stop the worker and strand
+            # this request's future unresolved forever.
+            future = self._workers[index].submit(inputs)
+
+        def _done(_future, index=index, words=words):
+            with self._lock:
+                self._pending_words[index] -= words
+
+        future.add_done_callback(_done)
+        return future
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(inputs).result()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "backend": self.backend,
+                "placement": self.placement,
+                "num_workers": len(self._workers),
+                "dispatched": list(self._dispatched),
+                "pending_words": list(self._pending_words),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,324 @@
+"""Dynamic micro-batching of individual inference requests.
+
+A :class:`BatchScheduler` accepts single requests (:meth:`~BatchScheduler.
+submit` returns a :class:`concurrent.futures.Future`), coalesces them into
+micro-batches under a *max-batch-size / max-wait* policy, and dispatches
+each batch as ONE engine run.  Because every element of a stimulus array is
+an independent packed 64-sample word, coalescing is exact: requests are
+flattened, concatenated along the word axis, executed together, and the
+output words are split back per request — bit-identical to running each
+request alone, while paying the engine's per-run overhead once per batch
+instead of once per request.
+
+Policy invariants (property-tested in ``tests/test_serve.py``):
+
+* a batch never exceeds ``max_batch_size`` requests,
+* a request never waits longer than ``max_wait_ms`` for its batch to fill —
+  a partial batch is dispatched at the deadline,
+* per-request results (outputs AND statistics) are bit-identical to a
+  direct :meth:`~repro.engine.session.Session.run` of that request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..lpu.simulator import SimulationResult
+
+__all__ = ["BatchScheduler", "SchedulerStats"]
+
+#: A dispatch target: takes coalesced inputs, returns the batch result
+#: either synchronously or as a Future (e.g. from a WorkerPool).
+DispatchFn = Callable[
+    [Dict[str, np.ndarray]], Union[SimulationResult, "Future[SimulationResult]"]
+]
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing how requests were coalesced."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    total_wait_s: float = 0.0
+    max_wait_s: float = 0.0
+    #: (requests, words, head-of-line wait seconds) of recent batches.
+    recent: Deque[Tuple[int, int, float]] = field(
+        default_factory=lambda: deque(maxlen=1024)
+    )
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_s * 1e3,
+        }
+
+
+_WORD = np.uint64
+
+
+@dataclass
+class _Request:
+    """One submitted inference request, validated for coalescing."""
+
+    inputs: Dict[str, np.ndarray]  # PI name -> uint64 words (any shape)
+    shape: Tuple[int, ...]  # original batch shape, restored on output
+    words: int
+    future: "Future[SimulationResult]"
+    enqueued: float
+
+
+class BatchScheduler:
+    """Coalesce inference requests into dispatched micro-batches.
+
+    Args:
+        dispatch: callable executing one coalesced batch — typically
+            ``session.run`` or :meth:`WorkerPool.submit
+            <repro.serve.pool.WorkerPool.submit>`.  May return the
+            :class:`SimulationResult` directly or a Future of it.
+        max_batch_size: maximum requests coalesced into one dispatch.
+        max_wait_ms: maximum time the head-of-line request waits for its
+            batch to fill before a partial batch is dispatched.
+        pi_names: when given, every request is validated against this
+            primary-input set at submit time (fail fast, not at dispatch).
+    """
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        *,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        pi_names: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._dispatch_fn = dispatch
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1e3
+        self.pi_names = frozenset(pi_names) if pi_names is not None else None
+        self.stats = SchedulerStats()
+        self._queue: Deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-batch-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        """Enqueue one request; the Future resolves to its own result."""
+        validated: Dict[str, np.ndarray] = {}
+        shape: Optional[Tuple[int, ...]] = None
+        if self.pi_names is not None:
+            missing = self.pi_names - inputs.keys()
+            if missing:
+                raise KeyError(
+                    f"missing value for primary inputs {sorted(missing)}"
+                )
+            extra = inputs.keys() - self.pi_names
+            if extra:
+                # An unknown key would poison every request coalesced
+                # into this one's batch: fail fast, at the submitter.
+                raise KeyError(
+                    f"unknown primary inputs {sorted(extra)}"
+                )
+        for name, value in inputs.items():
+            # Hot path: stimuli are usually uint64 ndarrays already — the
+            # flattening itself happens inside the coalescing concatenate
+            # (C-level), never per request in Python.
+            if type(value) is not np.ndarray or value.dtype != _WORD:
+                value = np.asarray(value, dtype=_WORD)
+            if shape is None:
+                shape = value.shape
+            elif value.shape != shape:
+                raise ValueError("all PI arrays must share one shape")
+            validated[name] = value
+        if shape is None:
+            raise ValueError("a request needs at least one input array")
+        words = 1
+        for dim in shape:
+            words *= dim
+        request = _Request(
+            inputs=validated,
+            shape=shape,
+            words=words,
+            future=Future(),
+            enqueued=time.monotonic(),
+        )
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting requests; by default drain what is queued."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                pending = list(self._queue)
+                self._queue.clear()
+            self._cond.notify_all()
+        if not drain:
+            for request in pending:
+                request.future.cancel()
+        self._thread.join()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if not batch:
+                return  # closed and drained
+            self._dispatch(batch)
+
+    def _collect(self) -> List[_Request]:
+        """Block until a batch is ready under the size/deadline policy."""
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return []
+                self._cond.wait()
+            batch = [self._queue.popleft()]
+            deadline = batch[0].enqueued + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                if self._closed or remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+                if not self._queue and time.monotonic() >= deadline:
+                    break
+            return batch
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        # Without a pi_names contract, requests with a different input-key
+        # set than the batch head cannot be coalesced with it; fail those
+        # requests alone instead of poisoning the whole batch.
+        head_names = live[0].inputs.keys()
+        mismatched = [r for r in live if r.inputs.keys() != head_names]
+        if mismatched:
+            live = [r for r in live if r.inputs.keys() == head_names]
+            for request in mismatched:
+                request.future.set_exception(
+                    KeyError(
+                        "request input names do not match its batch; "
+                        "construct the scheduler with pi_names to "
+                        "validate at submit time"
+                    )
+                )
+        now = time.monotonic()
+        waited = now - live[0].enqueued
+        words = sum(r.words for r in live)
+        self.stats.requests += len(live)
+        self.stats.batches += 1
+        self.stats.max_batch = max(self.stats.max_batch, len(live))
+        self.stats.total_wait_s += waited
+        self.stats.max_wait_s = max(self.stats.max_wait_s, waited)
+        self.stats.recent.append((len(live), words, waited))
+        try:
+            if len(live) == 1:
+                single = live[0]
+                coalesced = {
+                    name: value.reshape(-1)
+                    for name, value in single.inputs.items()
+                }
+            else:
+                # axis=None concatenates the *flattened* arrays — the
+                # per-request raveling happens in C, not per PI in Python.
+                coalesced = {
+                    name: np.concatenate(
+                        [r.inputs[name] for r in live], axis=None
+                    )
+                    for name in live[0].inputs
+                }
+            outcome = self._dispatch_fn(coalesced)
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        if isinstance(outcome, Future):
+            outcome.add_done_callback(
+                lambda done: self._scatter_future(live, done)
+            )
+        else:
+            self._scatter(live, outcome)
+
+    def _scatter_future(
+        self, live: List[_Request], done: "Future[SimulationResult]"
+    ) -> None:
+        exc = done.exception()
+        if exc is not None:
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        self._scatter(live, done.result())
+
+    def _scatter(
+        self, live: List[_Request], result: SimulationResult
+    ) -> None:
+        """Split one batch result back into per-request results.
+
+        Statistics are per-run properties of the program alone, so each
+        request reports the same statistics a direct run would.
+        """
+        offset = 0
+        for request in live:
+            # Slices are views into the batch's output arrays: zero-copy,
+            # at the (bounded) cost of keeping the batch outputs alive
+            # while any of its requests' results are.
+            outputs = {
+                name: words[offset:offset + request.words].reshape(
+                    request.shape
+                )
+                for name, words in result.outputs.items()
+            }
+            offset += request.words
+            request.future.set_result(
+                SimulationResult(
+                    outputs=outputs,
+                    macro_cycles=result.macro_cycles,
+                    clock_cycles=result.clock_cycles,
+                    compute_instructions_executed=(
+                        result.compute_instructions_executed
+                    ),
+                    switch_routes=result.switch_routes,
+                    peak_buffer_words=result.peak_buffer_words,
+                    buffer_writes=result.buffer_writes,
+                )
+            )

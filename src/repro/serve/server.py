@@ -1,0 +1,171 @@
+"""The serving facade: cache + micro-batching + worker sharding.
+
+:class:`InferenceServer` is the one-stop entry point for serving a logic
+workload: it resolves the compiled program through a
+:class:`~repro.serve.cache.ProgramCache`, shards execution across a
+:class:`~repro.serve.pool.WorkerPool`, and coalesces concurrent requests
+with a :class:`~repro.serve.scheduler.BatchScheduler`.  Every request's
+result is bit-identical to a direct
+:meth:`~repro.engine.session.Session.run` of that request.
+
+The :func:`serve` function is the synchronous fire-and-forget form::
+
+    from repro.serve import serve
+    results = serve(graph, requests, num_workers=4, max_batch_size=16)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..core.config import LPUConfig
+from ..engine.session import DEFAULT_ENGINE, Session
+from ..lpu.simulator import SimulationResult
+from ..netlist.graph import LogicGraph
+from .cache import ProgramCache, default_program_cache
+from .pool import WorkerPool
+from .scheduler import BatchScheduler
+
+__all__ = ["InferenceServer", "naive_serve", "serve"]
+
+
+class InferenceServer:
+    """Serve one compiled workload to many concurrent callers.
+
+    Args:
+        source: a :class:`LogicGraph` to compile or a compiled
+            :class:`Program`.
+        config: LPU parameters when compiling from a graph.
+        engine: execution engine every worker runs (``"trace"`` default).
+        num_workers: parallel engine instances in the worker pool.
+        max_batch_size: requests coalesced into one engine run.
+        max_wait_ms: micro-batching deadline for a non-full batch.
+        placement: worker placement, ``"round_robin"`` / ``"least_loaded"``.
+        backend: worker backend, ``"thread"`` / ``"process"``.
+        cache: program cache to resolve compilations through (the
+            process-wide default cache when omitted).
+        **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`.
+    """
+
+    def __init__(
+        self,
+        source: Union[LogicGraph, Program],
+        config: Optional[LPUConfig] = None,
+        *,
+        engine: str = DEFAULT_ENGINE,
+        num_workers: int = 1,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        placement: str = "round_robin",
+        backend: str = "thread",
+        cache: Optional[ProgramCache] = None,
+        **compile_kwargs,
+    ) -> None:
+        self.cache = cache if cache is not None else default_program_cache()
+        entry = self.cache.get_or_compile(
+            source, config, engine=engine, **compile_kwargs
+        )
+        self.program = entry.program
+        self.engine_name = engine
+        self.pool = WorkerPool(
+            self.program,
+            num_workers=num_workers,
+            engine=engine,
+            placement=placement,
+            backend=backend,
+        )
+        graph = self.program.graph
+        self.scheduler = BatchScheduler(
+            self.pool.submit,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            pi_names=frozenset(
+                graph.input_name(nid) for nid in graph.inputs
+            ),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LogicGraph:
+        return self.program.graph
+
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        """Enqueue one request; the Future resolves to its result."""
+        return self.scheduler.submit(inputs)
+
+    def infer(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        """Synchronous single-request inference (blocks for the result)."""
+        return self.submit(inputs).result()
+
+    def map(
+        self, requests: Iterable[Dict[str, np.ndarray]]
+    ) -> List[SimulationResult]:
+        """Run many requests, returning results in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def stats(self) -> Dict[str, object]:
+        """Cache, scheduler, and pool statistics in one report."""
+        return {
+            "cache": self.cache.stats.as_dict(),
+            "scheduler": self.scheduler.stats.as_dict(),
+            "pool": self.pool.stats(),
+        }
+
+    def close(self) -> None:
+        """Drain queued requests, then stop scheduler and workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.pool.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InferenceServer(graph={self.graph.name!r}, "
+            f"engine={self.engine_name!r}, "
+            f"workers={self.pool.num_workers})"
+        )
+
+
+def serve(
+    source: Union[LogicGraph, Program],
+    requests: Iterable[Dict[str, np.ndarray]],
+    config: Optional[LPUConfig] = None,
+    **server_kwargs,
+) -> List[SimulationResult]:
+    """Serve ``requests`` through a transient :class:`InferenceServer`.
+
+    Results are returned in request order, each bit-identical to a direct
+    :meth:`Session.run <repro.engine.session.Session.run>` of that request.
+    Keyword arguments are forwarded to :class:`InferenceServer`.
+    """
+    with InferenceServer(source, config, **server_kwargs) as server:
+        return server.map(requests)
+
+
+def naive_serve(
+    source: Union[LogicGraph, Program],
+    requests: Iterable[Dict[str, np.ndarray]],
+    config: Optional[LPUConfig] = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+    **compile_kwargs,
+) -> List[SimulationResult]:
+    """The baseline the serving layer is benchmarked against: one
+    compile-once session, one engine run per request, no coalescing."""
+    session = Session(source, config, engine=engine, **compile_kwargs)
+    return [session.run(request) for request in requests]

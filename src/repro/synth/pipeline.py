@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
-from ..netlist import cells
 from ..netlist.graph import LogicGraph
 from .balance import BalanceReport, balance
 from .levelize import Levelization, is_levelized_strict, levelize

@@ -10,7 +10,6 @@ this is precisely how NullaNet exploits never-observed input patterns.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from .truth_table import Cube, TruthTable

@@ -296,6 +296,46 @@ class TestSession:
         with pytest.raises(KeyError):
             s.run({})
 
+    def test_engine_instance_reuse_hook(self):
+        """A prebuilt engine (sharing lowering artifacts) can be handed
+        straight to a Session — the serving layer's reuse path."""
+        g = random_dag(5, 30, 2, seed=6)
+        res = compile_ffcl(g, TINY)
+        engine = create_engine("trace", res.program)
+        s = Session(res.program, engine=engine)
+        assert s.engine is engine
+        assert s.run_random(seed=1).macro_cycles == res.schedule.makespan
+
+    def test_engine_instance_for_wrong_program_rejected(self):
+        g = random_dag(5, 30, 2, seed=6)
+        res = compile_ffcl(g, TINY)
+        other = compile_ffcl(random_dag(5, 30, 2, seed=7), TINY)
+        engine = create_engine("trace", other.program)
+        with pytest.raises(ValueError, match="different"):
+            Session(res.program, engine=engine)
+
+    def test_cycle_engine_releases_batch_buffers(self):
+        """After a run, the simulator must not pin that batch's arrays
+        (stale per-batch buffers when batch shapes alternate)."""
+        g = random_tree(128, seed=1)  # deep: exercises the output buffer
+        res = compile_ffcl(g, TINY)
+        s = Session(res.program, engine="cycle")
+        result = s.run_random(array_size=64, seed=0)
+        simulator = s.engine.simulator
+        assert simulator.input_buffer.num_entries == 0
+        assert simulator.input_buffer.words_stored() == 0
+        assert simulator.output_buffer.live_words == 0
+        for lpv in simulator.lpvs:
+            for lpe in lpv.lpes:
+                assert lpe.snapshot_a is None and lpe.snapshot_b is None
+        # Statistics and outputs survive the release...
+        assert result.peak_buffer_words > 0
+        assert result.buffer_writes > 0
+        assert result.outputs
+        # ...and a smaller follow-up batch still runs correctly.
+        small = s.run_random(array_size=1, seed=1)
+        assert small.peak_buffer_words == result.peak_buffer_words
+
     def test_per_run_statistics_not_cumulative(self):
         g = random_tree(64, seed=3)
         for engine in available_engines():

@@ -6,7 +6,6 @@ import pytest
 from repro.core import LPUConfig, PAPER_CONFIG, compile_ffcl
 from repro.lpu import LPUSimulator, cross_check, random_stimulus
 from repro.netlist import (
-    graphs_equivalent,
     parse_verilog,
     random_dag,
     write_verilog,

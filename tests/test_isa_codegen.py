@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    IDLE_PORT,
     LPEInstruction,
     LPUConfig,
     NOP,
@@ -18,7 +17,6 @@ from repro.core import (
     encode_instruction,
 )
 from repro.netlist import cells, random_dag, random_tree
-from repro.netlist.graph import LogicGraph
 
 
 class TestPortSpec:

@@ -12,7 +12,6 @@ from repro.lpu import (
     InputDataBuffer,
     InstructionQueue,
     InstructionQueueArray,
-    InvalidDataError,
     LPUSimulator,
     MulticastSwitch,
     OutputDataBuffer,
@@ -73,12 +72,15 @@ class TestEndToEnd:
         g = parse_verilog(src)
         res = compile_ffcl(g, LPUConfig(num_lpvs=3, lpes_per_lpv=2))
         sim = LPUSimulator(res.program)
+
+        def word(bit):
+            return np.array(
+                [0xFFFFFFFFFFFFFFFF if bit else 0], dtype=np.uint64
+            )
+
         for a in (0, 1):
             for b in (0, 1):
                 for cin in (0, 1):
-                    word = lambda bit: np.array(
-                        [0xFFFFFFFFFFFFFFFF if bit else 0], dtype=np.uint64
-                    )
                     out = sim.run({"a": word(a), "b": word(b), "cin": word(cin)})
                     s = int(out.outputs["sum"][0] & np.uint64(1))
                     c = int(out.outputs["cout"][0] & np.uint64(1))

@@ -105,8 +105,6 @@ class TestMergePartition:
 
     def test_report_ratios(self):
         part = make_partition(seed=7, m=3)
-        import copy
-
         before_count = part.num_mfgs
         merged = merge_partition(part)
         report = merging_report(part, merged)

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.netlist import graphs_equivalent
 from repro.nullanet import (
     BinaryMLP,
     LayerSpec,
@@ -24,7 +23,7 @@ from repro.nullanet import (
     to_bipolar,
     to_bits,
 )
-from repro.nullanet.pipeline import binary_predict, popcount_readout
+from repro.nullanet.pipeline import popcount_readout
 
 
 class TestBinarize:

@@ -4,11 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netlist import cells, random_dag, random_layered_dag, random_tree
+from repro.netlist import cells, random_dag, random_tree
 from repro.netlist.graph import LogicGraph
 from repro.core import (
-    LPUConfig,
-    Partition,
     find_mfg,
     iter_mfg_dag_topological,
     partition,
