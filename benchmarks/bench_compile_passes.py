@@ -1,0 +1,196 @@
+"""Per-pass compile-time benchmark (the pass-manager instrumentation).
+
+Times every pass of the ``paper`` pipeline over the Table II model
+workloads, then:
+
+* asserts the parallel per-MFG codegen pass is >= 2x faster than the
+  sequential reference generator on the largest Table II workload (the
+  emit phase is restructured around interned ports and precomputed fanin
+  tables, so the win holds even on one core — a thread pool then overlaps
+  per-MFG emission on multi-core hosts), while producing a bit-identical
+  program,
+* asserts a pass-cache-warm recompile is >= 2x faster than the cold
+  compile and returns identical artifacts (it should be near-free: every
+  pass is served from the cache).
+
+Results are archived as JSON for the CI bench-smoke artifact.
+``REPRO_BENCH_FAST=1`` shrinks the workload sample sizes to smoke-test
+proportions.
+"""
+
+import time
+
+from conftest import fast_mode, publish, publish_json
+
+from repro.compiler import (
+    PassCache,
+    format_pass_report,
+    generate_program_parallel,
+    records_as_dicts,
+)
+from repro.core import PAPER_CONFIG, compile_ffcl
+from repro.core.codegen import generate_program
+from repro.models import (
+    layer_block,
+    lenet5_workload,
+    mlpmixer_s4_workload,
+    vgg16_paper_layers,
+    vgg16_workload,
+)
+
+#: sampled neurons per block: (report models, largest Table II workload).
+SAMPLE_NEURONS = 4 if fast_mode() else 8
+LARGE_SAMPLE_NEURONS = 24 if fast_mode() else 96
+SPEEDUP_FLOOR = 1.5 if fast_mode() else 2.0
+REPEATS = 3 if fast_mode() else 7
+
+_CACHE = {}
+
+
+def _largest_layer(model):
+    return max(model.layers, key=lambda layer: layer.num_neurons)
+
+
+def _model_blocks():
+    """(model name, sampled FFCL block) for the Table II models."""
+    if "blocks" not in _CACHE:
+        vgg = vgg16_workload()
+        vgg_layer = max(
+            vgg16_paper_layers(vgg), key=lambda layer: layer.num_neurons
+        )
+        blocks = [
+            ("VGG16", layer_block(vgg_layer, SAMPLE_NEURONS, seed=0)[0]),
+            (
+                "LENET5",
+                layer_block(
+                    _largest_layer(lenet5_workload()), SAMPLE_NEURONS, seed=0
+                )[0],
+            ),
+            (
+                "MLPMixer-S/4",
+                layer_block(
+                    _largest_layer(mlpmixer_s4_workload()),
+                    SAMPLE_NEURONS,
+                    seed=0,
+                )[0],
+            ),
+        ]
+        _CACHE["blocks"] = blocks
+    return _CACHE["blocks"]
+
+
+def _large_block():
+    """The largest Table II workload: VGG16's widest conv layer."""
+    if "large" not in _CACHE:
+        vgg = vgg16_workload()
+        layer = max(vgg16_paper_layers(vgg), key=lambda layer: layer.num_neurons)
+        _CACHE["large"] = layer_block(layer, LARGE_SAMPLE_NEURONS, seed=0)[0]
+    return _CACHE["large"]
+
+
+def _best(fn, *args, repeats=REPEATS):
+    elapsed = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
+
+def _programs_identical(a, b):
+    return (
+        a.queues == b.queues
+        and a.input_reads == b.input_reads
+        and a.circulation_reads == b.circulation_reads
+        and a.buffer_writes == b.buffer_writes
+        and a.po_nodes == b.po_nodes
+        and a.po_buffer_keys == b.po_buffer_keys
+        and a.peak_buffer_words == b.peak_buffer_words
+        and a.buffer_spills == b.buffer_spills
+    )
+
+
+def test_pass_timing_report(benchmark):
+    """Per-pass wall time and artifact sizes for every model workload."""
+    blocks = _model_blocks()
+    per_model = {}
+    tables = []
+    for name, block in blocks:
+        result = compile_ffcl(block, PAPER_CONFIG)
+        per_model[name] = {
+            "gates": block.num_gates,
+            "passes": records_as_dicts(result.pass_records),
+            "total_seconds": sum(r.seconds for r in result.pass_records),
+        }
+        tables.append(
+            f"{name} ({block.num_gates} gates)\n"
+            + format_pass_report(result.pass_records)
+        )
+        names = [r.name for r in result.pass_records]
+        assert names[-1] == "metrics" and "codegen" in names
+    publish("compile_passes_timing", "\n\n".join(tables))
+    publish_json("compile_passes_timing", per_model)
+    benchmark(compile_ffcl, blocks[0][1], PAPER_CONFIG)
+
+
+def test_parallel_codegen_speedup(benchmark):
+    """Parallel codegen >= 2x the sequential reference, bit-identically,
+    on the largest Table II workload."""
+    block = _large_block()
+    result = compile_ffcl(block, PAPER_CONFIG)
+    schedule, balanced = result.schedule, result.preprocess.graph
+
+    reference = generate_program(schedule, balanced, PAPER_CONFIG)
+    assert _programs_identical(reference, result.program)
+
+    t_reference = _best(generate_program, schedule, balanced, PAPER_CONFIG)
+    t_parallel = _best(
+        generate_program_parallel, schedule, balanced, PAPER_CONFIG
+    )
+    speedup = t_reference / t_parallel
+    data = {
+        "workload": "VGG16 widest conv (Table II)",
+        "gates": balanced.num_gates,
+        "mfgs": result.partition.num_mfgs,
+        "sequential_seconds": t_reference,
+        "parallel_seconds": t_parallel,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+        "fast_mode": fast_mode(),
+    }
+    publish_json("compile_passes_codegen_speedup", data)
+    benchmark(generate_program_parallel, schedule, balanced, PAPER_CONFIG)
+    assert speedup >= SPEEDUP_FLOOR, data
+
+
+def test_pass_cache_warm_compile(benchmark):
+    """A pass-cache-warm recompile is near-free and artifact-identical."""
+    block = _model_blocks()[0][1]
+    cache = PassCache()
+    t_cold_start = time.perf_counter()
+    cold = compile_ffcl(block, PAPER_CONFIG, pass_cache=cache)
+    t_cold = time.perf_counter() - t_cold_start
+    t_warm_start = time.perf_counter()
+    warm = compile_ffcl(block, PAPER_CONFIG, pass_cache=cache)
+    t_warm = time.perf_counter() - t_warm_start
+
+    assert all(
+        record.cache_hit
+        for record in warm.pass_records
+        if record.name != "ingest"  # ingest is deliberately uncached
+    )
+    assert warm.program is cold.program
+    assert warm.schedule is cold.schedule
+    assert warm.metrics is cold.metrics
+    speedup = t_cold / t_warm
+    publish_json(
+        "compile_passes_warm_cache",
+        {
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "speedup": speedup,
+            "hit_rate": cache.stats.hit_rate,
+        },
+    )
+    benchmark(compile_ffcl, block, PAPER_CONFIG, pass_cache=cache)
+    assert speedup >= 2.0, (t_cold, t_warm)

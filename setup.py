@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-lpu",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Algorithms and Hardware for Efficient Processing "
         "of Logic-based Neural Networks' (DAC 2023): FFCL-to-LPU compiler, "

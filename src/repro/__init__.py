@@ -7,6 +7,10 @@ The package implements the paper's complete system in pure Python:
 * :mod:`repro.netlist` — cell library, logic-graph DAG, Verilog/.bench I/O,
 * :mod:`repro.synth` — logic optimization, levelization, full path
   balancing, two-level minimization, algebraic factoring,
+* :mod:`repro.compiler` — the pass-manager pipeline: every stage of the
+  flow as a registered pass over one compile state, with named/custom
+  pipelines, per-pass instrumentation, pass-level result caching, and
+  parallel per-MFG code generation,
 * :mod:`repro.nullanet` — NullaNet-style FFCL extraction from binarized
   neural networks (the paper's upstream engine),
 * :mod:`repro.core` — the paper's contribution: MFG partitioning, merging,
@@ -44,8 +48,9 @@ Serving-oriented fast path (compile once, run many batches)::
         result = session.run(stim)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+from .compiler import PassCache, PassManager, compile_with_pipeline
 from .core import LPUConfig, PAPER_CONFIG, compile_ffcl
 from .engine import (
     CycleAccurateEngine,
@@ -70,7 +75,10 @@ __all__ = [
     "__version__",
     "LPUConfig",
     "PAPER_CONFIG",
+    "PassCache",
+    "PassManager",
     "compile_ffcl",
+    "compile_with_pipeline",
     "CycleAccurateEngine",
     "ExecutionEngine",
     "Session",

@@ -3,13 +3,19 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli compile block.v --lpvs 16 --lpes 32 [--json]
+    python -m repro.cli compile block.v --pipeline no-merge --explain-passes
     python -m repro.cli simulate block.v --seed 7 --engine trace
     python -m repro.cli throughput block.v --array-size 256 --batches 16
     python -m repro.cli serve-bench block.v --requests 256 --workers 2
     python -m repro.cli report block.v --no-merge --policy sequential [--json]
+    python -m repro.cli passes block.v [--json] / passes --list
 
 ``compile`` prints the compilation metrics (MFG counts, schedule length,
-FPS).  ``simulate`` additionally executes the program on the selected
+FPS); ``--pipeline`` selects a named compile pipeline (``paper``,
+``no-merge``, ``metrics-only``) or a custom comma-separated pass list, and
+``--explain-passes`` appends the per-pass wall-time/size report.
+``passes`` prints that per-pass report on its own (``--list`` enumerates
+the registered passes and named pipelines without compiling anything).  ``simulate`` additionally executes the program on the selected
 execution engine (``--engine cycle`` for the cycle-accurate hardware model,
 ``--engine trace`` for the vectorized fast path) with random stimulus and
 cross-checks it against functional evaluation.  ``throughput`` measures
@@ -30,6 +36,12 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from .compiler import (
+    PIPELINES,
+    available_passes,
+    format_pass_report,
+    records_as_dicts,
+)
 from .core import LPUConfig, compile_ffcl
 from .core.partition import partition_summary
 from .core.schedule import schedule_summary
@@ -55,8 +67,18 @@ def _load_graph(path: str):
     return parse_verilog(text)
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("netlist", help="structural Verilog (.v) or .bench file")
+def _add_common(
+    parser: argparse.ArgumentParser, netlist_optional: bool = False
+) -> None:
+    if netlist_optional:
+        parser.add_argument(
+            "netlist", nargs="?", default=None,
+            help="structural Verilog (.v) or .bench file",
+        )
+    else:
+        parser.add_argument(
+            "netlist", help="structural Verilog (.v) or .bench file"
+        )
     parser.add_argument("--lpvs", type=int, default=16, help="LPV count (n)")
     parser.add_argument("--lpes", type=int, default=32, help="LPEs per LPV (m)")
     parser.add_argument(
@@ -73,6 +95,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=("pipelined", "sequential"),
         default="pipelined",
         help="MFG scheduling policy",
+    )
+    parser.add_argument(
+        "--pipeline",
+        default=None,
+        metavar="SPEC",
+        help="compile pipeline: a named pipeline "
+        f"({', '.join(sorted(PIPELINES))}) or a comma-separated pass list; "
+        "overrides --no-merge",
     )
 
 
@@ -101,22 +131,91 @@ def _compile(args: argparse.Namespace):
         _config(args),
         merge=not args.no_merge,
         policy=args.policy,
+        pipeline=getattr(args, "pipeline", None),
     )
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
     result = _compile(args)
     if args.json:
-        print(json.dumps(result.metrics.as_dict(), indent=2, sort_keys=True))
+        data = dict(result.metrics.as_dict())
+        if args.explain_passes:
+            data["passes"] = records_as_dicts(result.pass_records)
+        print(json.dumps(data, indent=2, sort_keys=True))
         return 0
     print(result.metrics)
     for key, value in result.metrics.as_dict().items():
         print(f"  {key}: {value}")
+    if args.explain_passes:
+        print()
+        print(format_pass_report(result.pass_records))
     return 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    if args.list:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "passes": available_passes(),
+                        "pipelines": {
+                            name: list(pass_names)
+                            for name, pass_names in PIPELINES.items()
+                        },
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print("passes:")
+        for name in available_passes():
+            print(f"  {name}")
+        print("pipelines:")
+        for name, pass_names in sorted(PIPELINES.items()):
+            print(f"  {name}: {','.join(pass_names)}")
+        return 0
+    if args.netlist is None:
+        print("error: a netlist is required unless --list is given",
+              file=sys.stderr)
+        return 2
+    result = _compile(args)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "netlist": args.netlist,
+                    "metrics": result.metrics.as_dict(),
+                    "passes": records_as_dicts(result.pass_records),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(result.metrics)
+    print()
+    print(format_pass_report(result.pass_records))
+    return 0
+
+
+def _require_program(result, args: argparse.Namespace) -> bool:
+    """False (with a clear error) when the pipeline emitted no program."""
+    if result.program is not None:
+        return True
+    print(
+        f"error: pipeline {args.pipeline!r} generates no program (no "
+        f"'codegen' pass); this command needs an executable program",
+        file=sys.stderr,
+    )
+    return False
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     result = _compile(args)
+    if not _require_program(result, args):
+        return 2
     ok, outputs, _ref = cross_check(
         result.program, seed=args.seed, engine=args.engine
     )
@@ -130,6 +229,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_throughput(args: argparse.Namespace) -> int:
     result = _compile(args)
+    if not _require_program(result, args):
+        return 2
     graph = result.program.graph
     engines = (
         available_engines() if args.engine == "all" else [args.engine]
@@ -181,6 +282,8 @@ def cmd_throughput(args: argparse.Namespace) -> int:
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     result = _compile(args)
+    if not _require_program(result, args):
+        return 2
     report = run_serve_bench(
         result.program,
         engine=args.engine,
@@ -269,7 +372,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument(
         "--json", action="store_true", help="emit metrics as JSON"
     )
+    p_compile.add_argument(
+        "--explain-passes",
+        action="store_true",
+        help="append the per-pass wall-time/size report",
+    )
     p_compile.set_defaults(func=cmd_compile)
+
+    p_passes = sub.add_parser(
+        "passes", help="per-pass compile report (or --list the registry)"
+    )
+    _add_common(p_passes, netlist_optional=True)
+    p_passes.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered passes and named pipelines (no netlist needed)",
+    )
+    p_passes.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_passes.set_defaults(func=cmd_passes)
 
     p_sim = sub.add_parser("simulate", help="compile, execute, cross-check")
     _add_common(p_sim)

@@ -1,0 +1,154 @@
+"""Pass-level result caching keyed by content-fingerprint chains.
+
+The :class:`~repro.serve.cache.ProgramCache` memoizes whole compilations;
+:class:`PassCache` extends the same idea one level down.  Every pass
+application is identified by a rolling fingerprint::
+
+    fp_0     = sha256(graph content fingerprint + graph name)
+    fp_{i+1} = sha256(fp_i + pass name + pass signature)
+
+so the key of pass *i* encodes the entire upstream chain — two pipelines
+that share a prefix (e.g. ``paper`` and ``no-merge``, or the same netlist
+compiled under two scheduling policies) hit the cache for every shared
+pass and only re-run from the first point of divergence.  The cached value
+is the snapshot of the state fields the pass ``provides``; artifacts are
+shared by reference, which is safe because passes never mutate their
+inputs (the merge pass clones, every synth pass rebuilds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..netlist.graph import LogicGraph
+
+__all__ = [
+    "PassCache",
+    "PassCacheStats",
+    "base_fingerprint",
+    "chain_fingerprint",
+    "graph_fingerprint",
+]
+
+
+def graph_fingerprint(graph: LogicGraph) -> str:
+    """Stable content hash of a logic graph's structure and interface.
+
+    Nodes are renumbered in topological order, so the fingerprint depends
+    only on the graph's logical content — never on node-id allocation
+    history or object identity.  (:mod:`repro.serve.cache` re-exports this
+    as the workload key of the program cache.)
+    """
+    digest = hashlib.sha256()
+    order = graph.topological_order()
+    renumber = {nid: i for i, nid in enumerate(order)}
+    for nid in order:
+        fanins = tuple(renumber[f] for f in graph.fanins_of(nid))
+        digest.update(repr((renumber[nid], graph.op_of(nid), fanins)).encode())
+    for nid in graph.inputs:
+        digest.update(repr(("pi", graph.input_name(nid), renumber[nid])).encode())
+    for name, nid in graph.outputs:
+        digest.update(repr(("po", name, renumber[nid])).encode())
+    return digest.hexdigest()
+
+
+def base_fingerprint(graph: LogicGraph) -> str:
+    """Starting fingerprint of a compile: graph content + display name."""
+    digest = hashlib.sha256()
+    digest.update(graph_fingerprint(graph).encode())
+    digest.update(repr(graph.name).encode())
+    return digest.hexdigest()
+
+
+def chain_fingerprint(prefix: str, pass_name: str, signature: Tuple) -> str:
+    """Fold one pass application into the rolling fingerprint."""
+    digest = hashlib.sha256()
+    digest.update(prefix.encode())
+    digest.update(pass_name.encode())
+    digest.update(repr(signature).encode())
+    return digest.hexdigest()
+
+
+class PassCacheStats:
+    """Hit/miss counters, overall and per pass name."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.by_pass: Dict[str, Dict[str, int]] = {}
+
+    def record(self, pass_name: str, hit: bool) -> None:
+        counters = self.by_pass.setdefault(pass_name, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            counters["hits"] += 1
+        else:
+            self.misses += 1
+            counters["misses"] += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "by_pass": {name: dict(c) for name, c in self.by_pass.items()},
+        }
+
+
+class PassCache:
+    """Thread-safe LRU cache of per-pass state snapshots.
+
+    Args:
+        capacity: maximum retained pass applications (each entry is one
+            pass's output snapshot, so a 13-pass pipeline occupies 13
+            entries when fully cached).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("pass cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = PassCacheStats()
+        self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = PassCacheStats()
+
+    def lookup(
+        self, key: str, pass_name: str
+    ) -> Optional[Dict[str, object]]:
+        """Return the cached snapshot for ``key`` (and count the lookup)."""
+        with self._lock:
+            snapshot = self._entries.get(key)
+            if snapshot is not None:
+                self._entries.move_to_end(key)
+            self.stats.record(pass_name, hit=snapshot is not None)
+            return snapshot
+
+    def store(self, key: str, snapshot: Dict[str, object]) -> None:
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1

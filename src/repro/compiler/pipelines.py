@@ -1,0 +1,98 @@
+"""Named pipelines and pipeline-spec resolution.
+
+A *pipeline spec* is anything a CLI flag, a serve option, or a facade can
+hand us:
+
+* a registered name — ``"paper"``, ``"no-merge"``, ``"metrics-only"``,
+* a comma-separated custom pass list — ``"ingest,simplify,balance,..."``,
+* an explicit sequence of pass names.
+
+:func:`resolve_pipeline` normalizes all of these to a tuple of registered
+pass names, and :func:`pipeline_id` renders that tuple as the canonical
+string used in cache keys (two different pipelines over the same graph
+must never collide in any cache).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+from .passes import get_pass
+
+__all__ = [
+    "PIPELINES",
+    "PipelineSpec",
+    "pipeline_from_options",
+    "pipeline_id",
+    "resolve_pipeline",
+]
+
+PipelineSpec = Union[str, Iterable[str]]
+
+_PREPROCESS = (
+    "ingest",
+    "rebalance",
+    "simplify",
+    "rebalance",
+    "simplify",
+    "techmap",
+    "balance",
+    "levelize",
+)
+
+#: The standard pipelines.  ``paper`` is the full Fig. 1 flow (and exactly
+#: what ``compile_ffcl``'s defaults ran before the pass-manager refactor);
+#: ``no-merge`` is the Fig. 7/8 ablation; ``metrics-only`` skips
+#: instruction generation for parameter sweeps on large workloads.
+PIPELINES: Dict[str, Tuple[str, ...]] = {
+    "paper": _PREPROCESS
+    + ("partition", "merge", "schedule", "codegen", "metrics"),
+    "no-merge": _PREPROCESS
+    + ("partition", "schedule", "codegen", "metrics"),
+    "metrics-only": _PREPROCESS
+    + ("partition", "merge", "schedule", "metrics"),
+}
+
+
+def resolve_pipeline(spec: PipelineSpec) -> Tuple[str, ...]:
+    """Normalize a pipeline spec to a validated tuple of pass names."""
+    if isinstance(spec, str):
+        if spec in PIPELINES:
+            return PIPELINES[spec]
+        names = tuple(part.strip() for part in spec.split(",") if part.strip())
+    else:
+        names = tuple(spec)
+    if not names:
+        raise ValueError("empty compile pipeline")
+    for name in names:
+        get_pass(name)  # raises KeyError with the available-pass list
+    return names
+
+
+def pipeline_id(spec: PipelineSpec) -> str:
+    """Canonical cache-key string of a pipeline ('+'-joined pass names)."""
+    return "+".join(resolve_pipeline(spec))
+
+
+def pipeline_from_options(
+    optimize: bool = True,
+    merge: bool = True,
+    generate_code: bool = True,
+) -> Tuple[str, ...]:
+    """The pass list the pre-refactor ``compile_ffcl`` keywords imply.
+
+    With every default on, this is exactly ``PIPELINES["paper"]`` — the
+    ``techmap`` pass stays in the list even without a basis (it no-ops), so
+    option-equivalent compiles share one pipeline identity.
+    """
+    passes = ["ingest"]
+    if optimize:
+        passes += ["rebalance", "simplify", "rebalance", "simplify"]
+    passes += ["techmap", "balance", "levelize", "partition"]
+    if merge:
+        passes.append("merge")
+    passes.append("schedule")
+    if generate_code:
+        passes.append("codegen")
+    passes.append("metrics")
+    return tuple(passes)

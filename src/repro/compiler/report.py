@@ -1,0 +1,60 @@
+"""Per-pass report rendering for the CLI and the benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .state import PassRecord
+
+__all__ = ["format_pass_report", "records_as_dicts"]
+
+_SIZE_COLUMNS = (
+    ("gates", "gates"),
+    ("depth", "depth"),
+    ("mfgs", "mfgs"),
+    ("makespan", "makespan"),
+    ("instructions", "instrs"),
+)
+
+
+def records_as_dicts(records: Sequence[PassRecord]) -> List[Dict[str, object]]:
+    """JSON-ready form of a pass-record list."""
+    return [record.as_dict() for record in records]
+
+
+def format_pass_report(records: Sequence[PassRecord]) -> str:
+    """Render pass records as an aligned text table."""
+    headers = ["#", "pass", "ms", "cache"] + [
+        header for _, header in _SIZE_COLUMNS
+    ]
+    rows: List[List[str]] = []
+    total_ms = 0.0
+    for index, record in enumerate(records):
+        ms = record.seconds * 1e3
+        total_ms += ms
+        row = [
+            str(index),
+            record.name,
+            f"{ms:.2f}",
+            "hit" if record.cache_hit else "-",
+        ]
+        for size_key, _ in _SIZE_COLUMNS:
+            value = record.sizes.get(size_key)
+            row.append("-" if value is None else str(value))
+        rows.append(row)
+    rows.append(
+        ["", "total", f"{total_ms:.2f}", ""] + [""] * len(_SIZE_COLUMNS)
+    )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[col]) for col, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[col]) for col, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Compile state and options threaded through the pass pipeline.
+
+A :class:`CompileState` is the single mutable record every
+:class:`~repro.compiler.passes.Pass` reads from and writes to: the working
+graph, the pre-processing bookkeeping, the partition/schedule/program
+artifacts, the final metrics, and the per-pass instrumentation records.
+:class:`CompileOptions` is the frozen bag of compile knobs (the old
+``compile_ffcl`` keyword arguments), and :class:`PassRecord` is one row of
+the per-pass report (wall time, cache hit, artifact sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from ..core.codegen import Program
+from ..core.config import LPUConfig, PAPER_CONFIG
+from ..core.metrics import CompileMetrics
+from ..core.mfg import Partition
+from ..core.schedule import Schedule
+from ..netlist.graph import LogicGraph
+from ..synth.balance import BalanceReport
+from ..synth.levelize import Levelization
+from ..synth.pipeline import PreprocessResult
+
+__all__ = [
+    "CompileOptions",
+    "CompileState",
+    "PassRecord",
+    "PipelineError",
+]
+
+
+class PipelineError(RuntimeError):
+    """A pass was run against a state missing its required inputs."""
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Compile knobs consumed by the passes (hashable, cache-key safe).
+
+    Note there is no ``merge``/``generate_code`` knob here: whether those
+    stages run is decided solely by the pass list (see
+    :func:`repro.compiler.pipeline_from_options`), never by an option a
+    pass would have to consult.
+    """
+
+    policy: str = "pipelined"
+    optimize: bool = True
+    basis: Optional[FrozenSet[str]] = None
+    max_mfgs: int = 500_000
+    #: emit-phase thread-pool width of the codegen pass; ``None`` uses the
+    #: host CPU count.  Never part of any cache identity: the generated
+    #: program is bit-identical for every worker count.
+    codegen_workers: Optional[int] = None
+
+
+@dataclass
+class PassRecord:
+    """Instrumentation for one executed (or cache-served) pass."""
+
+    name: str
+    seconds: float
+    cache_hit: bool = False
+    #: artifact sizes *after* the pass (gates, MFG counts, makespan, ...).
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "cache_hit": self.cache_hit,
+            "sizes": dict(self.sizes),
+        }
+
+
+@dataclass
+class CompileState:
+    """Everything one compilation has produced so far."""
+
+    source: LogicGraph
+    config: LPUConfig = PAPER_CONFIG
+    options: CompileOptions = CompileOptions()
+
+    #: the working netlist the pre-processing passes rewrite.
+    graph: Optional[LogicGraph] = None
+    levels: Optional[Levelization] = None
+    balance_report: Optional[BalanceReport] = None
+
+    # Pre-processing bookkeeping (the PreprocessReport counters).
+    gates_in: Optional[int] = None
+    depth_in: Optional[int] = None
+    gates_after_simplify: Optional[int] = None
+    gates_after_mapping: Optional[int] = None
+
+    #: assembled by the levelize pass (facade-compatible artifact).
+    preprocess: Optional[PreprocessResult] = None
+
+    partition_unmerged: Optional[Partition] = None
+    partition: Optional[Partition] = None
+    schedule: Optional[Schedule] = None
+    program: Optional[Program] = None
+    metrics: Optional[CompileMetrics] = None
+
+    records: List[PassRecord] = field(default_factory=list)
+
+    def require(self, field_name: str, needed_by: str) -> object:
+        """Fetch an artifact, raising a pipeline-shaped error when absent."""
+        value = getattr(self, field_name)
+        if value is None:
+            raise PipelineError(
+                f"pass {needed_by!r} requires {field_name!r}; add the pass "
+                f"that produces it earlier in the pipeline"
+            )
+        return value
+
+    def size_summary(self) -> Dict[str, int]:
+        """Cheap artifact sizes for the per-pass report."""
+        sizes: Dict[str, int] = {}
+        if self.graph is not None:
+            sizes["gates"] = self.graph.num_gates
+        if self.levels is not None:
+            sizes["depth"] = self.levels.max_level
+        if self.partition_unmerged is not None:
+            sizes["mfgs_unmerged"] = self.partition_unmerged.num_mfgs
+        if self.partition is not None:
+            sizes["mfgs"] = self.partition.num_mfgs
+        if self.schedule is not None:
+            sizes["makespan"] = self.schedule.makespan
+        if self.program is not None:
+            sizes["instructions"] = self.program.num_compute_instructions
+            sizes["queue_entries"] = self.program.num_queue_entries
+        return sizes

@@ -29,7 +29,13 @@ from .hetero import (
     partition_heterogeneous,
     tapered_profile,
 )
-from .merge import check_level, merge_pair, merge_partition, merging_report
+from .merge import (
+    check_level,
+    clone_partition,
+    merge_pair,
+    merge_partition,
+    merging_report,
+)
 from .metrics import CompileMetrics
 from .mfg import MFG, Partition, iter_mfg_dag_topological
 from .partition import find_mfg, partition, partition_summary
@@ -76,6 +82,7 @@ __all__ = [
     "partition_heterogeneous",
     "tapered_profile",
     "check_level",
+    "clone_partition",
     "merge_pair",
     "merge_partition",
     "merging_report",

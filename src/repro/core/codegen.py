@@ -89,13 +89,20 @@ class Program:
 
     @property
     def num_compute_instructions(self) -> int:
-        return sum(
-            1
-            for per_lpv in self.queues.values()
-            for vec in per_lpv.values()
-            for instr in vec
-            if instr.op != NOP
-        )
+        # Memoized: the queues are immutable once generated, and the count
+        # is re-read by per-pass instrumentation and metrics on every
+        # compile — a full queue scan each time on large programs.
+        cached = self.__dict__.get("_num_compute_instructions")
+        if cached is None:
+            cached = sum(
+                1
+                for per_lpv in self.queues.values()
+                for vec in per_lpv.values()
+                for instr in vec
+                if instr.op != NOP
+            )
+            self.__dict__["_num_compute_instructions"] = cached
+        return cached
 
     @property
     def num_queue_entries(self) -> int:

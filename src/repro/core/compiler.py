@@ -1,6 +1,6 @@
 """End-to-end FFCL compiler (Fig. 1: pre-processing -> compiler -> hardware).
 
-:func:`compile_ffcl` chains every stage of the paper's flow:
+:func:`compile_ffcl` is the classic one-call entry point of the flow:
 
 1. pre-process the netlist (logic optimization, cell mapping, levelization,
    full path balancing — :mod:`repro.synth.pipeline`),
@@ -11,34 +11,42 @@
 5. generate the instruction queues, buffer layouts, and circulation traffic
    (optional — metric-only sweeps skip it).
 
+Since the pass-manager refactor this function is a thin facade over
+:mod:`repro.compiler`: the keyword arguments are translated into a pass
+pipeline (:func:`repro.compiler.pipeline_from_options`) and run through a
+:class:`~repro.compiler.manager.PassManager`, with results bit-identical
+to the pre-refactor monolithic chain.  Callers that want named pipelines,
+custom pass lists, per-pass instrumentation, or pass-level caching can
+pass ``pipeline=`` / ``pass_cache=`` here or drop down to
+:func:`repro.compiler.compile_with_pipeline` / ``PassManager`` directly.
+
 The result carries every intermediate artifact plus a
-:class:`~repro.core.metrics.CompileMetrics` record.
+:class:`~repro.core.metrics.CompileMetrics` record and the per-pass
+instrumentation records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
 
 from ..netlist.graph import LogicGraph
-from ..synth.pipeline import PreprocessResult, preprocess
-from .codegen import Program, generate_program
+from ..synth.pipeline import PreprocessResult
+from .codegen import Program
 from .config import LPUConfig, PAPER_CONFIG
-from .merge import merge_partition
 from .metrics import CompileMetrics
 from .mfg import Partition
-from .partition import partition
-from .schedule import Schedule, build_schedule
+from .schedule import Schedule
 
 
 @dataclass
 class CompileResult:
     """All artifacts of one compilation.
 
-    Note: when merging is enabled, ``partition_unmerged`` keeps its MFG list
-    (counts and spans stay valid for reporting) but its parent/child links
-    are consumed by the in-place merging pass; re-run
-    :func:`repro.core.partition.partition` for a pristine unmerged DAG.
+    ``partition_unmerged`` is pristine even when merging is enabled: the
+    merge pass operates on a cloned MFG DAG
+    (:func:`repro.core.merge.clone_partition`), so the unmerged
+    parent/child links survive for reporting and re-scheduling.
     """
 
     source: LogicGraph
@@ -49,6 +57,9 @@ class CompileResult:
     schedule: Schedule
     program: Optional[Program]
     metrics: CompileMetrics
+    #: per-pass instrumentation (wall time, cache hits, artifact sizes);
+    #: a list of :class:`repro.compiler.PassRecord`.
+    pass_records: List[object] = field(default_factory=list)
 
     @property
     def balanced(self) -> LogicGraph:
@@ -65,6 +76,9 @@ def compile_ffcl(
     generate_code: bool = True,
     basis: Optional[FrozenSet[str]] = None,
     max_mfgs: int = 500_000,
+    pipeline: Optional[object] = None,
+    codegen_workers: Optional[int] = None,
+    pass_cache: Optional[object] = None,
 ) -> CompileResult:
     """Compile an FFCL block for the LPU.
 
@@ -79,45 +93,29 @@ def compile_ffcl(
             metric-only parameter sweeps on large workloads.
         basis: optional restricted LPE op set to tech-map onto.
         max_mfgs: safety bound on partition size.
+        pipeline: optional pipeline spec (a name like ``"paper"``, a
+            comma-separated pass list, or a sequence of pass names)
+            overriding the pass list the other keywords imply.
+        codegen_workers: emit-phase thread-pool width of the codegen pass
+            (``None`` = host CPU count; the program is bit-identical for
+            every value).
+        pass_cache: optional :class:`repro.compiler.PassCache` memoizing
+            per-pass results across compiles.
     """
-    pre = preprocess(graph, basis=basis, optimize=optimize)
-    part_unmerged = partition(pre.graph, config.m, max_mfgs=max_mfgs)
-    part = merge_partition(part_unmerged) if merge else part_unmerged
-    schedule = build_schedule(part, config, policy=policy)
-    program = (
-        generate_program(schedule, pre.graph, config) if generate_code else None
-    )
+    from ..compiler.manager import PassManager, state_to_result
+    from ..compiler.pipelines import pipeline_from_options
+    from ..compiler.state import CompileOptions
 
-    metrics = CompileMetrics(
-        name=graph.name,
-        num_inputs=graph.num_inputs,
-        num_outputs=graph.num_outputs,
-        gates_source=graph.num_gates,
-        gates_balanced=pre.graph.num_gates,
-        buffers_inserted=pre.report.balance.buffers_inserted,
-        depth=pre.levels.max_level,
-        mfgs_before_merge=part_unmerged.num_mfgs,
-        mfgs_after_merge=part.num_mfgs,
+    if pipeline is None:
+        pipeline = pipeline_from_options(
+            optimize=optimize, merge=merge, generate_code=generate_code
+        )
+    options = CompileOptions(
         policy=policy,
-        makespan_macro_cycles=schedule.makespan,
-        total_clock_cycles=schedule.total_clock_cycles,
-        queue_depth=schedule.queue_depth,
-        circulations=schedule.circulations,
-        latency_seconds=config.macro_cycles_to_seconds(schedule.makespan),
-        fps=config.fps(schedule.makespan),
-        compute_instructions=(
-            program.num_compute_instructions if program else None
-        ),
-        queue_entries=program.num_queue_entries if program else None,
-        peak_buffer_words=program.peak_buffer_words if program else None,
+        optimize=optimize,
+        basis=basis,
+        max_mfgs=max_mfgs,
+        codegen_workers=codegen_workers,
     )
-    return CompileResult(
-        source=graph,
-        config=config,
-        preprocess=pre,
-        partition_unmerged=part_unmerged,
-        partition=part,
-        schedule=schedule,
-        program=program,
-        metrics=metrics,
-    )
+    state = PassManager(pipeline, cache=pass_cache).run(graph, config, options)
+    return state_to_result(state)

@@ -31,6 +31,39 @@ from typing import Dict, List, Set
 from .mfg import MFG, Partition, iter_mfg_dag_topological
 
 
+def clone_partition(part: Partition) -> Partition:
+    """Structure-preserving deep copy of a partition's MFG DAG.
+
+    Every MFG is re-created (same uid, copied node/root/input sets) and the
+    parent/child links are rebuilt between the clones, so mutations of the
+    copy — such as the in-place splicing the merging pass performs — can
+    never leak back into the original partition.
+    """
+    clones: Dict[int, MFG] = {}
+    for mfg in part.mfgs:
+        clones[mfg.uid] = MFG(
+            uid=mfg.uid,
+            bottom_level=mfg.bottom_level,
+            top_level=mfg.top_level,
+            nodes_by_level={
+                level: set(nodes) for level, nodes in mfg.nodes_by_level.items()
+            },
+            roots=set(mfg.roots),
+            input_nodes=set(mfg.input_nodes),
+            reads_primary_inputs=mfg.reads_primary_inputs,
+        )
+    for mfg in part.mfgs:
+        clone = clones[mfg.uid]
+        clone.children = [clones[c.uid] for c in mfg.children]
+        clone.parents = [clones[p.uid] for p in mfg.parents]
+    return Partition(
+        graph=part.graph,
+        m=part.m,
+        mfgs=[clones[mfg.uid] for mfg in part.mfgs],
+        root_mfgs=[clones[mfg.uid] for mfg in part.root_mfgs],
+    )
+
+
 def check_level(a: MFG, b: MFG, m: int) -> bool:
     """The paper's checkLevel: per-level union widths must fit in an LPV."""
     if a.bottom_level != b.bottom_level or a.top_level != b.top_level:
@@ -121,10 +154,11 @@ def _merge_sibling_group(siblings: List[MFG], m: int, next_uid: List[int]) -> Li
 def merge_partition(part: Partition) -> Partition:
     """Algorithm 3 over the whole MFG DAG; returns a new Partition.
 
-    The input partition's MFG objects are spliced in place (they are cheap
-    to re-create by re-running :func:`repro.core.partition.partition` if the
-    caller needs the unmerged form).
+    The input partition is left untouched: merging operates on a
+    :func:`clone_partition` copy, so ``part`` (including its parent/child
+    links) stays valid for reporting and re-scheduling after the merge.
     """
+    part = clone_partition(part)
     m = part.m
     next_uid = [max((g.uid for g in part.mfgs), default=-1) + 1]
 
@@ -178,6 +212,7 @@ def merging_report(before: Partition, after: Partition) -> Dict[str, float]:
 
 __all__ = [
     "check_level",
+    "clone_partition",
     "merge_pair",
     "merge_partition",
     "merging_report",

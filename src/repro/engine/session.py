@@ -39,7 +39,10 @@ class Session:
             — the reuse hook serving layers use to share one-time lowering
             artifacts across many sessions over the same program.
         **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`
-            (``merge``, ``policy``, ``basis``, ...) when compiling.
+            (``merge``, ``policy``, ``basis``, ...) when compiling.  This
+            includes the pass-manager knobs: ``pipeline=`` selects a named
+            or custom compile pipeline and ``pass_cache=`` shares
+            pass-level results across sessions (see :mod:`repro.compiler`).
     """
 
     def __init__(

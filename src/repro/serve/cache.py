@@ -10,17 +10,24 @@ eviction and hit/miss statistics.
 
 The workload key is a content fingerprint of the logic graph
 (:func:`graph_fingerprint`), so two structurally-identical graph objects
-share one cache entry regardless of object identity.
+share one cache entry regardless of object identity.  The key also
+carries the *compile-pipeline identity*
+(:func:`repro.compiler.pipeline_id`): two pipelines over the same graph
+(e.g. ``paper`` vs ``no-merge``, or a custom pass list) never collide on
+one entry.  Below the program level, every cache owns a
+:class:`repro.compiler.PassCache`, so compilations that miss here still
+reuse every pipeline-prefix pass they share with earlier compiles.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
+from ..compiler.cache import PassCache, graph_fingerprint
+from ..compiler.pipelines import pipeline_from_options, pipeline_id
 from ..core.codegen import Program
 from ..core.compiler import CompileResult, compile_ffcl
 from ..core.config import LPUConfig, PAPER_CONFIG
@@ -37,25 +44,9 @@ __all__ = [
     "graph_fingerprint",
 ]
 
-
-def graph_fingerprint(graph: LogicGraph) -> str:
-    """Stable content hash of a logic graph's structure and interface.
-
-    Nodes are renumbered in topological order, so the fingerprint depends
-    only on the graph's logical content — never on node-id allocation
-    history or object identity.
-    """
-    digest = hashlib.sha256()
-    order = graph.topological_order()
-    renumber = {nid: i for i, nid in enumerate(order)}
-    for nid in order:
-        fanins = tuple(renumber[f] for f in graph.fanins_of(nid))
-        digest.update(repr((renumber[nid], graph.op_of(nid), fanins)).encode())
-    for nid in graph.inputs:
-        digest.update(repr(("pi", graph.input_name(nid), renumber[nid])).encode())
-    for name, nid in graph.outputs:
-        digest.update(repr(("po", name, renumber[nid])).encode())
-    return digest.hexdigest()
+#: pipeline-identity marker for already-compiled Program sources (their
+#: pipeline is baked into the program object itself).
+_PRECOMPILED = "<precompiled>"
 
 
 @dataclass(frozen=True)
@@ -66,6 +57,7 @@ class CacheKey:
     engine: str
     config: LPUConfig
     options: Tuple[Tuple[str, object], ...]  # sorted compile kwargs
+    pipeline: str = _PRECOMPILED  # compile-pipeline identity
 
 
 @dataclass
@@ -110,13 +102,28 @@ class ProgramCache:
     Args:
         capacity: maximum retained entries; least-recently-used entries
             are evicted beyond it.
+        pass_cache: pass-level result cache used by miss compilations (a
+            private :class:`repro.compiler.PassCache` when omitted, sized
+            to roughly one pipeline's worth of passes per program entry),
+            so different pipelines/options over one graph share their
+            common pass prefix even though they occupy separate program
+            entries.  An injected cache is treated as shared: ``clear()``
+            leaves it alone.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(
+        self, capacity: int = 8, pass_cache: Optional[PassCache] = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.stats = CacheStats()
+        self._owns_pass_cache = pass_cache is None
+        self.pass_cache = (
+            pass_cache
+            if pass_cache is not None
+            else PassCache(capacity=capacity * 16)
+        )
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -133,8 +140,44 @@ class ProgramCache:
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()
+            if self._owns_pass_cache:
+                self.pass_cache.clear()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _split_key_options(
+        compile_kwargs: Dict[str, object]
+    ) -> Tuple[Tuple[Tuple[str, object], ...], str]:
+        """(hashable option tuple, pipeline identity) of compile kwargs.
+
+        The raw ``pipeline`` spec (possibly an unhashable list) is
+        normalized into the canonical pipeline-id string; when absent, the
+        identity is derived from the kwargs exactly as ``compile_ffcl``
+        derives its pass list, so option-equivalent calls share one entry.
+        ``codegen_workers`` never enters the key: the compiled program is
+        bit-identical for every worker count.
+        """
+        if "pass_cache" in compile_kwargs:
+            raise ValueError(
+                "configure the pass cache on the ProgramCache itself, "
+                "not through compile kwargs"
+            )
+        options = dict(compile_kwargs)
+        spec = options.pop("pipeline", None)
+        options.pop("codegen_workers", None)
+        if spec is None:
+            spec = pipeline_from_options(
+                optimize=bool(options.get("optimize", True)),
+                merge=bool(options.get("merge", True)),
+                generate_code=bool(options.get("generate_code", True)),
+            )
+        # These three only shape the pass list (and which working-graph
+        # copy ingest seeds), which the pipeline id fully captures — e.g.
+        # ``merge=False`` and ``pipeline="no-merge"`` are one workload.
+        for absorbed in ("merge", "optimize", "generate_code"):
+            options.pop(absorbed, None)
+        return tuple(sorted(options.items())), pipeline_id(spec)
+
     def make_key(
         self,
         source: Union[LogicGraph, Program],
@@ -156,13 +199,16 @@ class ProgramCache:
                 engine=engine,
                 config=source.config,
                 options=options,
+                pipeline=_PRECOMPILED,
             )
         cfg = config if config is not None else PAPER_CONFIG
+        options, pipeline = self._split_key_options(compile_kwargs)
         return CacheKey(
             workload=graph_fingerprint(source),
             engine=engine,
             config=cfg,
-            options=tuple(sorted(compile_kwargs.items())),
+            options=options,
+            pipeline=pipeline,
         )
 
     def get_or_compile(
@@ -195,7 +241,9 @@ class ProgramCache:
         if isinstance(source, Program):
             program = source
         else:
-            compile_result = compile_ffcl(source, key.config, **compile_kwargs)
+            compile_result = compile_ffcl(
+                source, key.config, pass_cache=self.pass_cache, **compile_kwargs
+            )
             program = compile_result.program
             if program is None:  # pragma: no cover - compile_ffcl guards
                 raise ValueError("compilation produced no program")

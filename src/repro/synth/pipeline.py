@@ -4,9 +4,14 @@ Fig. 1, box 1 ("Pre-processing"): run logic minimization, map to the
 standard cell library, and depth-levelize the netlist; Section IV adds full
 path balancing (buffer insertion) before graphs reach the compiler.
 
-:func:`preprocess` chains those passes and returns the strict, balanced
+:func:`preprocess` runs those passes and returns the strict, balanced
 graph plus a report of what each pass did — the compiler
-(:mod:`repro.core.compiler`) calls this first on every input netlist.
+(:mod:`repro.core.compiler`) runs the same passes first on every input
+netlist.  Since the pass-manager refactor this function is a thin facade
+over :mod:`repro.compiler`: the pre-processing prefix of the ``paper``
+pipeline (``ingest``/``rebalance``/``simplify``/``techmap``/``balance``/
+``levelize``) is run by a :class:`~repro.compiler.manager.PassManager`,
+bit-identical to the pre-refactor monolithic chain.
 """
 
 from __future__ import annotations
@@ -15,11 +20,8 @@ from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 from ..netlist.graph import LogicGraph
-from .balance import BalanceReport, balance
-from .levelize import Levelization, is_levelized_strict, levelize
-from .rebalance import balance_trees
-from .simplify import simplify
-from .techmap import map_to_basis
+from .balance import BalanceReport
+from .levelize import Levelization
 
 
 @dataclass
@@ -66,40 +68,26 @@ def preprocess(
             full library.
         optimize: run logic simplification first (disable to study raw
             netlists, as the ablation benchmarks do).
+
+    Pass ordering notes (encoded in the standard pipelines):
+
+    * tree rebalancing must run before structural hashing: CSE merges
+      shared chain segments, raising their fanout above one and locking
+      the chains in place; a second rebalance+simplify round catches
+      chains that constant folding exposes,
+    * mapping runs after simplification; a second simplify pass is not
+      applied because it could rewrite gates out of the target basis
+      (e.g. NOT(AND) -> NAND).
     """
-    gates_in = graph.num_gates
-    depth_in = graph.depth()
+    from ..compiler.manager import PassManager
+    from ..compiler.state import CompileOptions
 
+    passes = ["ingest"]
     if optimize:
-        # Tree rebalancing must run before structural hashing: CSE merges
-        # shared chain segments, raising their fanout above one and locking
-        # the chains in place.  A second rebalance+simplify round catches
-        # chains that constant folding exposes.
-        g = balance_trees(graph)
-        g = simplify(g)
-        g = balance_trees(g)
-        g = simplify(g)
-    else:
-        g = graph.extract()
-    gates_simplified = g.num_gates
-
-    if basis is not None:
-        # Mapping runs after simplification; a second simplify pass is not
-        # applied because it could rewrite gates out of the target basis
-        # (e.g. NOT(AND) -> NAND).
-        g = map_to_basis(g, basis)
-    gates_mapped = g.num_gates
-
-    balanced, bal_report = balance(g)
-    assert is_levelized_strict(balanced)
-    lv = levelize(balanced)
-    report = PreprocessReport(
-        gates_in=gates_in,
-        gates_after_simplify=gates_simplified,
-        gates_after_mapping=gates_mapped,
-        gates_out=balanced.num_gates,
-        depth_in=depth_in,
-        depth_out=lv.max_level,
-        balance=bal_report,
+        passes += ["rebalance", "simplify", "rebalance", "simplify"]
+    passes += ["techmap", "balance", "levelize"]
+    state = PassManager(passes).run(
+        graph, options=CompileOptions(optimize=optimize, basis=basis)
     )
-    return PreprocessResult(graph=balanced, levels=lv, report=report)
+    assert state.preprocess is not None
+    return state.preprocess
