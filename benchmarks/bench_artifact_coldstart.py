@@ -1,0 +1,123 @@
+"""Artifact cold-start: ready-to-serve from a warm ArtifactStore vs compiling.
+
+The whole point of ahead-of-time artifacts (:mod:`repro.artifact`) is that
+the expensive half of serving — netlist pre-processing, MFG partitioning,
+scheduling, instruction generation, trace lowering — happens once, offline,
+and every later process boots from the serialized executable.  This bench
+measures exactly that boundary on the VGG16 largest-layer workload:
+
+1. **recompile** — a fresh :class:`~repro.serve.ProgramCache` with no disk
+   tier resolves the workload by compiling it (what every cold process
+   paid before this subsystem existed),
+2. **warm store** — a fresh cache in a "new process" role, pointed at a
+   warm :class:`~repro.artifact.ArtifactStore`, resolves the same workload
+   by deserializing the ``.lpa`` blob: zero compile passes (asserted via
+   the cache's compile/pass-cache counters), embedded trace tables, and
+   bit-identical execution (asserted).
+
+Acceptance property: **ready-to-serve from the warm store is >= 5x faster
+than recompiling.**  ``REPRO_BENCH_FAST=1`` shrinks the sampled block.
+"""
+
+import shutil
+import tempfile
+import time
+
+import numpy as np
+from conftest import fast_mode, publish, publish_json
+
+from repro.analysis import render_table
+from repro.artifact import ArtifactStore
+from repro.core import PAPER_CONFIG
+from repro.engine import Session
+from repro.lpu import random_stimulus
+from repro.models import layer_block, vgg16_paper_layers, vgg16_workload
+from repro.serve import ProgramCache
+
+SAMPLE_NEURONS = 16 if fast_mode() else 24
+MIN_SPEEDUP = 5.0
+
+
+def _block():
+    model = vgg16_workload()
+    layer = max(vgg16_paper_layers(model), key=lambda l: l.num_neurons)
+    block, _ = layer_block(layer, sample_neurons=SAMPLE_NEURONS, seed=0)
+    return layer, block
+
+
+def test_artifact_coldstart(benchmark):
+    layer, block = _block()
+    benchmark(lambda: None)
+    root = tempfile.mkdtemp(prefix="repro-artifact-bench-")
+    try:
+        store = ArtifactStore(root)
+
+        # Offline: one compile populates the store with the .lpa blob.
+        seed_cache = ProgramCache(store=store)
+        seed_entry = seed_cache.get_or_compile(block, PAPER_CONFIG)
+        assert seed_cache.stats.disk_stores == 1
+
+        # Cold path 1: recompile from scratch (no disk tier).
+        start = time.perf_counter()
+        cold_cache = ProgramCache()
+        cold_entry = cold_cache.get_or_compile(block, PAPER_CONFIG)
+        cold_session = Session(cold_entry.program, engine="trace")
+        recompile_seconds = time.perf_counter() - start
+
+        # Cold path 2: a "new process" resolving from the warm store.
+        start = time.perf_counter()
+        warm_cache = ProgramCache(store=store)
+        warm_entry = warm_cache.get_or_compile(block, PAPER_CONFIG)
+        warm_session = Session(warm_entry.artifact, engine="trace")
+        warm_seconds = time.perf_counter() - start
+
+        # Zero compilation on the warm path: no CompileResult was built
+        # and the pass pipeline never even looked anything up.
+        assert warm_entry.compile_result is None
+        assert warm_cache.stats.disk_hits == 1
+        assert warm_cache.pass_cache.stats.lookups == 0
+
+        # Same executable, bit for bit.
+        stim = random_stimulus(cold_entry.program.graph, 2, seed=0)
+        got = warm_session.run(stim)
+        ref = cold_session.run(stim)
+        for name, word in ref.outputs.items():
+            assert np.array_equal(got.outputs[name], word), name
+        assert got.macro_cycles == ref.macro_cycles
+        assert seed_entry.program.num_compute_instructions == \
+            warm_entry.program.num_compute_instructions
+
+        speedup = recompile_seconds / warm_seconds if warm_seconds else 0.0
+        blob_bytes = store.stats.bytes_read
+        report = {
+            "workload": f"vgg16 {layer.name} (sample {SAMPLE_NEURONS})",
+            "fast_mode": fast_mode(),
+            "recompile_seconds": recompile_seconds,
+            "warm_store_seconds": warm_seconds,
+            "speedup": speedup,
+            "artifact_bytes_read": blob_bytes,
+            "min_speedup": MIN_SPEEDUP,
+        }
+        rows = [
+            ["recompile (no store)", f"{recompile_seconds * 1e3:,.1f}",
+             "1.0x"],
+            ["warm ArtifactStore", f"{warm_seconds * 1e3:,.1f}",
+             f"{speedup:,.1f}x"],
+        ]
+        publish(
+            "artifact_coldstart",
+            render_table(
+                f"Ready-to-serve cold start — vgg16 {layer.name} sampled "
+                f"block (fast={fast_mode()})",
+                ["path", "ms to ready", "speedup"],
+                rows,
+            ),
+        )
+        publish_json("artifact_coldstart", report)
+
+        assert speedup >= MIN_SPEEDUP, (
+            f"warm-store cold start only {speedup:.1f}x faster than "
+            f"recompiling (need >= {MIN_SPEEDUP}x)"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

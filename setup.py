@@ -1,13 +1,26 @@
+import pathlib
+import re
+
 from setuptools import find_packages, setup
+
+# Single-sourced version: repro.__version__ is the one authority (also
+# surfaced by the `repro --version` CLI flag).  Read textually so setup
+# never imports the package (and its numpy dependency) at build time.
+_INIT = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+_MATCH = re.search(
+    r'^__version__ = "([^"]+)"', _INIT.read_text(encoding="utf-8"), re.M
+)
+if _MATCH is None:
+    raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
 
 setup(
     name="repro-lpu",
-    version="1.3.0",
+    version=_MATCH.group(1),
     description=(
         "Reproduction of 'Algorithms and Hardware for Efficient Processing "
         "of Logic-based Neural Networks' (DAC 2023): FFCL-to-LPU compiler, "
-        "cycle-accurate LPU model, vectorized trace engine, and a batched "
-        "serving layer"
+        "cycle-accurate LPU model, vectorized trace engine, ahead-of-time "
+        "executable artifacts, and a batched serving layer"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -20,6 +20,10 @@ The package implements the paper's complete system in pure Python:
 * :mod:`repro.engine` — the pluggable execution-engine layer: the
   cycle-accurate model and the precompiled vectorized trace engine behind
   one interface, plus the compile-once/run-many :class:`Session` API,
+* :mod:`repro.artifact` — ahead-of-time executable artifacts: a
+  versioned, content-addressed, zero-pickle binary format
+  (:class:`ExecutableArtifact`, ``.lpa`` files) plus the on-disk
+  :class:`ArtifactStore` backing the serve/compile cache disk tiers,
 * :mod:`repro.models` — VGG16 / LeNet-5 / MLPMixer / JSC / NID workload
   generators,
 * :mod:`repro.baselines` — MAC, XNOR (FINN), NullaDSP, LogicNets, and
@@ -46,10 +50,19 @@ Serving-oriented fast path (compile once, run many batches)::
     for batch in range(16):
         stim = random_stimulus(graph, array_size=256, seed=batch)
         result = session.run(stim)
+
+Ahead-of-time deployment (compile once, serve from any process)::
+
+    from repro import ExecutableArtifact
+
+    compile_ffcl(graph).to_artifact().save("block.lpa")
+    # ... later, in a fresh process — zero compile, zero lowering:
+    session = ExecutableArtifact.load("block.lpa").session()
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
+from .artifact import ArtifactStore, ExecutableArtifact
 from .compiler import PassCache, PassManager, compile_with_pipeline
 from .core import LPUConfig, PAPER_CONFIG, compile_ffcl
 from .engine import (
@@ -73,6 +86,8 @@ from .serve import (
 
 __all__ = [
     "__version__",
+    "ArtifactStore",
+    "ExecutableArtifact",
     "LPUConfig",
     "PAPER_CONFIG",
     "PassCache",

@@ -1,0 +1,58 @@
+"""Ahead-of-time executable artifacts: compile once, deploy anywhere.
+
+The paper's premise is that FFCL compilation happens *offline* and the
+LPU only ever consumes finished instruction streams.  This package makes
+that separation real for the reproduction: a compiled workload becomes a
+versioned, content-addressed, zero-pickle binary artifact that survives
+process exit, crosses process boundaries, and boots an execution engine
+with no compilation and no lowering.
+
+* :class:`ExecutableArtifact` — the executable format: the compiled
+  :class:`~repro.core.codegen.Program` (ISA-encoded instruction queues +
+  buffer traffic + runtime schedule), optional lowered trace tables,
+  and identity/provenance metadata (format version, producer, workload
+  fingerprint, compile-pipeline id, metrics, self-verifying content
+  fingerprint).  ``.lpa`` on disk.
+* :class:`ArtifactStore` — a content-addressed on-disk store; the disk
+  tier of :class:`~repro.serve.cache.ProgramCache` and
+  :class:`~repro.compiler.cache.PassCache`, making warm serve restarts
+  compile nothing.
+* :mod:`~repro.artifact.codec` — the binary container encoding (JSON
+  header + raw ``.npy`` tables, deterministic bytes, no pickle).
+
+Compile-once / serve-many::
+
+    from repro.artifact import ExecutableArtifact
+
+    artifact = compile_ffcl(graph).to_artifact()
+    artifact.save("block.lpa")
+
+    # ... later, in any process:
+    session = ExecutableArtifact.load("block.lpa").session()
+    result = session.run(stimulus)
+
+or from the CLI: ``repro compile block.v -o block.lpa``, then
+``repro simulate --artifact block.lpa`` / ``repro inspect block.lpa``.
+"""
+
+from .codec import ArtifactDecodeError
+from .format import (
+    ARTIFACT_SUFFIX,
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    ArtifactError,
+    ExecutableArtifact,
+)
+from .store import ArtifactStore, StoreStats, store_key
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "ArtifactDecodeError",
+    "ArtifactError",
+    "ArtifactStore",
+    "ExecutableArtifact",
+    "StoreStats",
+    "store_key",
+]

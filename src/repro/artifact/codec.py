@@ -1,0 +1,706 @@
+"""Zero-pickle binary encoding of executable artifacts.
+
+Everything an :class:`~repro.artifact.format.ExecutableArtifact` persists
+is flattened into exactly two kinds of data — a JSON header for metadata
+and raw ``.npy`` arrays for the bulk tables — and packed into one ZIP
+container.  Nothing is ever pickled: instructions serialize through the
+32-bit ISA words of :mod:`repro.core.isa` (the paper's "customized
+instructions" binary format), graphs and trace tables through dense numpy
+columns, and every remaining scalar through JSON.  Deserializing an
+artifact therefore never executes code, and the bytes are deterministic:
+encoding the same executable twice — or re-encoding a decoded one —
+produces identical bytes, which is what makes content fingerprints stable.
+
+Layout of the container::
+
+    header.json          # metadata, interface maps, scalar statistics
+    arrays/<name>.npy    # numpy tables (npy format v1, allow_pickle=False)
+
+The module also provides the *snapshot* codec used by the
+:class:`~repro.compiler.cache.PassCache` disk tier: a restricted
+serializer for per-pass state snapshots whose values are scalars,
+:class:`~repro.netlist.graph.LogicGraph` instances,
+:class:`~repro.synth.levelize.Levelization` tables, or flat report
+dataclasses.  Snapshots containing anything else (MFG partitions,
+schedules, programs) are simply not disk-cached — the program-level
+artifact covers those.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import zipfile
+from dataclasses import fields, is_dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..core.config import LPUConfig
+from ..core.isa import LPEInstruction, decode_instruction, encode_instruction
+from ..core.schedule import RuntimeSchedule
+from ..core.trace import OpSegment, TraceLevel, TraceProgram
+from ..netlist import cells
+from ..netlist.graph import LogicGraph
+
+__all__ = [
+    "ArtifactDecodeError",
+    "decode_graph",
+    "decode_program",
+    "decode_snapshot",
+    "decode_trace",
+    "encode_graph",
+    "encode_program",
+    "encode_snapshot",
+    "encode_trace",
+    "pack_container",
+    "unpack_container",
+]
+
+
+class ArtifactDecodeError(RuntimeError):
+    """The byte stream is not a valid artifact container."""
+
+
+#: fixed ZIP member timestamp: containers must be byte-deterministic.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+_HEADER_NAME = "header.json"
+_ARRAY_PREFIX = "arrays/"
+
+#: node-id / index sentinel for "absent" (no fanin, no trace node).
+_NONE = -1
+
+
+def _dump_json(data: Dict[str, object]) -> bytes:
+    """Canonical JSON bytes (sorted keys, no whitespace jitter)."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("utf-8")
+
+
+def _array_bytes(array: np.ndarray) -> bytes:
+    """The exact ``.npy`` byte stream of one array (pickle forbidden)."""
+    buffer = io.BytesIO()
+    np.lib.format.write_array(buffer, np.ascontiguousarray(array),
+                              allow_pickle=False)
+    return buffer.getvalue()
+
+
+def pack_container(
+    header: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> bytes:
+    """Pack header + arrays into deterministic ZIP bytes."""
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        members = [(_HEADER_NAME, _dump_json(header))]
+        members += [
+            (_ARRAY_PREFIX + name + ".npy", _array_bytes(arrays[name]))
+            for name in sorted(arrays)
+        ]
+        for name, data in members:
+            info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o644 << 16
+            archive.writestr(info, data)
+    return buffer.getvalue()
+
+
+def unpack_container(
+    data: bytes,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_container`."""
+    try:
+        with zipfile.ZipFile(io.BytesIO(data), "r") as archive:
+            names = archive.namelist()
+            if _HEADER_NAME not in names:
+                raise ArtifactDecodeError("container has no header.json")
+            header = json.loads(archive.read(_HEADER_NAME).decode("utf-8"))
+            arrays: Dict[str, np.ndarray] = {}
+            for name in names:
+                if not name.startswith(_ARRAY_PREFIX):
+                    continue
+                key = name[len(_ARRAY_PREFIX):-len(".npy")]
+                arrays[key] = np.lib.format.read_array(
+                    io.BytesIO(archive.read(name)), allow_pickle=False
+                )
+    except ArtifactDecodeError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, OSError) as exc:
+        raise ArtifactDecodeError(f"corrupt artifact container: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ArtifactDecodeError("artifact header is not a JSON object")
+    return header, arrays
+
+
+def content_fingerprint(
+    header: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> str:
+    """SHA-256 over the canonical (uncompressed) content of a container.
+
+    Computed over the header JSON with any ``"fingerprint"`` field removed
+    plus every array's name, dtype, shape, and raw bytes — so the digest
+    is independent of ZIP compression details and self-verifying on load.
+    """
+    stripped = {k: v for k, v in header.items() if k != "fingerprint"}
+    digest = hashlib.sha256()
+    digest.update(_dump_json(stripped))
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Logic graphs
+# ----------------------------------------------------------------------
+def encode_graph(
+    graph: LogicGraph, prefix: str = "graph"
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode a graph as (header fragment, arrays); node ids are exact."""
+    op_table = sorted(cells.ALL_OPS)
+    op_code = {op: i for i, op in enumerate(op_table)}
+    node_ids = sorted(graph.nodes)
+    ops = np.empty(len(node_ids), dtype=np.int16)
+    fanin_a = np.full(len(node_ids), _NONE, dtype=np.int64)
+    fanin_b = np.full(len(node_ids), _NONE, dtype=np.int64)
+    gate_names: Dict[str, str] = {}
+    for row, nid in enumerate(node_ids):
+        node = graph.nodes[nid]
+        ops[row] = op_code[node.op]
+        if len(node.fanins) >= 1:
+            fanin_a[row] = node.fanins[0]
+        if len(node.fanins) == 2:
+            fanin_b[row] = node.fanins[1]
+        if node.name is not None and node.op != cells.INPUT:
+            gate_names[str(nid)] = node.name
+    header = {
+        "name": graph.name,
+        "next_id": graph._next_id,
+        "ops": op_table,
+        "inputs": [
+            [graph.input_name(nid), nid] for nid in graph.inputs
+        ],
+        "outputs": [[name, nid] for name, nid in graph.outputs],
+        "gate_names": gate_names,
+    }
+    arrays = {
+        f"{prefix}_ids": np.asarray(node_ids, dtype=np.int64),
+        f"{prefix}_ops": ops,
+        f"{prefix}_fanin_a": fanin_a,
+        f"{prefix}_fanin_b": fanin_b,
+    }
+    return header, arrays
+
+
+def decode_graph(
+    header: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    prefix: str = "graph",
+) -> LogicGraph:
+    """Rebuild a graph with its exact node ids, names, and interface."""
+    from ..netlist.graph import Node
+
+    op_table = list(header["ops"])
+    node_ids = arrays[f"{prefix}_ids"].tolist()
+    ops = arrays[f"{prefix}_ops"].tolist()
+    fanin_a = arrays[f"{prefix}_fanin_a"].tolist()
+    fanin_b = arrays[f"{prefix}_fanin_b"].tolist()
+    gate_names = {int(k): v for k, v in dict(header["gate_names"]).items()}
+    input_names = {int(nid): name for name, nid in header["inputs"]}
+
+    graph = LogicGraph(str(header["name"]))
+    for row, nid in enumerate(node_ids):
+        op = op_table[ops[row]]
+        fanins: Tuple[int, ...] = ()
+        if fanin_a[row] != _NONE:
+            fanins = (fanin_a[row],)
+            if fanin_b[row] != _NONE:
+                fanins = (fanin_a[row], fanin_b[row])
+        name = input_names.get(nid) if op == cells.INPUT else \
+            gate_names.get(nid)
+        # Nodes are installed directly (not through add_gate) so the
+        # original — possibly non-dense — id assignment survives exactly.
+        graph.nodes[nid] = Node(op, fanins, name)
+    graph._next_id = int(header["next_id"])
+    graph._inputs = [int(nid) for _, nid in header["inputs"]]
+    graph._input_names = {name: int(nid) for name, nid in header["inputs"]}
+    graph._outputs = [(name, int(nid)) for name, nid in header["outputs"]]
+    graph.validate()
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Programs (instruction queues + buffer traffic + runtime schedule)
+# ----------------------------------------------------------------------
+def _schedule_header(schedule) -> Dict[str, object]:
+    # Flatten full compile-time schedules to their runtime surface; an
+    # already-flat RuntimeSchedule (a decoded program being re-encoded)
+    # passes through unchanged.
+    if not isinstance(schedule, RuntimeSchedule):
+        schedule = RuntimeSchedule.from_schedule(schedule)
+    return {
+        "makespan": schedule.makespan,
+        "base_address": schedule.base_address,
+        "policy": schedule.policy,
+        "circulations": schedule.circulations,
+        "queue_depth": schedule.queue_depth,
+    }
+
+
+def encode_program(
+    program: Program,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode a compiled program as (header fragment, arrays).
+
+    Instructions serialize through :func:`repro.core.isa.encode_instruction`
+    (one ``uint32`` word each) with the trace-only node annotations in a
+    parallel ``int64`` column.  Queue entries and buffer-traffic rows are
+    emitted in sorted order, so encoding is canonical: the same executable
+    always produces the same bytes.
+    """
+    m = program.config.m
+    entries = sorted(
+        (lpv, address, vec)
+        for lpv, per_lpv in program.queues.items()
+        for address, vec in per_lpv.items()
+    )
+    queue_lpv = np.asarray([e[0] for e in entries], dtype=np.int64)
+    queue_addr = np.asarray([e[1] for e in entries], dtype=np.int64)
+    queue_words = np.zeros((len(entries), m), dtype=np.uint32)
+    queue_nodes = np.full((len(entries), m), _NONE, dtype=np.int64)
+    for row, (_lpv, _address, vec) in enumerate(entries):
+        for col, instr in enumerate(vec):
+            queue_words[row, col] = encode_instruction(instr)
+            if instr.node is not None:
+                queue_nodes[row, col] = instr.node
+
+    port_code = {"a": 0, "b": 1}
+    input_rows = sorted(
+        (cycle, col, port_code[port], node)
+        for cycle, entry in program.input_reads.items()
+        for (col, port), node in entry.items()
+    )
+    circ_rows = sorted(
+        (cycle, lpv, col, port_code[port], key[0], key[1])
+        for (cycle, lpv), entry in program.circulation_reads.items()
+        for (col, port), key in entry.items()
+    )
+    write_rows = sorted(
+        (cycle, key[0], key[1], lpv, col)
+        for cycle, writes in program.buffer_writes.items()
+        for (key, lpv, col) in writes
+    )
+    config = program.config
+    header = {
+        "config": {
+            "num_lpvs": config.num_lpvs,
+            "lpes_per_lpv": config.lpes_per_lpv,
+            "switch_stages": config.switch_stages,
+            "frequency_hz": config.frequency_hz,
+        },
+        "schedule": _schedule_header(program.schedule),
+        "po_nodes": {name: nid for name, nid in program.po_nodes.items()},
+        "po_buffer_keys": {
+            name: [key[0], key[1]]
+            for name, key in program.po_buffer_keys.items()
+        },
+        "peak_buffer_words": int(program.peak_buffer_words),
+        "buffer_spills": int(program.buffer_spills),
+    }
+    graph_header, arrays = encode_graph(program.graph)
+    header["graph"] = graph_header
+    arrays.update(
+        {
+            "queue_lpv": queue_lpv,
+            "queue_addr": queue_addr,
+            "queue_words": queue_words,
+            "queue_nodes": queue_nodes,
+            "input_reads": np.asarray(input_rows, dtype=np.int64).reshape(
+                (len(input_rows), 4)
+            ),
+            "circulation_reads": np.asarray(
+                circ_rows, dtype=np.int64
+            ).reshape((len(circ_rows), 6)),
+            "buffer_writes": np.asarray(
+                write_rows, dtype=np.int64
+            ).reshape((len(write_rows), 5)),
+        }
+    )
+    return header, arrays
+
+
+def decode_program(
+    header: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> Program:
+    """Rebuild an executable :class:`Program` from its encoded form.
+
+    The result carries a :class:`~repro.core.schedule.RuntimeSchedule` —
+    the compile-time MFG DAG is not part of the executable format — and is
+    bit-identical to the original under both execution engines (outputs
+    and run statistics).
+    """
+    config = LPUConfig(
+        num_lpvs=int(header["config"]["num_lpvs"]),
+        lpes_per_lpv=int(header["config"]["lpes_per_lpv"]),
+        switch_stages=int(header["config"]["switch_stages"]),
+        frequency_hz=float(header["config"]["frequency_hz"]),
+    )
+    graph = decode_graph(dict(header["graph"]), arrays)
+    sched = dict(header["schedule"])
+    schedule = RuntimeSchedule(
+        config=config,
+        makespan=int(sched["makespan"]),
+        base_address=int(sched["base_address"]),
+        policy=str(sched["policy"]),
+        circulations=int(sched["circulations"]),
+        queue_depth=int(sched["queue_depth"]),
+    )
+
+    queues: Dict[int, Dict[int, List[LPEInstruction]]] = {}
+    queue_lpv = arrays["queue_lpv"].tolist()
+    queue_addr = arrays["queue_addr"].tolist()
+    queue_words = arrays["queue_words"].tolist()
+    queue_nodes = arrays["queue_nodes"].tolist()
+    # Instructions are frozen, so identical (word, node) pairs — NOPs
+    # above all — share one object; this memo is what makes decoding a
+    # large program milliseconds instead of tens of milliseconds.
+    memo: Dict[Tuple[int, int], LPEInstruction] = {}
+
+    def instruction_of(word: int, node: int) -> LPEInstruction:
+        got = memo.get((word, node))
+        if got is None:
+            got = decode_instruction(word)
+            if node != _NONE:
+                got = LPEInstruction(
+                    op=got.op, a=got.a, b=got.b, valid=got.valid, node=node
+                )
+            memo[(word, node)] = got
+        return got
+
+    for row in range(len(queue_lpv)):
+        words = queue_words[row]
+        nodes = queue_nodes[row]
+        vec = [
+            instruction_of(words[col], nodes[col])
+            for col in range(len(words))
+        ]
+        queues.setdefault(queue_lpv[row], {})[queue_addr[row]] = vec
+
+    port_name = {0: "a", 1: "b"}
+    input_reads: Dict[int, Dict[Tuple[int, str], int]] = {}
+    for cycle, col, port, node in arrays["input_reads"].tolist():
+        input_reads.setdefault(cycle, {})[(col, port_name[port])] = node
+    circulation_reads: Dict[
+        Tuple[int, int], Dict[Tuple[int, str], Tuple[int, int]]
+    ] = {}
+    for cycle, lpv, col, port, uid, node in arrays[
+        "circulation_reads"
+    ].tolist():
+        circulation_reads.setdefault((cycle, lpv), {})[
+            (col, port_name[port])
+        ] = (uid, node)
+    buffer_writes: Dict[int, List[Tuple[Tuple[int, int], int, int]]] = {}
+    for cycle, uid, node, lpv, col in arrays["buffer_writes"].tolist():
+        buffer_writes.setdefault(cycle, []).append(((uid, node), lpv, col))
+
+    return Program(
+        config=config,
+        graph=graph,
+        schedule=schedule,
+        queues=queues,
+        input_reads=input_reads,
+        circulation_reads=circulation_reads,
+        buffer_writes=buffer_writes,
+        po_nodes={
+            name: int(nid) for name, nid in dict(header["po_nodes"]).items()
+        },
+        po_buffer_keys={
+            name: (int(key[0]), int(key[1]))
+            for name, key in dict(header["po_buffer_keys"]).items()
+        },
+        peak_buffer_words=int(header["peak_buffer_words"]),
+        buffer_spills=int(header["buffer_spills"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Lowered trace tables
+# ----------------------------------------------------------------------
+def encode_trace(
+    trace: TraceProgram,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode the lowered vectorizable tables of one program."""
+    op_table = sorted(cells.ALL_OPS)
+    op_code = {op: i for i, op in enumerate(op_table)}
+    levels = trace.levels
+    seg_rows = [
+        (op_code[seg.op], seg.start, seg.end)
+        for level in levels
+        for seg in level.segments
+    ]
+    slot_rows = sorted(trace.slot_nodes.items())
+    header = {
+        "ops": op_table,
+        "num_slots": trace.num_slots,
+        "pi_slots": dict(trace.pi_slots),
+        "output_slots": dict(trace.output_slots),
+        "macro_cycles": trace.macro_cycles,
+        "clock_cycles": trace.clock_cycles,
+        "compute_instructions": trace.compute_instructions,
+        "switch_routes": trace.switch_routes,
+        "peak_buffer_words": trace.peak_buffer_words,
+        "buffer_writes": trace.buffer_writes,
+    }
+    arrays = {
+        "trace_level_cycle": np.asarray(
+            [level.cycle for level in levels], dtype=np.int64
+        ),
+        "trace_level_out_start": np.asarray(
+            [level.out_start for level in levels], dtype=np.int64
+        ),
+        "trace_level_size": np.asarray(
+            [level.num_instructions for level in levels], dtype=np.int64
+        ),
+        "trace_level_segments": np.asarray(
+            [len(level.segments) for level in levels], dtype=np.int64
+        ),
+        "trace_a_index": (
+            np.concatenate([level.a_index for level in levels])
+            if levels else np.empty(0, dtype=np.int64)
+        ).astype(np.int64),
+        "trace_b_index": (
+            np.concatenate([level.b_index for level in levels])
+            if levels else np.empty(0, dtype=np.int64)
+        ).astype(np.int64),
+        "trace_segments": np.asarray(seg_rows, dtype=np.int64).reshape(
+            (len(seg_rows), 3)
+        ),
+        "trace_slot_nodes": np.asarray(slot_rows, dtype=np.int64).reshape(
+            (len(slot_rows), 2)
+        ),
+    }
+    return header, arrays
+
+
+def decode_trace(
+    header: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    program: Program,
+) -> TraceProgram:
+    """Rebuild the :class:`TraceProgram` bound to ``program``."""
+    op_table = list(header["ops"])
+    level_cycle = arrays["trace_level_cycle"]
+    level_out = arrays["trace_level_out_start"]
+    level_size = arrays["trace_level_size"]
+    level_segs = arrays["trace_level_segments"]
+    a_index = arrays["trace_a_index"].astype(np.intp)
+    b_index = arrays["trace_b_index"].astype(np.intp)
+    seg_rows = arrays["trace_segments"]
+
+    levels: List[TraceLevel] = []
+    offset = 0
+    seg_offset = 0
+    for i in range(len(level_cycle)):
+        size = int(level_size[i])
+        a_part = a_index[offset:offset + size].copy()
+        b_part = b_index[offset:offset + size].copy()
+        a_part.setflags(write=False)
+        b_part.setflags(write=False)
+        count = int(level_segs[i])
+        segments = tuple(
+            OpSegment(
+                op=op_table[int(seg_rows[j, 0])],
+                start=int(seg_rows[j, 1]),
+                end=int(seg_rows[j, 2]),
+            )
+            for j in range(seg_offset, seg_offset + count)
+        )
+        levels.append(
+            TraceLevel(
+                cycle=int(level_cycle[i]),
+                out_start=int(level_out[i]),
+                a_index=a_part,
+                b_index=b_part,
+                segments=segments,
+            )
+        )
+        offset += size
+        seg_offset += count
+
+    return TraceProgram(
+        program=program,
+        num_slots=int(header["num_slots"]),
+        pi_slots={
+            name: int(slot)
+            for name, slot in dict(header["pi_slots"]).items()
+        },
+        levels=levels,
+        output_slots={
+            name: int(slot)
+            for name, slot in dict(header["output_slots"]).items()
+        },
+        macro_cycles=int(header["macro_cycles"]),
+        clock_cycles=int(header["clock_cycles"]),
+        compute_instructions=int(header["compute_instructions"]),
+        switch_routes=int(header["switch_routes"]),
+        peak_buffer_words=int(header["peak_buffer_words"]),
+        buffer_writes=int(header["buffer_writes"]),
+        slot_nodes={
+            int(slot): int(node)
+            for slot, node in arrays["trace_slot_nodes"].tolist()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Pass-snapshot codec (the PassCache disk tier)
+# ----------------------------------------------------------------------
+#: flat dataclasses a snapshot may carry (values: scalars or other
+#: registered dataclasses).  Resolved lazily to avoid import cycles.
+def _snapshot_dataclasses() -> Dict[str, type]:
+    from ..core.metrics import CompileMetrics
+    from ..synth.balance import BalanceReport
+    from ..synth.pipeline import PreprocessReport
+
+    return {
+        "BalanceReport": BalanceReport,
+        "PreprocessReport": PreprocessReport,
+        "CompileMetrics": CompileMetrics,
+    }
+
+
+def _encode_value(
+    value: object, slot: str, arrays: Dict[str, np.ndarray]
+) -> Optional[Dict[str, object]]:
+    """Spec for one snapshot value, or None when the type is unsupported."""
+    from ..synth.levelize import Levelization
+    from ..synth.pipeline import PreprocessResult
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"kind": "scalar", "value": value}
+    if isinstance(value, LogicGraph):
+        graph_header, graph_arrays = encode_graph(value, prefix=slot)
+        arrays.update(graph_arrays)
+        return {"kind": "graph", "header": graph_header, "prefix": slot}
+    if isinstance(value, Levelization):
+        pairs = sorted(value.level.items())
+        arrays[f"{slot}_nodes"] = np.asarray(
+            [n for n, _ in pairs], dtype=np.int64
+        )
+        arrays[f"{slot}_levels"] = np.asarray(
+            [lvl for _, lvl in pairs], dtype=np.int64
+        )
+        # by_level row order matters downstream; keep it verbatim.
+        arrays[f"{slot}_by_level"] = np.asarray(
+            [n for nodes in value.by_level for n in nodes], dtype=np.int64
+        )
+        arrays[f"{slot}_by_level_len"] = np.asarray(
+            [len(nodes) for nodes in value.by_level], dtype=np.int64
+        )
+        return {
+            "kind": "levelization",
+            "prefix": slot,
+            "max_level": value.max_level,
+        }
+    if isinstance(value, PreprocessResult):
+        spec_graph = _encode_value(value.graph, f"{slot}_g", arrays)
+        spec_levels = _encode_value(value.levels, f"{slot}_l", arrays)
+        spec_report = _encode_value(value.report, f"{slot}_r", arrays)
+        if None in (spec_graph, spec_levels, spec_report):
+            return None
+        return {
+            "kind": "preprocess",
+            "graph": spec_graph,
+            "levels": spec_levels,
+            "report": spec_report,
+        }
+    registry = _snapshot_dataclasses()
+    if is_dataclass(value) and type(value).__name__ in registry:
+        encoded: Dict[str, object] = {}
+        for f in fields(value):
+            spec = _encode_value(
+                getattr(value, f.name), f"{slot}_{f.name}", arrays
+            )
+            if spec is None:
+                return None
+            encoded[f.name] = spec
+        return {
+            "kind": "dataclass",
+            "class": type(value).__name__,
+            "fields": encoded,
+        }
+    return None
+
+
+def _decode_value(
+    spec: Dict[str, object], arrays: Dict[str, np.ndarray]
+) -> object:
+    from ..synth.levelize import Levelization
+    from ..synth.pipeline import PreprocessResult
+
+    kind = spec["kind"]
+    if kind == "scalar":
+        return spec["value"]
+    if kind == "graph":
+        return decode_graph(
+            dict(spec["header"]), arrays, prefix=str(spec["prefix"])
+        )
+    if kind == "levelization":
+        prefix = str(spec["prefix"])
+        nodes = arrays[f"{prefix}_nodes"].tolist()
+        levels = arrays[f"{prefix}_levels"].tolist()
+        flat = arrays[f"{prefix}_by_level"].tolist()
+        lengths = arrays[f"{prefix}_by_level_len"].tolist()
+        by_level: List[List[int]] = []
+        offset = 0
+        for length in lengths:
+            by_level.append(flat[offset:offset + length])
+            offset += length
+        return Levelization(
+            level=dict(zip(nodes, levels)),
+            by_level=by_level,
+            max_level=int(spec["max_level"]),
+        )
+    if kind == "preprocess":
+        return PreprocessResult(
+            graph=_decode_value(dict(spec["graph"]), arrays),
+            levels=_decode_value(dict(spec["levels"]), arrays),
+            report=_decode_value(dict(spec["report"]), arrays),
+        )
+    if kind == "dataclass":
+        cls = _snapshot_dataclasses()[str(spec["class"])]
+        return cls(
+            **{
+                name: _decode_value(dict(sub), arrays)
+                for name, sub in dict(spec["fields"]).items()
+            }
+        )
+    raise ArtifactDecodeError(f"unknown snapshot value kind {kind!r}")
+
+
+def encode_snapshot(snapshot: Dict[str, object]) -> Optional[bytes]:
+    """Encode one pass snapshot, or None if any field is not codable."""
+    arrays: Dict[str, np.ndarray] = {}
+    specs: Dict[str, object] = {}
+    for i, (field_name, value) in enumerate(sorted(snapshot.items())):
+        spec = _encode_value(value, f"f{i}", arrays)
+        if spec is None:
+            return None
+        specs[field_name] = spec
+    return pack_container({"kind": "pass-snapshot", "fields": specs}, arrays)
+
+
+def decode_snapshot(data: bytes) -> Dict[str, object]:
+    """Inverse of :func:`encode_snapshot`."""
+    header, arrays = unpack_container(data)
+    if header.get("kind") != "pass-snapshot":
+        raise ArtifactDecodeError("not a pass-snapshot container")
+    return {
+        field_name: _decode_value(dict(spec), arrays)
+        for field_name, spec in dict(header["fields"]).items()
+    }

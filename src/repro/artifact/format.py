@@ -1,0 +1,341 @@
+"""The versioned executable format: :class:`ExecutableArtifact`.
+
+An artifact is the durable, deployable form of one compiled workload —
+the paper's separation of offline FFCL compilation from the LPU that only
+ever consumes finished instruction streams, made concrete:
+
+* the executable :class:`~repro.core.codegen.Program` (instruction
+  queues in the 32-bit ISA encoding, buffer traffic tables, the runtime
+  schedule surface, the logic graph interface),
+* optionally the lowered :class:`~repro.core.trace.TraceProgram` tables,
+  so the fast trace engine starts without re-lowering,
+* identity and provenance metadata: the format version, the producing
+  ``repro`` version, the workload's content fingerprint
+  (:func:`repro.compiler.graph_fingerprint`), the compile-pipeline
+  identity, compile metrics, and a self-verifying content fingerprint of
+  the artifact bytes themselves.
+
+Artifacts serialize to a zero-pickle binary container
+(:mod:`repro.artifact.codec`) conventionally stored with the ``.lpa``
+("LPU artifact") suffix, round-trip deterministically (re-encoding a
+decoded artifact yields identical bytes and an identical fingerprint),
+and execute bit-identically to the in-memory compile on both engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.codegen import Program
+from ..core.trace import TraceProgram, adopt_lowering, lower_program
+from .codec import (
+    ArtifactDecodeError,
+    content_fingerprint,
+    decode_program,
+    decode_trace,
+    encode_program,
+    encode_trace,
+    pack_container,
+    unpack_container,
+)
+
+__all__ = [
+    "ARTIFACT_SUFFIX",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "ArtifactError",
+    "ExecutableArtifact",
+]
+
+#: container identification + compatibility gate.
+FORMAT_MAGIC = "repro-lpa"
+FORMAT_VERSION = 1
+#: conventional file suffix ("LPU artifact").
+ARTIFACT_SUFFIX = ".lpa"
+
+
+class ArtifactError(RuntimeError):
+    """The bytes are not a loadable artifact (corrupt, wrong format, or an
+    incompatible format version)."""
+
+
+@dataclass
+class ExecutableArtifact:
+    """One compiled workload in its serializable executable form."""
+
+    program: Program
+    #: lowered trace tables (None when packaged without them; the trace
+    #: engine then lowers on first use).
+    trace: Optional[TraceProgram] = None
+    #: content fingerprint of the *source* logic graph (the workload
+    #: identity every cache layer keys on).
+    workload_fingerprint: str = ""
+    #: canonical '+'-joined pass list that produced the program ("" when
+    #: packaged from a bare Program).
+    pipeline: str = ""
+    #: ``repro`` version that produced the artifact.
+    producer: str = ""
+    #: compile metrics snapshot (JSON-able), when packaged from a compile.
+    metrics: Optional[Dict[str, object]] = None
+    #: self-verifying content fingerprint of the encoded artifact
+    #: (computed on first encode / verified on load).
+    fingerprint: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        # Cached (trace-embedded?, container bytes): packaging then
+        # storing/shipping must not pay the full encode more than once.
+        # Keyed on trace presence so trace_program() lowering later
+        # invalidates it.
+        self._encoded: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        *,
+        trace: Optional[TraceProgram] = None,
+        lower: bool = True,
+        pipeline: str = "",
+        metrics: Optional[Dict[str, object]] = None,
+        workload_fingerprint: Optional[str] = None,
+    ) -> "ExecutableArtifact":
+        """Package a compiled program (lowering the trace tables unless
+        ``lower=False`` or prebuilt ``trace`` tables are supplied).
+
+        ``workload_fingerprint`` is the *source* graph's content
+        fingerprint when known (the identity every cache layer keys on);
+        it defaults to the compiled graph's fingerprint, which differs
+        from the source once pre-processing has rewritten the netlist.
+        """
+        from .. import __version__
+        from ..compiler.cache import graph_fingerprint
+
+        if trace is None and lower:
+            trace = lower_program(program)
+        if trace is not None and trace.program is not program:
+            raise ValueError(
+                "the supplied trace tables lower a different program"
+            )
+        artifact = cls(
+            program=program,
+            trace=trace,
+            workload_fingerprint=(
+                workload_fingerprint
+                if workload_fingerprint is not None
+                else graph_fingerprint(program.graph)
+            ),
+            pipeline=pipeline,
+            producer=f"repro {__version__}",
+            metrics=dict(metrics) if metrics is not None else None,
+        )
+        artifact.to_bytes()  # compute the fingerprint, warm the cache
+        return artifact
+
+    @classmethod
+    def from_compile(
+        cls,
+        result,
+        *,
+        trace: Optional[TraceProgram] = None,
+        lower: bool = True,
+    ) -> "ExecutableArtifact":
+        """Package a :class:`~repro.core.compiler.CompileResult`."""
+        from ..compiler.cache import graph_fingerprint
+
+        if result.program is None:
+            raise ValueError(
+                "the compile produced no program (no 'codegen' pass); "
+                "only executable compiles can be packaged"
+            )
+        pipeline = "+".join(
+            record.name for record in result.pass_records
+        )
+        return cls.from_program(
+            result.program,
+            trace=trace,
+            lower=lower,
+            pipeline=pipeline,
+            metrics=result.metrics.as_dict() if result.metrics else None,
+            workload_fingerprint=graph_fingerprint(result.source),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _encode(self):
+        header, arrays = encode_program(self.program)
+        header["magic"] = FORMAT_MAGIC
+        header["format_version"] = FORMAT_VERSION
+        header["producer"] = self.producer
+        header["workload_fingerprint"] = self.workload_fingerprint
+        header["pipeline"] = self.pipeline
+        header["metrics"] = self.metrics
+        if self.trace is not None:
+            trace_header, trace_arrays = encode_trace(self.trace)
+            header["trace"] = trace_header
+            arrays.update(trace_arrays)
+        else:
+            header["trace"] = None
+        return header, arrays
+
+    def _refresh_fingerprint(self) -> str:
+        header, arrays = self._encode()
+        self.fingerprint = content_fingerprint(header, arrays)
+        return self.fingerprint
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the deterministic zero-pickle container bytes
+        (memoized: repeated calls encode once)."""
+        cached = self._encoded
+        trace_present = self.trace is not None
+        if cached is not None and cached[0] == trace_present:
+            return cached[1]
+        header, arrays = self._encode()
+        self.fingerprint = content_fingerprint(header, arrays)
+        header["fingerprint"] = self.fingerprint
+        data = pack_container(header, arrays)
+        self._encoded = (trace_present, data)
+        return data
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ExecutableArtifact":
+        """Deserialize, verifying the format version and the fingerprint."""
+        try:
+            header, arrays = unpack_container(data)
+        except ArtifactDecodeError as exc:
+            raise ArtifactError(str(exc)) from exc
+        if header.get("magic") != FORMAT_MAGIC:
+            raise ArtifactError(
+                "not a repro executable artifact (bad magic)"
+            )
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ArtifactError(
+                f"unsupported artifact format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        expected = header.get("fingerprint")
+        actual = content_fingerprint(header, arrays)
+        if expected != actual:
+            raise ArtifactError(
+                "artifact fingerprint mismatch: the container is corrupt "
+                f"(header says {expected!r}, content hashes to {actual!r})"
+            )
+        try:
+            program = decode_program(header, arrays)
+            trace = None
+            if header.get("trace") is not None:
+                trace = decode_trace(dict(header["trace"]), arrays, program)
+        except (ArtifactDecodeError, KeyError, ValueError) as exc:
+            raise ArtifactError(f"undecodable artifact: {exc}") from exc
+        if trace is not None:
+            # Future lower_program() calls on this program now hit the
+            # process-wide cache instead of re-replaying the schedule.
+            trace = adopt_lowering(trace)
+        return cls(
+            program=program,
+            trace=trace,
+            workload_fingerprint=str(header.get("workload_fingerprint", "")),
+            pipeline=str(header.get("pipeline", "")),
+            producer=str(header.get("producer", "")),
+            metrics=header.get("metrics"),
+            fingerprint=str(expected),
+        )
+
+    def save(self, path: str) -> str:
+        """Write the artifact atomically; returns the path written."""
+        from .store import _atomic_write
+
+        _atomic_write(path, self.to_bytes())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ExecutableArtifact":
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def trace_program(self) -> TraceProgram:
+        """The lowered tables, lowering (and caching) on first use."""
+        if self.trace is None:
+            self.trace = lower_program(self.program)
+        return self.trace
+
+    def session(self, *, engine: Optional[str] = None):
+        """A ready-to-run :class:`~repro.engine.session.Session` —
+        no compile, and no lowering when trace tables are embedded."""
+        from ..engine.session import DEFAULT_ENGINE, Session
+
+        return Session(
+            self, engine=engine if engine is not None else DEFAULT_ENGINE
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        return self.program.graph
+
+    @property
+    def config(self):
+        return self.program.config
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able description (the ``repro inspect`` payload)."""
+        program = self.program
+        graph = program.graph
+        schedule = program.schedule
+        trace = self.trace
+        pass_names: List[str] = (
+            self.pipeline.split("+") if self.pipeline else []
+        )
+        return {
+            "format_version": FORMAT_VERSION,
+            "producer": self.producer,
+            "fingerprint": self.fingerprint or self._refresh_fingerprint(),
+            "workload_fingerprint": self.workload_fingerprint,
+            "pipeline": self.pipeline,
+            "pass_names": pass_names,
+            "graph": {
+                "name": graph.name,
+                "inputs": graph.num_inputs,
+                "outputs": graph.num_outputs,
+                "gates": graph.num_gates,
+            },
+            "config": program.config.describe(),
+            "schedule": {
+                "makespan_macro_cycles": schedule.makespan,
+                "total_clock_cycles": schedule.total_clock_cycles,
+                "queue_depth": schedule.queue_depth,
+                "circulations": schedule.circulations,
+                "policy": schedule.policy,
+            },
+            "program": {
+                "compute_instructions": program.num_compute_instructions,
+                "queue_entries": program.num_queue_entries,
+                "peak_buffer_words": program.peak_buffer_words,
+                "buffer_spills": program.buffer_spills,
+            },
+            "trace": None
+            if trace is None
+            else {
+                "levels": trace.num_levels,
+                "slots": trace.num_slots,
+                "compute_instructions": trace.compute_instructions,
+            },
+            "metrics": self.metrics,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutableArtifact(graph={self.program.graph.name!r}, "
+            f"pipeline={self.pipeline!r}, "
+            f"trace={'yes' if self.trace is not None else 'no'})"
+        )

@@ -1,0 +1,195 @@
+"""The on-disk artifact store: content-addressed executable caching.
+
+An :class:`ArtifactStore` is a directory of immutable blobs keyed by hex
+content fingerprints — the disk tier behind
+:class:`~repro.serve.cache.ProgramCache` (whole executables, ``.lpa``)
+and :class:`~repro.compiler.cache.PassCache` (per-pass snapshots).  A
+warm store survives process exit, so a cold serve restart resolves its
+workloads entirely from disk and performs zero compile passes.
+
+Writes are atomic (temp file + ``os.replace``), reads are verified
+(corrupt or truncated blobs count as misses and are quarantined out of
+the way rather than crashing the caller), and keys are namespaced by the
+caller (``prog-…``, ``pass-…``) so the one store serves every tier.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .format import ARTIFACT_SUFFIX, ArtifactError, ExecutableArtifact
+
+__all__ = ["ArtifactStore", "StoreStats", "store_key"]
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,200}$")
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a unique temp file + rename.
+
+    The temp name carries pid, thread id, and random bits: concurrent
+    writers of one key (the program cache explicitly allows racing
+    misses) must never share a temp path, or one writer's rename could
+    publish another's half-written file.
+    """
+    tmp = (
+        f"{path}.tmp.{os.getpid()}.{threading.get_ident()}."
+        f"{secrets.token_hex(4)}"
+    )
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def store_key(*parts: object) -> str:
+    """Derive a stable hex store key from identity parts."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Lookup/write counters of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(
+            hits=self.hits,
+            misses=self.misses,
+            writes=self.writes,
+            corrupt=self.corrupt,
+            bytes_written=self.bytes_written,
+            bytes_read=self.bytes_read,
+        )
+
+
+@dataclass
+class ArtifactStore:
+    """A directory of content-addressed artifact blobs.
+
+    Args:
+        root: store directory (created on first write).
+    """
+
+    root: str
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> str:
+        """Blob path for ``key`` (two-level fan-out by key prefix)."""
+        if not _KEY_RE.match(key):
+            raise ValueError(f"invalid store key {key!r}")
+        shard = key[-2:] if len(key) >= 2 else "00"
+        return os.path.join(self.root, shard, key + suffix)
+
+    # -- raw blob tier --------------------------------------------------
+    def put_bytes(
+        self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX
+    ) -> str:
+        """Atomically write one blob; returns the blob path."""
+        path = self.path_for(key, suffix)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _atomic_write(path, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        return path
+
+    def get_bytes(
+        self, key: str, suffix: str = ARTIFACT_SUFFIX
+    ) -> Optional[bytes]:
+        """One blob's bytes, or None (counted as a miss) when absent."""
+        path = self.path_for(key, suffix)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def contains(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
+        return os.path.exists(self.path_for(key, suffix))
+
+    # -- executable tier ------------------------------------------------
+    def put(self, key: str, artifact: ExecutableArtifact) -> str:
+        """Store one executable artifact under ``key``."""
+        return self.put_bytes(key, artifact.to_bytes())
+
+    def get(self, key: str) -> Optional[ExecutableArtifact]:
+        """Load one executable, or None on a miss *or* a corrupt blob
+        (quarantined aside so the slot can be rewritten cleanly)."""
+        data = self.get_bytes(key)
+        if data is None:
+            return None
+        try:
+            return ExecutableArtifact.from_bytes(data)
+        except ArtifactError:
+            self.stats.corrupt += 1
+            self._quarantine(self.path_for(key))
+            return None
+
+    def _quarantine(self, path: str) -> None:
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    # ------------------------------------------------------------------
+    def keys(self, suffix: str = ARTIFACT_SUFFIX) -> List[str]:
+        """Keys of every stored blob with ``suffix``, sorted."""
+        found: List[str] = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(suffix):
+                    found.append(name[: -len(suffix)])
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> None:
+        """Delete every stored blob (the directories stay)."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                try:
+                    os.unlink(os.path.join(shard_dir, name))
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore(root={self.root!r}, entries={len(self)})"

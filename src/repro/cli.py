@@ -4,9 +4,13 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.cli compile block.v --lpvs 16 --lpes 32 [--json]
     python -m repro.cli compile block.v --pipeline no-merge --explain-passes
+    python -m repro.cli compile block.v -o block.lpa
+    python -m repro.cli inspect block.lpa [--json]
     python -m repro.cli simulate block.v --seed 7 --engine trace
+    python -m repro.cli simulate --artifact block.lpa --engine trace
     python -m repro.cli throughput block.v --array-size 256 --batches 16
     python -m repro.cli serve-bench block.v --requests 256 --workers 2
+    python -m repro.cli serve-bench --artifact block.lpa --backend spawn
     python -m repro.cli report block.v --no-merge --policy sequential [--json]
     python -m repro.cli passes block.v [--json] / passes --list
 
@@ -14,8 +18,14 @@ Usage (after ``pip install -e .``)::
 FPS); ``--pipeline`` selects a named compile pipeline (``paper``,
 ``no-merge``, ``metrics-only``) or a custom comma-separated pass list, and
 ``--explain-passes`` appends the per-pass wall-time/size report.
+``-o/--output`` additionally writes the compiled executable as an
+ahead-of-time ``.lpa`` artifact (:mod:`repro.artifact`); ``inspect``
+prints an artifact's metadata, and ``simulate``/``serve-bench`` accept
+``--artifact`` in place of a netlist to run a previously compiled
+executable with zero compilation.
 ``passes`` prints that per-pass report on its own (``--list`` enumerates
-the registered passes and named pipelines without compiling anything).  ``simulate`` additionally executes the program on the selected
+the registered passes and named pipelines without compiling anything).
+``simulate`` additionally executes the program on the selected
 execution engine (``--engine cycle`` for the cycle-accurate hardware model,
 ``--engine trace`` for the vectorized fast path) with random stimulus and
 cross-checks it against functional evaluation.  ``throughput`` measures
@@ -36,6 +46,8 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from . import __version__
+from .artifact import ExecutableArtifact
 from .compiler import (
     PIPELINES,
     available_passes,
@@ -79,6 +91,7 @@ def _add_common(
         parser.add_argument(
             "netlist", help="structural Verilog (.v) or .bench file"
         )
+    parser.set_defaults(artifact=None)
     parser.add_argument("--lpvs", type=int, default=16, help="LPV count (n)")
     parser.add_argument("--lpes", type=int, default=32, help="LPEs per LPV (m)")
     parser.add_argument(
@@ -135,12 +148,54 @@ def _compile(args: argparse.Namespace):
     )
 
 
+def _add_artifact_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--artifact",
+        metavar="FILE",
+        default=None,
+        help="run a previously compiled .lpa executable artifact instead "
+        "of compiling a netlist (netlist and compile flags are ignored)",
+    )
+
+
+def _resolve_program(args: argparse.Namespace):
+    """(program, compile result or None, artifact or None) of one command.
+
+    With ``--artifact`` the executable is loaded as-is — no compilation,
+    and (for artifacts embedding trace tables) no lowering.  Otherwise
+    the netlist is compiled exactly as before.
+    """
+    if args.artifact is not None:
+        artifact = ExecutableArtifact.load(args.artifact)
+        return artifact.program, None, artifact
+    if args.netlist is None:
+        raise SystemExit(
+            "error: either a netlist or --artifact FILE is required"
+        )
+    result = _compile(args)
+    return result.program, result, None
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     result = _compile(args)
+    artifact_info = None
+    if args.output:
+        if not _require_program(result, args):
+            return 2
+        artifact = result.to_artifact()
+        path = artifact.save(args.output)
+        artifact_info = {
+            "path": path,
+            "bytes": len(artifact.to_bytes()),
+            "fingerprint": artifact.fingerprint,
+            "workload_fingerprint": artifact.workload_fingerprint,
+        }
     if args.json:
         data = dict(result.metrics.as_dict())
         if args.explain_passes:
             data["passes"] = records_as_dicts(result.pass_records)
+        if artifact_info is not None:
+            data["artifact"] = artifact_info
         print(json.dumps(data, indent=2, sort_keys=True))
         return 0
     print(result.metrics)
@@ -149,6 +204,55 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.explain_passes:
         print()
         print(format_pass_report(result.pass_records))
+    if artifact_info is not None:
+        print(
+            f"wrote {artifact_info['path']} ({artifact_info['bytes']} "
+            f"bytes, fingerprint {artifact_info['fingerprint'][:16]}...)"
+        )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    artifact = ExecutableArtifact.load(args.artifact)
+    summary = artifact.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    graph = summary["graph"]
+    schedule = summary["schedule"]
+    program = summary["program"]
+    print(f"artifact:  {args.artifact}")
+    print(
+        f"format:    v{summary['format_version']} "
+        f"(by {summary['producer']})"
+    )
+    print(f"content:   {summary['fingerprint']}")
+    print(f"workload:  {summary['workload_fingerprint']}")
+    print(f"pipeline:  {summary['pipeline'] or '(unrecorded)'}")
+    print(
+        f"graph:     {graph['name']}: {graph['inputs']} PIs, "
+        f"{graph['outputs']} POs, {graph['gates']} gates"
+    )
+    print(f"config:    {summary['config']}")
+    print(
+        f"schedule:  {schedule['makespan_macro_cycles']} macro-cycles "
+        f"({schedule['total_clock_cycles']} clocks), queue depth "
+        f"{schedule['queue_depth']}, {schedule['circulations']} "
+        f"circulations, policy {schedule['policy']}"
+    )
+    print(
+        f"program:   {program['compute_instructions']} compute "
+        f"instructions in {program['queue_entries']} queue entries; "
+        f"peak buffer {program['peak_buffer_words']} words"
+    )
+    trace = summary["trace"]
+    if trace is None:
+        print("trace:     not embedded (lowered on first trace-engine use)")
+    else:
+        print(
+            f"trace:     {trace['levels']} levels, {trace['slots']} value "
+            f"slots (embedded; trace engine boots with zero lowering)"
+        )
     return 0
 
 
@@ -213,13 +317,19 @@ def _require_program(result, args: argparse.Namespace) -> bool:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    result = _compile(args)
-    if not _require_program(result, args):
+    program, result, artifact = _resolve_program(args)
+    if result is not None and not _require_program(result, args):
         return 2
     ok, outputs, _ref = cross_check(
-        result.program, seed=args.seed, engine=args.engine
+        program, seed=args.seed, engine=args.engine
     )
-    print(result.metrics)
+    if result is not None:
+        print(result.metrics)
+    else:
+        print(
+            f"artifact: {args.artifact} "
+            f"(fingerprint {artifact.fingerprint[:16]}...)"
+        )
     print(f"engine: {args.engine}")
     print(f"{args.engine} == functional: {ok}")
     for name in sorted(outputs):
@@ -281,11 +391,11 @@ def cmd_throughput(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
-    result = _compile(args)
-    if not _require_program(result, args):
+    program, result, artifact = _resolve_program(args)
+    if result is not None and not _require_program(result, args):
         return 2
     report = run_serve_bench(
-        result.program,
+        artifact if artifact is not None else program,
         engine=args.engine,
         requests=args.requests,
         array_size=args.array_size,
@@ -298,10 +408,14 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     report["netlist"] = args.netlist
+    report["artifact"] = args.artifact
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if report["bit_identical"] else 1
-    print(result.metrics)
+    if result is not None:
+        print(result.metrics)
+    else:
+        print(f"artifact: {args.artifact}")
     print(
         f"serve-bench: {args.requests} requests x "
         f"{report['samples_per_request']} samples, {args.clients} clients, "
@@ -365,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FFCL-to-LPU compiler (DAC 2023 reproduction)"
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_compile = sub.add_parser("compile", help="compile and print metrics")
@@ -377,7 +496,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the per-pass wall-time/size report",
     )
+    p_compile.add_argument(
+        "-o", "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the compiled executable as an ahead-of-time "
+        ".lpa artifact (program + lowered trace tables + metadata)",
+    )
     p_compile.set_defaults(func=cmd_compile)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="print an .lpa artifact's metadata"
+    )
+    p_inspect.add_argument("artifact", help=".lpa executable artifact file")
+    p_inspect.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    p_inspect.set_defaults(func=cmd_inspect)
 
     p_passes = sub.add_parser(
         "passes", help="per-pass compile report (or --list the registry)"
@@ -394,7 +529,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_passes.set_defaults(func=cmd_passes)
 
     p_sim = sub.add_parser("simulate", help="compile, execute, cross-check")
-    _add_common(p_sim)
+    _add_common(p_sim, netlist_optional=True)
+    _add_artifact_source(p_sim)
     _add_engine(p_sim, default="cycle")
     p_sim.add_argument("--seed", type=int, default=0, help="stimulus seed")
     p_sim.set_defaults(func=cmd_simulate)
@@ -427,7 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-bench",
         help="measure the batched serving layer vs naive per-request runs",
     )
-    _add_common(p_serve)
+    _add_common(p_serve, netlist_optional=True)
+    _add_artifact_source(p_serve)
     _add_engine(p_serve, default="trace")
     p_serve.add_argument(
         "--requests", type=_positive_int, default=256,

@@ -79,6 +79,10 @@ class PassCacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: memory misses served from the disk tier (also counted as hits).
+        self.disk_hits = 0
+        #: snapshots persisted to the disk tier.
+        self.disk_stores = 0
         self.by_pass: Dict[str, Dict[str, int]] = {}
 
     def record(self, pass_name: str, hit: bool) -> None:
@@ -103,9 +107,16 @@ class PassCacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
             "hit_rate": self.hit_rate,
             "by_pass": {name: dict(c) for name, c in self.by_pass.items()},
         }
+
+
+#: disk-tier key prefix (one ArtifactStore serves several cache tiers).
+_DISK_PREFIX = "pass-"
+_DISK_SUFFIX = ".snap"
 
 
 class PassCache:
@@ -115,12 +126,23 @@ class PassCache:
         capacity: maximum retained pass applications (each entry is one
             pass's output snapshot, so a 13-pass pipeline occupies 13
             entries when fully cached).
+        store: optional :class:`~repro.artifact.store.ArtifactStore` disk
+            tier.  Memory misses fall through to disk, and stored
+            snapshots are persisted whenever the zero-pickle snapshot
+            codec can encode them (scalars, logic graphs, levelizations,
+            flat report dataclasses — i.e. every pre-processing pass and
+            ``metrics``); snapshots carrying MFG partitions, schedules,
+            or programs stay memory-only, since whole executables already
+            persist through the :class:`~repro.serve.cache.ProgramCache`
+            disk tier.  Keys are the rolling chain fingerprints, so the
+            disk tier is content-addressed exactly like the memory tier.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, store=None) -> None:
         if capacity < 1:
             raise ValueError("pass cache capacity must be >= 1")
         self.capacity = capacity
+        self.disk = store
         self.stats = PassCacheStats()
         self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._lock = threading.RLock()
@@ -130,9 +152,21 @@ class PassCache:
             return len(self._entries)
 
     def clear(self) -> None:
+        """Reset the memory tier and counters (disk entries persist)."""
         with self._lock:
             self._entries.clear()
             self.stats = PassCacheStats()
+
+    def _disk_lookup(self, key: str) -> Optional[Dict[str, object]]:
+        from ..artifact.codec import ArtifactDecodeError, decode_snapshot
+
+        blob = self.disk.get_bytes(_DISK_PREFIX + key, suffix=_DISK_SUFFIX)
+        if blob is None:
+            return None
+        try:
+            return decode_snapshot(blob)
+        except ArtifactDecodeError:
+            return None
 
     def lookup(
         self, key: str, pass_name: str
@@ -142,13 +176,38 @@ class PassCache:
             snapshot = self._entries.get(key)
             if snapshot is not None:
                 self._entries.move_to_end(key)
-            self.stats.record(pass_name, hit=snapshot is not None)
-            return snapshot
+                self.stats.record(pass_name, hit=True)
+                return snapshot
+        if self.disk is not None:
+            snapshot = self._disk_lookup(key)
+            if snapshot is not None:
+                with self._lock:
+                    # Promote to the memory tier so the next lookup is RAM.
+                    self._insert(key, snapshot)
+                    self.stats.disk_hits += 1
+                    self.stats.record(pass_name, hit=True)
+                return snapshot
+        with self._lock:
+            self.stats.record(pass_name, hit=False)
+        return None
+
+    def _insert(self, key: str, snapshot: Dict[str, object]) -> None:
+        self._entries[key] = snapshot
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
     def store(self, key: str, snapshot: Dict[str, object]) -> None:
         with self._lock:
-            self._entries[key] = snapshot
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._insert(key, snapshot)
+        if self.disk is not None:
+            from ..artifact.codec import encode_snapshot
+
+            blob = encode_snapshot(snapshot)
+            if blob is not None:
+                self.disk.put_bytes(
+                    _DISK_PREFIX + key, blob, suffix=_DISK_SUFFIX
+                )
+                with self._lock:
+                    self.stats.disk_stores += 1

@@ -163,4 +163,5 @@ def state_to_result(state: CompileState):
         program=state.program,
         metrics=state.metrics,
         pass_records=list(state.records),
+        artifact=state.artifact,
     )

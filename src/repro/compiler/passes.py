@@ -355,3 +355,36 @@ class MetricsPass(Pass):
             queue_entries=program.num_queue_entries if program else None,
             peak_buffer_words=program.peak_buffer_words if program else None,
         )
+
+
+@register_pass
+class PackagePass(Pass):
+    """Package the compiled program as a serializable
+    :class:`~repro.artifact.format.ExecutableArtifact` (program + lowered
+    trace tables + identity metadata).
+
+    Never cached: the artifact embeds its own content fingerprint and
+    aliases the program object, so memoizing it buys nothing.  Append
+    ``package`` to any codegen-bearing pipeline to get ahead-of-time
+    artifacts straight out of the pass manager; the equivalent post-hoc
+    path is :meth:`repro.core.compiler.CompileResult.to_artifact`.
+    """
+
+    name = "package"
+    cacheable = False
+    provides = ("artifact",)
+
+    def run(self, state: CompileState) -> None:
+        from ..artifact.format import ExecutableArtifact
+        from .cache import graph_fingerprint
+
+        program = state.require("program", self.name)
+        pipeline = "+".join(
+            [record.name for record in state.records] + [self.name]
+        )
+        state.artifact = ExecutableArtifact.from_program(
+            program,
+            pipeline=pipeline,
+            metrics=state.metrics.as_dict() if state.metrics else None,
+            workload_fingerprint=graph_fingerprint(state.source),
+        )

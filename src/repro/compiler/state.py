@@ -102,6 +102,9 @@ class CompileState:
     schedule: Optional[Schedule] = None
     program: Optional[Program] = None
     metrics: Optional[CompileMetrics] = None
+    #: packaged executable (written by the ``package`` pass; an
+    #: :class:`~repro.artifact.format.ExecutableArtifact`).
+    artifact: Optional[object] = None
 
     records: List[PassRecord] = field(default_factory=list)
 

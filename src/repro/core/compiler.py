@@ -60,10 +60,28 @@ class CompileResult:
     #: per-pass instrumentation (wall time, cache hits, artifact sizes);
     #: a list of :class:`repro.compiler.PassRecord`.
     pass_records: List[object] = field(default_factory=list)
+    #: pre-packaged executable (set when the pipeline ran the ``package``
+    #: pass; :meth:`to_artifact` fills it lazily otherwise).
+    artifact: Optional[object] = None
 
     @property
     def balanced(self) -> LogicGraph:
         return self.preprocess.graph
+
+    def to_artifact(self, *, lower: bool = True):
+        """Package this compile as a serializable
+        :class:`~repro.artifact.format.ExecutableArtifact` (memoized).
+
+        ``lower=False`` skips embedding the trace-engine tables (smaller
+        artifact; the trace engine then lowers on first use).
+        """
+        if self.artifact is None:
+            from ..artifact.format import ExecutableArtifact
+
+            self.artifact = ExecutableArtifact.from_compile(
+                self, lower=lower
+            )
+        return self.artifact
 
 
 def compile_ffcl(

@@ -26,6 +26,7 @@ tests round-trip.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from ..netlist import cells
@@ -111,6 +112,7 @@ def _encode_port(port: PortSpec) -> int:
     return (_SRC_CODES[port.source] << 9) | (int(port.latch) << 8) | port.index
 
 
+@lru_cache(maxsize=4096)  # <= 2^11 encodable ports; PortSpec is frozen
 def _decode_port(bits: int) -> PortSpec:
     return PortSpec(
         source=_SRC_NAMES[(bits >> 9) & 0x3],
@@ -131,8 +133,14 @@ def encode_instruction(instr: LPEInstruction) -> int:
     return word
 
 
+@lru_cache(maxsize=65536)  # instructions are frozen: share per word
 def decode_instruction(word: int) -> LPEInstruction:
-    """Inverse of :func:`encode_instruction` (drops the trace node)."""
+    """Inverse of :func:`encode_instruction` (drops the trace node).
+
+    Decoded instructions are memoized per word — artifact deserialization
+    (:mod:`repro.artifact`) decodes whole instruction queues, where the
+    same words (NOPs above all) recur thousands of times.
+    """
     if not 0 <= word < (1 << 32):
         raise ValueError("instruction word out of range")
     op = _OPCODE_NAMES[word & 0xF]

@@ -161,6 +161,47 @@ class Schedule:
                 used[key] = item.mfg.uid
 
 
+@dataclass(frozen=True)
+class RuntimeSchedule:
+    """The schedule surface an *executable* needs at run time.
+
+    A full :class:`Schedule` carries the MFG DAG, per-MFG placements, and
+    memLoc bookkeeping — compile-time artifacts.  Executing a compiled
+    :class:`~repro.core.codegen.Program` only ever consumes the makespan,
+    the read-address base, and the summary counters, so serialized
+    executables (:mod:`repro.artifact`) carry this flat record instead of
+    the DAG.  It is duck-type compatible with :class:`Schedule` everywhere
+    the simulator, the trace lowering, and the serving layer look.
+    """
+
+    config: LPUConfig
+    makespan: int
+    base_address: int = 0
+    policy: str = "pipelined"
+    circulations: int = 0
+    queue_depth: int = 0
+
+    @property
+    def total_clock_cycles(self) -> int:
+        return self.makespan * self.config.t_c
+
+    def address_of(self, cycle: int, lpv: int) -> int:
+        """Normalized queue address read by ``lpv`` at ``cycle``."""
+        return cycle - lpv - self.base_address
+
+    @classmethod
+    def from_schedule(cls, schedule: "Schedule") -> "RuntimeSchedule":
+        """Flatten a full schedule to its runtime surface."""
+        return cls(
+            config=schedule.config,
+            makespan=schedule.makespan,
+            base_address=schedule.base_address,
+            policy=schedule.policy,
+            circulations=schedule.circulations,
+            queue_depth=schedule.queue_depth,
+        )
+
+
 def _place(mfg: MFG, issue: int, n: int) -> ScheduledMFG:
     lpv_of_level = {}
     cycle_of_level = {}

@@ -173,6 +173,26 @@ def lower_program(program: Program, *, cache: bool = True) -> TraceProgram:
     return trace
 
 
+def adopt_lowering(trace: TraceProgram) -> TraceProgram:
+    """Register an externally-built lowering (e.g. deserialized from an
+    :mod:`repro.artifact` container) in the process-wide cache.
+
+    Returns the canonical lowering for ``trace.program``: if a live
+    lowering of the *same* program object is already cached it wins, so
+    every consumer keeps sharing one set of tables.  After adoption,
+    :func:`lower_program` on that program object is a cache hit — loading
+    an artifact therefore never pays the symbolic replay.
+    """
+    with _LOWER_LOCK:
+        key = id(trace.program)
+        ref = _LOWER_CACHE.get(key)
+        cached = ref() if ref is not None else None
+        if cached is not None and cached.program is trace.program:
+            return cached
+        _LOWER_CACHE[key] = weakref.ref(trace)
+        return trace
+
+
 def _lower_program_uncached(program: Program) -> TraceProgram:
     """Symbolically replay ``program`` once, producing a :class:`TraceProgram`.
 

@@ -84,12 +84,24 @@ def available_engines() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def create_engine(name: str, program: Program) -> ExecutionEngine:
-    """Instantiate the engine registered under ``name`` for ``program``."""
+def create_engine(name: str, source) -> ExecutionEngine:
+    """Instantiate the engine registered under ``name``.
+
+    ``source`` is a compiled :class:`Program` or an
+    :class:`~repro.artifact.format.ExecutableArtifact`; artifacts hand
+    their embedded lowered trace tables to the trace engine, so booting
+    from an artifact performs neither compilation nor lowering.
+    """
     try:
         cls = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown engine {name!r}; available: {available_engines()}"
         ) from None
-    return cls(program)
+    from ..artifact.format import ExecutableArtifact
+
+    if isinstance(source, ExecutableArtifact):
+        if name == "trace":
+            return cls(source.program, source.trace_program())
+        return cls(source.program)
+    return cls(source)

@@ -30,8 +30,11 @@ class Session:
     """One compiled workload bound to one execution engine.
 
     Args:
-        source: a :class:`LogicGraph` to compile, or an already-compiled
-            :class:`Program` (its embedded config is used).
+        source: a :class:`LogicGraph` to compile, an already-compiled
+            :class:`Program` (its embedded config is used), or a
+            deserialized :class:`~repro.artifact.format.ExecutableArtifact`
+            (no compile and — with embedded trace tables — no lowering:
+            the ahead-of-time serving path).
         config: LPU parameters, when compiling from a graph
             (:data:`~repro.core.config.PAPER_CONFIG` by default).
         engine: registered engine name (``"trace"`` or ``"cycle"``), or an
@@ -53,18 +56,30 @@ class Session:
         engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
         **compile_kwargs,
     ) -> None:
+        from ..artifact.format import ExecutableArtifact
+
         self.compile_result: Optional[CompileResult] = None
-        if isinstance(source, Program):
+        self.artifact = None
+        engine_source: Union[Program, ExecutableArtifact]
+        if isinstance(source, (Program, ExecutableArtifact)):
             if compile_kwargs:
                 raise ValueError(
-                    "compile options are meaningless for a compiled Program"
+                    "compile options are meaningless for a compiled "
+                    "Program or artifact"
                 )
-            if config is not None and config != source.config:
+            program = (
+                source.program
+                if isinstance(source, ExecutableArtifact)
+                else source
+            )
+            if config is not None and config != program.config:
                 raise ValueError(
                     "a compiled Program carries its own config; "
                     "recompile from the graph to change LPU parameters"
                 )
-            program = source
+            if isinstance(source, ExecutableArtifact):
+                self.artifact = source
+            engine_source = source
         else:
             self.compile_result = compile_ffcl(
                 source, config if config is not None else PAPER_CONFIG,
@@ -73,6 +88,7 @@ class Session:
             program = self.compile_result.program
             if program is None:  # pragma: no cover - guarded by compile_ffcl
                 raise ValueError("compilation produced no program")
+            engine_source = program
         self.program = program
         if isinstance(engine, ExecutionEngine):
             if engine.program is not program:
@@ -82,7 +98,7 @@ class Session:
                 )
             self.engine: ExecutionEngine = engine
         else:
-            self.engine = create_engine(engine, program)
+            self.engine = create_engine(engine, engine_source)
         self.runs_completed = 0
 
     # ------------------------------------------------------------------

@@ -4,7 +4,9 @@ Built on :mod:`repro.engine`, this package turns the compile-once
 :class:`~repro.engine.session.Session` into a servable system:
 
 * :class:`ProgramCache` — memoized compilation + lowering keyed by
-  (workload fingerprint, engine, config, options), LRU-evicted,
+  (workload fingerprint, engine, config, options), LRU-evicted, with an
+  optional :class:`~repro.artifact.store.ArtifactStore` disk tier so a
+  warm restart loads serialized executables instead of compiling,
 * :class:`BatchScheduler` — dynamic micro-batching of individual requests
   under a max-batch-size / max-wait policy, bit-identical to per-request
   execution,
@@ -25,6 +27,7 @@ from .cache import (
     CacheStats,
     ProgramCache,
     default_program_cache,
+    disk_key,
     graph_fingerprint,
 )
 from .pool import BACKENDS, PLACEMENTS, WorkerPool
@@ -43,6 +46,7 @@ __all__ = [
     "SchedulerStats",
     "WorkerPool",
     "default_program_cache",
+    "disk_key",
     "graph_fingerprint",
     "naive_serve",
     "run_serve_bench",

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..artifact.format import ExecutableArtifact
 from ..core.codegen import Program
 from ..core.config import LPUConfig
 from ..engine.base import SAMPLES_PER_WORD
@@ -37,7 +38,7 @@ __all__ = ["run_serve_bench"]
 
 
 def run_serve_bench(
-    source: Union[LogicGraph, Program],
+    source: Union[LogicGraph, Program, "ExecutableArtifact"],
     config: Optional[LPUConfig] = None,
     *,
     engine: str = DEFAULT_ENGINE,
@@ -78,8 +79,11 @@ def run_serve_bench(
     naive_seconds = time.perf_counter() - start
 
     # Served: concurrent open-loop clients over one InferenceServer.
+    # The original source goes back through the cache (a guaranteed hit)
+    # so artifact-backed entries keep their bytes for spawn workers.
     server = InferenceServer(
-        program,
+        source,
+        config,
         engine=engine,
         num_workers=num_workers,
         max_batch_size=max_batch_size,
@@ -87,6 +91,7 @@ def run_serve_bench(
         placement=placement,
         backend=backend,
         cache=cache,
+        **compile_kwargs,
     )
     try:
         server.infer(stimuli[0])  # warm-up

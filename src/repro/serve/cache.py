@@ -26,6 +26,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
+from ..artifact.format import ExecutableArtifact
+from ..artifact.store import ArtifactStore, store_key
 from ..compiler.cache import PassCache, graph_fingerprint
 from ..compiler.pipelines import pipeline_from_options, pipeline_id
 from ..core.codegen import Program
@@ -41,6 +43,7 @@ __all__ = [
     "CacheStats",
     "ProgramCache",
     "default_program_cache",
+    "disk_key",
     "graph_fingerprint",
 ]
 
@@ -67,6 +70,12 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: memory misses resolved from the artifact disk tier (no compile).
+    disk_hits: int = 0
+    #: memory misses that also missed (or had no) disk tier.
+    disk_misses: int = 0
+    #: artifacts written to the disk tier after a compile.
+    disk_stores: int = 0
 
     @property
     def lookups(self) -> int:
@@ -81,6 +90,9 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "disk_stores": self.disk_stores,
             "hit_rate": self.hit_rate,
         }
 
@@ -93,7 +105,21 @@ class CacheEntry:
     program: Program
     trace: Optional[TraceProgram] = None
     compile_result: Optional[CompileResult] = None
+    #: serializable executable (present when the entry came from — or was
+    #: written to — the disk tier, or when the source was an artifact);
+    #: the spawn worker backend ships these bytes across processes.
+    artifact: Optional[ExecutableArtifact] = None
     uses: int = field(default=0)
+
+
+def disk_key(key: CacheKey) -> str:
+    """Content-addressed disk-tier key of one cache identity.
+
+    Engine-independent on purpose: a stored artifact carries both the
+    program and the lowered trace tables, so the cycle and trace engines
+    share one blob per (workload, config, options, pipeline).
+    """
+    return store_key(key.workload, key.config, key.options, key.pipeline)
 
 
 class ProgramCache:
@@ -109,20 +135,31 @@ class ProgramCache:
             common pass prefix even though they occupy separate program
             entries.  An injected cache is treated as shared: ``clear()``
             leaves it alone.
+        store: optional :class:`~repro.artifact.store.ArtifactStore` disk
+            tier.  Memory misses for graph sources fall through to the
+            store (loading a serialized executable instead of compiling —
+            zero compile passes), and compile misses write their artifact
+            back, so a *new process* pointed at a warm store resolves its
+            workloads without compiling anything.  When the cache owns its
+            pass cache, the store also becomes the pass cache's disk tier.
     """
 
     def __init__(
-        self, capacity: int = 8, pass_cache: Optional[PassCache] = None
+        self,
+        capacity: int = 8,
+        pass_cache: Optional[PassCache] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
+        self.store = store
         self.stats = CacheStats()
         self._owns_pass_cache = pass_cache is None
         self.pass_cache = (
             pass_cache
             if pass_cache is not None
-            else PassCache(capacity=capacity * 16)
+            else PassCache(capacity=capacity * 16, store=store)
         )
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._lock = threading.RLock()
@@ -180,12 +217,14 @@ class ProgramCache:
 
     def make_key(
         self,
-        source: Union[LogicGraph, Program],
+        source: Union[LogicGraph, Program, ExecutableArtifact],
         config: Optional[LPUConfig] = None,
         *,
         engine: str = DEFAULT_ENGINE,
         **compile_kwargs,
     ) -> CacheKey:
+        if isinstance(source, ExecutableArtifact):
+            source = source.program
         if isinstance(source, Program):
             # An already-compiled program is its own identity: the same
             # graph+config compiled with different options (merge, policy)
@@ -213,7 +252,7 @@ class ProgramCache:
 
     def get_or_compile(
         self,
-        source: Union[LogicGraph, Program],
+        source: Union[LogicGraph, Program, ExecutableArtifact],
         config: Optional[LPUConfig] = None,
         *,
         engine: str = DEFAULT_ENGINE,
@@ -222,8 +261,12 @@ class ProgramCache:
         """Return the cached entry for ``source``, compiling on a miss.
 
         ``source`` may be a :class:`LogicGraph` (compiled with ``config``
-        and ``compile_kwargs`` on a miss) or an already-compiled
-        :class:`Program` (memoizes its lowering artifacts only).
+        and ``compile_kwargs`` on a miss), an already-compiled
+        :class:`Program` (memoizes its lowering artifacts only), or a
+        deserialized :class:`ExecutableArtifact` (never compiles; reuses
+        the artifact's embedded lowering).  Graph-source misses fall
+        through to the artifact disk tier before compiling, and compiles
+        write their artifact back to it.
         """
         key = self.make_key(source, config, engine=engine, **compile_kwargs)
         with self._lock:
@@ -238,21 +281,58 @@ class ProgramCache:
         # must not block hits for unrelated cached workloads.  Concurrent
         # misses on the same key may compile twice; the first insert wins.
         compile_result: Optional[CompileResult] = None
-        if isinstance(source, Program):
+        artifact: Optional[ExecutableArtifact] = None
+        program: Optional[Program] = None
+        if isinstance(source, ExecutableArtifact):
+            artifact = source
+            program = source.program
+        elif isinstance(source, Program):
             program = source
-        else:
+        elif self.store is not None:
+            artifact = self.store.get(disk_key(key))
+            if artifact is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                program = artifact.program
+            else:
+                with self._lock:
+                    self.stats.disk_misses += 1
+        if program is None:
             compile_result = compile_ffcl(
                 source, key.config, pass_cache=self.pass_cache, **compile_kwargs
             )
             program = compile_result.program
             if program is None:  # pragma: no cover - compile_ffcl guards
                 raise ValueError("compilation produced no program")
-        trace = lower_program(program) if engine == "trace" else None
+        if engine == "trace":
+            # Artifact-borne lowerings were adopted into the process-wide
+            # cache on deserialization, so this never re-lowers them.
+            trace = lower_program(program)
+        else:
+            trace = artifact.trace if artifact is not None else None
+        if (
+            self.store is not None
+            and artifact is None
+            and compile_result is not None
+        ):
+            # Persist the fresh compile so future processes skip it.  The
+            # blob always embeds the trace tables — the engine-independent
+            # disk key promises that a stored executable boots either
+            # engine with zero compilation AND zero lowering, so a
+            # cycle-engine compile lowers here (cheap, once, offline)
+            # rather than leaving every future trace cold start to pay it.
+            artifact = ExecutableArtifact.from_compile(
+                compile_result, trace=trace, lower=True
+            )
+            self.store.put(disk_key(key), artifact)
+            with self._lock:
+                self.stats.disk_stores += 1
         entry = CacheEntry(
             key=key,
             program=program,
             trace=trace,
             compile_result=compile_result,
+            artifact=artifact,
             uses=1,
         )
         with self._lock:

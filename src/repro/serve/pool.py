@@ -11,9 +11,23 @@ Workers are **thread-backed** by default: trace execution is numpy-bound,
 so worker threads overlap the vector kernels while sharing one lowered
 :class:`~repro.core.trace.TraceProgram` (see the lowering cache in
 :mod:`repro.core.trace` — lowering is paid once, not once per worker).
-A **process-backed** mode (``backend="process"``, fork platforms only)
-sidesteps the interpreter lock entirely at the cost of pickling batches
-across the process boundary.
+Two **process-backed** modes sidestep the interpreter lock entirely at
+the cost of pickling batches across the process boundary:
+
+* ``backend="fork"`` — the program reaches the children through fork
+  inheritance (POSIX fork platforms only),
+* ``backend="spawn"`` — start-method independent: each child receives
+  the serialized :class:`~repro.artifact.format.ExecutableArtifact`
+  bytes and boots its engine from them, so no compiled Python object
+  ever crosses the process boundary.
+
+``backend="process"`` resolves to whichever of the two the platform's
+multiprocessing start methods support (fork where available, else the
+artifact-based spawn path) instead of silently assuming fork.
+
+As with any spawn-based ``multiprocessing`` use, a script creating a
+spawn pool at import time must guard it with ``if __name__ ==
+"__main__":`` — spawn children re-import the main module.
 """
 
 from __future__ import annotations
@@ -26,6 +40,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..artifact.format import ExecutableArtifact
 from ..core.codegen import Program
 from ..engine.session import DEFAULT_ENGINE, Session
 from ..lpu.simulator import SimulationResult
@@ -33,7 +48,7 @@ from ..lpu.simulator import SimulationResult
 __all__ = ["BACKENDS", "PLACEMENTS", "WorkerPool"]
 
 PLACEMENTS = ("round_robin", "least_loaded")
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "fork", "spawn")
 
 _STOP = object()
 
@@ -75,16 +90,25 @@ class _ThreadWorker:
                 future.set_exception(exc)
 
 
-# -- process backend ----------------------------------------------------
-# The program reaches the child through fork inheritance (initargs are not
-# pickled under the fork start method); only batches and results cross the
-# process boundary.
+# -- process backends ---------------------------------------------------
+# Fork mode: the program reaches the child through fork inheritance
+# (initargs are not pickled under the fork start method); only batches and
+# results cross the process boundary.  Spawn mode: the child receives the
+# serialized artifact bytes and rebuilds its session from them — no
+# compiled Python object crosses the boundary, so it works under every
+# start method.
 _PROC_SESSION: Optional[Session] = None
 
 
 def _proc_initializer(program: Program, engine: str) -> None:
     global _PROC_SESSION
     _PROC_SESSION = Session(program, engine=engine)
+
+
+def _spawn_initializer(artifact_bytes: bytes, engine: str) -> None:
+    global _PROC_SESSION
+    artifact = ExecutableArtifact.from_bytes(artifact_bytes)
+    _PROC_SESSION = artifact.session(engine=engine)
 
 
 def _proc_run(inputs: Dict[str, np.ndarray]) -> SimulationResult:
@@ -115,6 +139,28 @@ class _ProcessWorker:
         self._executor.shutdown(wait=True)
 
 
+class _SpawnWorker:
+    """One spawn-started worker booting from shipped artifact bytes."""
+
+    def __init__(self, index: int, artifact_bytes: bytes, engine: str) -> None:
+        self.index = index
+        context = multiprocessing.get_context("spawn")
+        self._executor = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=context,
+            initializer=_spawn_initializer,
+            initargs=(artifact_bytes, engine),
+        )
+
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        return self._executor.submit(_proc_run, inputs)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
 class WorkerPool:
     """N engine workers over one program, with batch placement.
 
@@ -123,7 +169,13 @@ class WorkerPool:
         num_workers: engine instances (threads or processes).
         engine: registered engine name each worker runs.
         placement: ``"round_robin"`` or ``"least_loaded"``.
-        backend: ``"thread"`` (default) or ``"process"`` (fork only).
+        backend: ``"thread"`` (default), ``"fork"`` (process workers via
+            fork inheritance, POSIX only), ``"spawn"`` (process workers
+            booted from serialized artifact bytes, start-method
+            independent), or ``"process"`` (fork where the platform
+            supports it, otherwise the spawn path).
+        artifact: optional pre-serialized executable for the spawn
+            backend (one is packaged from ``program`` when omitted).
     """
 
     def __init__(
@@ -134,6 +186,7 @@ class WorkerPool:
         engine: str = DEFAULT_ENGINE,
         placement: str = "round_robin",
         backend: str = "thread",
+        artifact: Optional[ExecutableArtifact] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -145,20 +198,51 @@ class WorkerPool:
             raise ValueError(
                 f"unknown backend {backend!r}; available: {BACKENDS}"
             )
+        start_methods = multiprocessing.get_all_start_methods()
         if backend == "process":
-            if "fork" not in multiprocessing.get_all_start_methods():
-                raise RuntimeError(
-                    "the process backend needs the 'fork' start method; "
-                    "use backend='thread' on this platform"
-                )
+            # Resolve the generic request instead of assuming fork: on
+            # platforms without it (Windows; macOS defaults away from it)
+            # the artifact-based spawn path serves transparently.
+            backend = "fork" if "fork" in start_methods else "spawn"
+        if backend == "fork" and "fork" not in start_methods:
+            raise RuntimeError(
+                "the fork worker backend needs the 'fork' start method, "
+                f"which this platform does not provide ({start_methods}); "
+                "use backend='spawn' (artifact-shipping) or "
+                "backend='thread' instead"
+            )
         self.program = program
         self.engine = engine
         self.placement = placement
         self.backend = backend
-        worker_cls = _ThreadWorker if backend == "thread" else _ProcessWorker
-        self._workers: List[Union[_ThreadWorker, _ProcessWorker]] = [
-            worker_cls(i, program, engine) for i in range(num_workers)
-        ]
+        self.artifact = artifact
+        workers: List[Union[_ThreadWorker, _ProcessWorker, _SpawnWorker]]
+        if backend == "spawn":
+            if artifact is None:
+                self.artifact = artifact = ExecutableArtifact.from_program(
+                    program, lower=engine == "trace"
+                )
+            elif artifact.program is not program:
+                raise ValueError(
+                    "the supplied artifact packages a different program "
+                    "than this pool executes"
+                )
+            artifact_bytes = artifact.to_bytes()
+            workers = [
+                _SpawnWorker(i, artifact_bytes, engine)
+                for i in range(num_workers)
+            ]
+        elif backend == "fork":
+            workers = [
+                _ProcessWorker(i, program, engine)
+                for i in range(num_workers)
+            ]
+        else:
+            workers = [
+                _ThreadWorker(i, program, engine)
+                for i in range(num_workers)
+            ]
+        self._workers = workers
         self._lock = threading.Lock()
         self._next = 0
         self._pending_words = [0] * num_workers

@@ -37,15 +37,18 @@ class InferenceServer:
     """Serve one compiled workload to many concurrent callers.
 
     Args:
-        source: a :class:`LogicGraph` to compile or a compiled
-            :class:`Program`.
+        source: a :class:`LogicGraph` to compile, a compiled
+            :class:`Program`, or a deserialized
+            :class:`~repro.artifact.format.ExecutableArtifact` (the
+            ahead-of-time path: no compile, no lowering).
         config: LPU parameters when compiling from a graph.
         engine: execution engine every worker runs (``"trace"`` default).
         num_workers: parallel engine instances in the worker pool.
         max_batch_size: requests coalesced into one engine run.
         max_wait_ms: micro-batching deadline for a non-full batch.
         placement: worker placement, ``"round_robin"`` / ``"least_loaded"``.
-        backend: worker backend, ``"thread"`` / ``"process"``.
+        backend: worker backend, ``"thread"`` / ``"process"`` / ``"fork"``
+            / ``"spawn"`` (see :class:`~repro.serve.pool.WorkerPool`).
         cache: program cache to resolve compilations through (the
             process-wide default cache when omitted).
         **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`.
@@ -77,6 +80,8 @@ class InferenceServer:
             engine=engine,
             placement=placement,
             backend=backend,
+            # Spawn workers ship these bytes instead of re-packaging.
+            artifact=entry.artifact,
         )
         graph = self.program.graph
         self.scheduler = BatchScheduler(

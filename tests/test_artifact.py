@@ -1,0 +1,681 @@
+"""Tests for the ahead-of-time executable artifact subsystem.
+
+The load-bearing property: **serialize → deserialize → bit-identical
+execution** — a deserialized :class:`ExecutableArtifact` produces exactly
+the outputs *and* run statistics of the in-memory compile, on both
+engines, for every model workload; encoding is deterministic and the
+content fingerprints (workload and artifact) survive the round trip.
+On top of the format sit the disk tiers: a cold-process
+:class:`ProgramCache` over a warm :class:`ArtifactStore` must resolve its
+workloads with **zero compile passes**, and the spawn worker backend must
+serve bit-identically from shipped artifact bytes.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.artifact import (
+    ArtifactError,
+    ArtifactStore,
+    ExecutableArtifact,
+    FORMAT_VERSION,
+    store_key,
+)
+from repro.artifact.codec import (
+    ArtifactDecodeError,
+    decode_snapshot,
+    encode_snapshot,
+    pack_container,
+    unpack_container,
+)
+from repro.compiler import PassCache, graph_fingerprint
+from repro.core import LPUConfig, compile_ffcl
+from repro.core.schedule import RuntimeSchedule
+from repro.core.trace import (
+    clear_lowering_cache,
+    lower_program,
+    lowering_cache_stats,
+)
+from repro.engine import Session, create_engine
+from repro.lpu import evaluate_graph, random_stimulus
+from repro.models import (
+    jsc_l_workload,
+    jsc_m_workload,
+    layer_block,
+    lenet5_workload,
+    mlpmixer_b4_workload,
+    mlpmixer_s4_workload,
+    nid_workload,
+    vgg16_workload,
+)
+from repro.netlist import cells, random_dag, random_tree
+from repro.netlist.graph import LogicGraph
+from repro.serve import InferenceServer, ProgramCache, naive_serve
+
+SMALL = LPUConfig(num_lpvs=4, lpes_per_lpv=8)
+TINY = LPUConfig(num_lpvs=2, lpes_per_lpv=4)
+
+MODEL_FACTORIES = [
+    vgg16_workload,
+    lenet5_workload,
+    mlpmixer_s4_workload,
+    mlpmixer_b4_workload,
+    nid_workload,
+    jsc_m_workload,
+    jsc_l_workload,
+]
+
+
+def roundtrip(result) -> ExecutableArtifact:
+    """compile result -> artifact -> bytes -> artifact."""
+    return ExecutableArtifact.from_bytes(result.to_artifact().to_bytes())
+
+
+def assert_identical_execution(program_a, program_b, seed=0, array_size=3):
+    """Both programs execute identically on both engines (+ functional)."""
+    stim = random_stimulus(program_a.graph, array_size=array_size, seed=seed)
+    reference = evaluate_graph(program_a.graph, stim)
+    for engine in ("cycle", "trace"):
+        got = create_engine(engine, program_b).run(stim)
+        ref = create_engine(engine, program_a).run(stim)
+        assert set(got.outputs) == set(reference)
+        for name, word in reference.items():
+            assert np.array_equal(got.outputs[name], word), (engine, name)
+        assert (
+            got.macro_cycles,
+            got.clock_cycles,
+            got.compute_instructions_executed,
+            got.switch_routes,
+            got.peak_buffer_words,
+            got.buffer_writes,
+        ) == (
+            ref.macro_cycles,
+            ref.clock_cycles,
+            ref.compute_instructions_executed,
+            ref.switch_routes,
+            ref.peak_buffer_words,
+            ref.buffer_writes,
+        ), engine
+
+
+# ----------------------------------------------------------------------
+# Container
+# ----------------------------------------------------------------------
+class TestContainer:
+    def test_pack_unpack(self):
+        header = {"x": 1, "nested": {"a": [1, 2]}}
+        arrays = {"t": np.arange(7, dtype=np.int64)}
+        data = pack_container(header, arrays)
+        got_header, got_arrays = unpack_container(data)
+        assert got_header == header
+        assert np.array_equal(got_arrays["t"], arrays["t"])
+
+    def test_deterministic_bytes(self):
+        header = {"b": 2, "a": 1}
+        arrays = {"t": np.arange(4, dtype=np.uint32)}
+        assert pack_container(header, arrays) == pack_container(
+            dict(reversed(list(header.items()))), arrays
+        )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ArtifactDecodeError):
+            unpack_container(b"not a zip at all")
+
+    def test_not_an_artifact(self):
+        data = pack_container({"kind": "something-else"}, {})
+        with pytest.raises(ArtifactError, match="magic"):
+            ExecutableArtifact.from_bytes(data)
+
+    def test_version_gate(self):
+        g = random_dag(4, 20, 1, seed=0)
+        art = compile_ffcl(g, TINY).to_artifact()
+        header, arrays = art._encode()
+        header["format_version"] = FORMAT_VERSION + 1
+        from repro.artifact.codec import content_fingerprint
+
+        header["fingerprint"] = content_fingerprint(header, arrays)
+        with pytest.raises(ArtifactError, match="format version"):
+            ExecutableArtifact.from_bytes(pack_container(header, arrays))
+
+    def test_corruption_detected(self):
+        g = random_dag(4, 20, 1, seed=0)
+        data = bytearray(compile_ffcl(g, TINY).to_artifact().to_bytes())
+        # Flip one byte somewhere in the middle of the payload.
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(ArtifactError):
+            ExecutableArtifact.from_bytes(bytes(data))
+
+
+# ----------------------------------------------------------------------
+# Format round trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_bit_identical_execution_and_fingerprints(self):
+        g = random_dag(6, 60, 3, seed=5)
+        result = compile_ffcl(g, SMALL)
+        art = roundtrip(result)
+        assert_identical_execution(result.program, art.program)
+        assert graph_fingerprint(art.program.graph) == graph_fingerprint(
+            result.program.graph
+        )
+        assert art.workload_fingerprint == graph_fingerprint(g)
+
+    def test_reencoding_is_byte_stable(self):
+        g = random_dag(5, 50, 2, seed=9)
+        art = compile_ffcl(g, SMALL).to_artifact()
+        data = art.to_bytes()
+        again = ExecutableArtifact.from_bytes(data)
+        assert again.to_bytes() == data
+        assert again.fingerprint == art.fingerprint
+
+    def test_runtime_schedule_surface(self):
+        g = random_dag(5, 40, 2, seed=3)
+        result = compile_ffcl(g, TINY)
+        art = roundtrip(result)
+        schedule = art.program.schedule
+        assert isinstance(schedule, RuntimeSchedule)
+        assert schedule.makespan == result.schedule.makespan
+        assert schedule.base_address == result.schedule.base_address
+        assert schedule.queue_depth == result.schedule.queue_depth
+        assert schedule.circulations == result.schedule.circulations
+        assert (
+            schedule.total_clock_cycles == result.schedule.total_clock_cycles
+        )
+        for cycle in range(schedule.makespan):
+            for lpv in range(TINY.n):
+                assert schedule.address_of(cycle, lpv) == \
+                    result.schedule.address_of(cycle, lpv)
+
+    def test_deep_circulating_workload(self):
+        g = random_tree(128, seed=1)  # depth 7 > n = 2: circulation paths
+        result = compile_ffcl(g, TINY)
+        assert result.metrics.circulations > 0
+        assert_identical_execution(result.program, roundtrip(result).program)
+
+    def test_po_aliased_to_pi_and_const(self):
+        g = LogicGraph()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        g.set_output("pass", a)
+        g.set_output("zero", g.add_const(0))
+        g.set_output("y", g.add_gate(cells.AND, a, b))
+        result = compile_ffcl(g, TINY)
+        assert_identical_execution(result.program, roundtrip(result).program)
+
+    def test_without_trace_tables(self):
+        g = random_dag(5, 30, 2, seed=2)
+        result = compile_ffcl(g, TINY)
+        art = ExecutableArtifact.from_bytes(
+            ExecutableArtifact.from_compile(result, lower=False).to_bytes()
+        )
+        assert art.trace is None
+        assert_identical_execution(result.program, art.program)
+        assert art.trace_program().compute_instructions == \
+            lower_program(result.program).compute_instructions
+
+    def test_metadata_survives(self):
+        g = random_dag(5, 30, 2, seed=7)
+        result = compile_ffcl(g, TINY)
+        art = roundtrip(result)
+        assert art.producer == f"repro {repro.__version__}"
+        assert art.pipeline == "+".join(
+            record.name for record in result.pass_records
+        )
+        assert art.metrics == result.metrics.as_dict()
+        summary = art.summary()
+        assert summary["format_version"] == FORMAT_VERSION
+        assert summary["graph"]["gates"] == result.program.graph.num_gates
+        json.dumps(summary)  # the whole summary is JSON-able
+
+    def test_supplied_trace_must_match_program(self):
+        g = random_dag(5, 30, 2, seed=2)
+        a = compile_ffcl(g, TINY)
+        b = compile_ffcl(g, SMALL)
+        with pytest.raises(ValueError, match="different program"):
+            ExecutableArtifact.from_program(
+                a.program, trace=lower_program(b.program)
+            )
+
+    def test_codegen_free_pipeline_rejected(self):
+        g = random_dag(5, 30, 2, seed=2)
+        result = compile_ffcl(g, TINY, generate_code=False)
+        with pytest.raises(ValueError, match="no program"):
+            result.to_artifact()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=4),
+        m=st.integers(min_value=2, max_value=8),
+    )
+    def test_roundtrip_property(self, seed, n, m):
+        """serialize -> deserialize -> bit-identical execution and equal
+        fingerprints, across random workloads and LPU shapes."""
+        g = random_dag(5, 40, 2, seed=seed)
+        result = compile_ffcl(g, LPUConfig(num_lpvs=n, lpes_per_lpv=m))
+        art = result.to_artifact()
+        data = art.to_bytes()
+        got = ExecutableArtifact.from_bytes(data)
+        assert got.fingerprint == art.fingerprint
+        assert got.to_bytes() == data
+        assert graph_fingerprint(got.program.graph) == graph_fingerprint(
+            result.program.graph
+        )
+        assert_identical_execution(
+            result.program, got.program, seed=seed, array_size=2
+        )
+
+
+class TestModelWorkloadRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", MODEL_FACTORIES, ids=lambda f: f.__name__
+    )
+    def test_roundtrip_bit_identical(self, factory):
+        """All 7 model workloads: deserialized artifacts execute exactly
+        like the in-memory compile on both engines."""
+        model = factory()
+        layer = min(model.layers, key=lambda l: (l.fan_in, l.num_neurons))
+        block, _ = layer_block(layer, sample_neurons=2, seed=0)
+        result = compile_ffcl(block, SMALL)
+        art = roundtrip(result)
+        assert art.workload_fingerprint == graph_fingerprint(block)
+        assert_identical_execution(result.program, art.program)
+
+
+# ----------------------------------------------------------------------
+# Engine / session integration
+# ----------------------------------------------------------------------
+class TestSessionIntegration:
+    def test_session_from_artifact_skips_compile_and_lowering(self):
+        g = random_dag(5, 40, 2, seed=4)
+        result = compile_ffcl(g, TINY)
+        data = result.to_artifact().to_bytes()
+        clear_lowering_cache()
+        art = ExecutableArtifact.from_bytes(data)
+        session = Session(art, engine="trace")
+        assert session.compile_result is None
+        assert session.artifact is art
+        # The embedded tables were adopted: no lowering was performed.
+        assert lowering_cache_stats()["misses"] == 0
+        assert session.engine.trace is art.trace
+        stim = random_stimulus(g, array_size=2, seed=1)
+        ref = evaluate_graph(g, stim)
+        out = session.run(stim)
+        for name, word in ref.items():
+            assert np.array_equal(out.outputs[name], word)
+
+    def test_session_artifact_rejects_compile_kwargs(self):
+        g = random_dag(5, 30, 2, seed=2)
+        art = compile_ffcl(g, TINY).to_artifact()
+        with pytest.raises(ValueError, match="meaningless"):
+            Session(art, merge=False)
+        with pytest.raises(ValueError, match="its own config"):
+            Session(art, SMALL)
+        assert Session(art, TINY).config == TINY
+
+    def test_create_engine_accepts_artifact(self):
+        g = random_dag(5, 30, 2, seed=2)
+        art = roundtrip(compile_ffcl(g, TINY))
+        trace_engine = create_engine("trace", art)
+        assert trace_engine.trace is art.trace
+        cycle_engine = create_engine("cycle", art)
+        assert cycle_engine.program is art.program
+
+    def test_package_pass(self):
+        from repro.compiler import PIPELINES, compile_with_pipeline
+
+        g = random_dag(5, 30, 2, seed=6)
+        result = compile_with_pipeline(
+            g, TINY, pipeline=list(PIPELINES["paper"]) + ["package"]
+        )
+        assert isinstance(result.artifact, ExecutableArtifact)
+        assert result.artifact.pipeline.endswith("+package")
+        assert result.to_artifact() is result.artifact  # memoized
+        assert_identical_execution(
+            result.program, result.artifact.program
+        )
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_put_get(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(5, 30, 2, seed=1)
+        art = compile_ffcl(g, TINY).to_artifact()
+        key = store_key("test", 1)
+        assert store.get(key) is None
+        store.put(key, art)
+        assert store.contains(key)
+        got = store.get(key)
+        assert got is not None and got.fingerprint == art.fingerprint
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_corrupt_blob_is_quarantined(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = store_key("corrupt")
+        store.put_bytes(key, b"garbage bytes")
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert not store.contains(key)  # moved aside, slot reusable
+
+    def test_invalid_key_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with pytest.raises(ValueError, match="invalid store key"):
+            store.path_for("../escape")
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put_bytes(store_key("a"), b"x")
+        store.put_bytes(store_key("b"), b"y")
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# Cache disk tiers
+# ----------------------------------------------------------------------
+class TestProgramCacheDiskTier:
+    def test_cold_restart_zero_compile_passes(self, tmp_path):
+        """A fresh cache over a warm store never compiles: no
+        CompileResult, no pass-cache lookups, disk hit counted."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(6, 60, 3, seed=13)
+
+        warm = ProgramCache(store=store)
+        first = warm.get_or_compile(g, SMALL)
+        assert first.compile_result is not None
+        assert warm.stats.disk_stores == 1
+        assert len(store) == 1
+
+        cold = ProgramCache(store=store)  # "new process"
+        entry = cold.get_or_compile(g, SMALL)
+        assert entry.compile_result is None
+        assert entry.artifact is not None
+        assert cold.stats.disk_hits == 1
+        assert cold.pass_cache.stats.lookups == 0
+        assert_identical_execution(first.program, entry.program)
+
+    def test_disk_tier_is_engine_independent(self, tmp_path):
+        """One stored blob serves both engines (the key excludes the
+        engine; the artifact carries program + trace)."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(5, 40, 2, seed=17)
+        ProgramCache(store=store).get_or_compile(g, TINY, engine="trace")
+        assert len(store) == 1
+        cold = ProgramCache(store=store)
+        entry = cold.get_or_compile(g, TINY, engine="cycle")
+        assert entry.compile_result is None
+        assert cold.stats.disk_hits == 1
+        assert len(store) == 1
+
+    def test_cycle_compile_stores_trace_embedded_blob(self, tmp_path):
+        """Blobs always embed trace tables — a cycle-engine compile must
+        not leave every future trace-engine cold start re-lowering."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(5, 40, 2, seed=18)
+        ProgramCache(store=store).get_or_compile(g, TINY, engine="cycle")
+        blob = store.get(store.keys()[0])
+        assert blob is not None and blob.trace is not None
+        clear_lowering_cache()
+        cold = ProgramCache(store=store)
+        entry = cold.get_or_compile(g, TINY, engine="trace")
+        assert entry.compile_result is None
+        assert entry.trace is not None
+        # The embedded lowering was adopted: nothing was re-lowered.
+        assert lowering_cache_stats()["misses"] == 0
+
+    def test_distinct_options_get_distinct_blobs(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(5, 40, 2, seed=19)
+        cache = ProgramCache(store=store)
+        cache.get_or_compile(g, TINY)
+        cache.get_or_compile(g, TINY, merge=False)
+        cache.get_or_compile(g, SMALL)
+        assert cache.stats.disk_stores == 3
+        assert len(store) == 3
+
+    def test_artifact_source_hits_without_compiling(self, tmp_path):
+        g = random_dag(5, 40, 2, seed=23)
+        art = roundtrip(compile_ffcl(g, TINY))
+        cache = ProgramCache()
+        entry = cache.get_or_compile(art, engine="trace")
+        assert entry.program is art.program
+        assert entry.artifact is art
+        assert entry.trace is art.trace
+        again = cache.get_or_compile(art, engine="trace")
+        assert again is entry and cache.stats.hits == 1
+
+    def test_pass_cache_disk_tier_shares_preprocessing(self, tmp_path):
+        """A divergent compile (different policy) in a fresh process
+        reuses every disk-codable pre-processing pass from the store."""
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(6, 60, 3, seed=29)
+        ProgramCache(store=store).get_or_compile(g, SMALL)
+
+        cold = ProgramCache(store=store)
+        entry = cold.get_or_compile(g, SMALL, policy="sequential")
+        assert entry.compile_result is not None  # disk miss: new options
+        stats = cold.pass_cache.stats
+        assert stats.disk_hits > 0
+        # The shared pre-processing prefix came from disk: its records
+        # report cache hits even though this process never compiled it.
+        hit_names = [
+            record.name
+            for record in entry.compile_result.pass_records
+            if record.cache_hit
+        ]
+        for name in ("rebalance", "simplify", "techmap", "balance",
+                     "levelize"):
+            assert name in hit_names
+
+
+class TestPassCacheDiskTier:
+    def test_snapshot_roundtrip_through_disk(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(5, 50, 2, seed=31)
+        first = PassCache(store=store)
+        compile_ffcl(g, TINY, pass_cache=first)
+        assert first.stats.disk_stores > 0
+
+        second = PassCache(store=store)  # fresh memory tier
+        result = compile_ffcl(g, TINY, pass_cache=second)
+        assert second.stats.disk_hits > 0
+        reference = compile_ffcl(g, TINY)
+        assert_identical_execution(reference.program, result.program)
+
+    def test_uncodable_snapshots_stay_memory_only(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        cache = PassCache(store=store)
+        compile_ffcl(random_dag(5, 40, 2, seed=37), TINY, pass_cache=cache)
+        # partition/merge/schedule/codegen snapshots are not disk-codable;
+        # the codable passes are. ingest/package are not cacheable at all.
+        assert 0 < cache.stats.disk_stores < cache.stats.misses
+
+    def test_snapshot_codec_rejects_unknown_blob(self):
+        with pytest.raises(ArtifactDecodeError):
+            decode_snapshot(pack_container({"kind": "other"}, {}))
+
+    def test_snapshot_codec_unsupported_value(self):
+        assert encode_snapshot({"x": object()}) is None
+
+
+# ----------------------------------------------------------------------
+# Spawn worker backend
+# ----------------------------------------------------------------------
+class TestSpawnBackend:
+    def test_spawn_pool_bit_identical(self):
+        g = random_dag(5, 40, 2, seed=41)
+        result = compile_ffcl(g, TINY)
+        requests = [
+            random_stimulus(g, array_size=2, seed=i) for i in range(3)
+        ]
+        direct = naive_serve(result.program, requests)
+        with InferenceServer(
+            result.program, num_workers=1, backend="spawn",
+            max_batch_size=2, max_wait_ms=1.0,
+        ) as server:
+            assert server.pool.backend == "spawn"
+            assert server.pool.artifact is not None
+            served = server.map(requests)
+        for got, ref in zip(served, direct):
+            for name, word in ref.outputs.items():
+                assert np.array_equal(got.outputs[name], word)
+            assert got.macro_cycles == ref.macro_cycles
+
+    def test_spawn_pool_reuses_cache_artifact(self, tmp_path):
+        from repro.serve import WorkerPool
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        g = random_dag(5, 30, 2, seed=43)
+        cache = ProgramCache(store=store)
+        entry = cache.get_or_compile(g, TINY)
+        pool = WorkerPool(
+            entry.program, num_workers=1, backend="spawn",
+            artifact=entry.artifact,
+        )
+        try:
+            assert pool.artifact is entry.artifact
+            stim = random_stimulus(g, array_size=1, seed=0)
+            ref = Session(entry.program).run(stim)
+            got = pool.run(stim)
+            for name, word in ref.outputs.items():
+                assert np.array_equal(got.outputs[name], word)
+        finally:
+            pool.close()
+
+    def test_spawn_rejects_foreign_artifact(self):
+        from repro.serve import WorkerPool
+
+        g = random_dag(5, 30, 2, seed=47)
+        a = compile_ffcl(g, TINY)
+        b = compile_ffcl(g, SMALL)
+        with pytest.raises(ValueError, match="different program"):
+            WorkerPool(
+                a.program, backend="spawn", artifact=b.to_artifact()
+            )
+
+    def test_process_backend_resolves_by_start_method(self):
+        import multiprocessing
+
+        from repro.serve.pool import BACKENDS
+
+        assert set(BACKENDS) == {"thread", "process", "fork", "spawn"}
+        g = random_dag(4, 20, 1, seed=0)
+        result = compile_ffcl(g, TINY)
+        from repro.serve import WorkerPool
+
+        expected = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        pool = WorkerPool(result.program, num_workers=1, backend="process")
+        try:
+            assert pool.backend == expected
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# CLI + version single-sourcing
+# ----------------------------------------------------------------------
+class TestCLI:
+    @pytest.fixture()
+    def netlist(self, tmp_path):
+        from repro.netlist.verilog_writer import write_verilog
+
+        path = tmp_path / "block.v"
+        path.write_text(write_verilog(random_dag(6, 80, 3, seed=53)))
+        return str(path)
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_compile_write_inspect_simulate(self, capsys, tmp_path, netlist):
+        from repro.cli import main
+
+        out = str(tmp_path / "block.lpa")
+        assert main(
+            ["compile", netlist, "--lpvs", "4", "--lpes", "8", "-o", out]
+        ) == 0
+        assert os.path.exists(out)
+        assert "wrote" in capsys.readouterr().out
+
+        assert main(["inspect", out, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format_version"] == FORMAT_VERSION
+        assert summary["trace"] is not None
+
+        for engine in ("trace", "cycle"):
+            assert main(
+                ["simulate", "--artifact", out, "--engine", engine]
+            ) == 0
+            assert "== functional: True" in capsys.readouterr().out
+
+    def test_compile_json_includes_artifact(self, capsys, tmp_path, netlist):
+        from repro.cli import main
+
+        out = str(tmp_path / "block.lpa")
+        assert main(
+            ["compile", netlist, "--lpvs", "4", "--lpes", "8",
+             "-o", out, "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        art = ExecutableArtifact.load(out)
+        assert data["artifact"]["fingerprint"] == art.fingerprint
+
+    def test_simulate_requires_netlist_or_artifact(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="netlist or --artifact"):
+            main(["simulate"])
+
+    def test_serve_bench_from_artifact(self, capsys, tmp_path, netlist):
+        from repro.cli import main
+
+        out = str(tmp_path / "block.lpa")
+        assert main(
+            ["compile", netlist, "--lpvs", "4", "--lpes", "8", "-o", out]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve-bench", "--artifact", out, "--requests", "8",
+             "--clients", "2", "--workers", "1", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["bit_identical"] is True
+        assert report["artifact"] == out
+
+
+class TestVersionSingleSourcing:
+    def test_setup_py_reads_package_version(self):
+        root = pathlib.Path(__file__).resolve().parents[1]
+        text = (root / "setup.py").read_text()
+        # No hard-coded version literal: setup.py must read __init__.py.
+        assert 'version="' not in text.replace("__version__", "")
+        proc = subprocess.run(
+            [sys.executable, "setup.py", "--version"],
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert proc.stdout.strip().splitlines()[-1] == repro.__version__
