@@ -46,7 +46,7 @@ Serving-oriented fast path (compile once, run many batches)::
     from repro import Session
     from repro.lpu import random_stimulus
 
-    session = Session(graph, engine="trace")
+    session = Session(graph)  # the "fused" generated-kernel engine
     for batch in range(16):
         stim = random_stimulus(graph, array_size=256, seed=batch)
         result = session.run(stim)
@@ -60,7 +60,7 @@ Ahead-of-time deployment (compile once, serve from any process)::
     session = ExecutableArtifact.load("block.lpa").session()
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .artifact import ArtifactStore, ExecutableArtifact
 from .compiler import PassCache, PassManager, compile_with_pipeline
@@ -68,6 +68,7 @@ from .core import LPUConfig, PAPER_CONFIG, compile_ffcl
 from .engine import (
     CycleAccurateEngine,
     ExecutionEngine,
+    FusedEngine,
     Session,
     TraceEngine,
     available_engines,
@@ -96,6 +97,7 @@ __all__ = [
     "compile_with_pipeline",
     "CycleAccurateEngine",
     "ExecutionEngine",
+    "FusedEngine",
     "Session",
     "TraceEngine",
     "available_engines",

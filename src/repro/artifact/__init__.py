@@ -43,7 +43,7 @@ from .format import (
     ArtifactError,
     ExecutableArtifact,
 )
-from .store import ArtifactStore, StoreStats, store_key
+from .store import ArtifactStore, StoreEntry, StoreStats, store_key
 
 __all__ = [
     "ARTIFACT_SUFFIX",
@@ -53,6 +53,7 @@ __all__ = [
     "ArtifactError",
     "ArtifactStore",
     "ExecutableArtifact",
+    "StoreEntry",
     "StoreStats",
     "store_key",
 ]

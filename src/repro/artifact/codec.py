@@ -40,6 +40,7 @@ import numpy as np
 from ..core.codegen import Program
 from ..core.config import LPUConfig
 from ..core.isa import LPEInstruction, decode_instruction, encode_instruction
+from ..core.liveness import FusedLevel, FusedProgram
 from ..core.schedule import RuntimeSchedule
 from ..core.trace import OpSegment, TraceLevel, TraceProgram
 from ..netlist import cells
@@ -47,10 +48,12 @@ from ..netlist.graph import LogicGraph
 
 __all__ = [
     "ArtifactDecodeError",
+    "decode_fused",
     "decode_graph",
     "decode_program",
     "decode_snapshot",
     "decode_trace",
+    "encode_fused",
     "encode_graph",
     "encode_program",
     "encode_snapshot",
@@ -535,9 +538,14 @@ def decode_trace(
     return TraceProgram(
         program=program,
         num_slots=int(header["num_slots"]),
+        # Rebuild in slot order (the JSON header sorts by name): fusing
+        # a decoded trace then inherits PI registers in iteration order,
+        # keeping the fused engine's contiguous-binding fast path.
         pi_slots={
             name: int(slot)
-            for name, slot in dict(header["pi_slots"]).items()
+            for name, slot in sorted(
+                dict(header["pi_slots"]).items(), key=lambda kv: kv[1]
+            )
         },
         levels=levels,
         output_slots={
@@ -554,6 +562,123 @@ def decode_trace(
             int(slot): int(node)
             for slot, node in arrays["trace_slot_nodes"].tolist()
         },
+    )
+
+
+# ----------------------------------------------------------------------
+# Liveness-renamed (fused) tables
+# ----------------------------------------------------------------------
+def encode_fused(
+    fused: FusedProgram,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode the register-renamed tables of one fused program."""
+    op_table = sorted(cells.ALL_OPS)
+    op_code = {op: i for i, op in enumerate(op_table)}
+    levels = fused.levels
+    seg_rows = [
+        (op_code[seg.op], seg.start, seg.end)
+        for level in levels
+        for seg in level.segments
+    ]
+    header = {
+        "ops": op_table,
+        "num_regs": fused.num_regs,
+        "max_level_width": fused.max_level_width,
+        "pi_regs": dict(fused.pi_regs),
+        "output_regs": dict(fused.output_regs),
+    }
+
+    def concat(name: str) -> np.ndarray:
+        if not levels:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [getattr(level, name) for level in levels]
+        ).astype(np.int64)
+
+    arrays = {
+        "fused_level_cycle": np.asarray(
+            [level.cycle for level in levels], dtype=np.int64
+        ),
+        "fused_level_size": np.asarray(
+            [level.num_instructions for level in levels], dtype=np.int64
+        ),
+        "fused_level_segments": np.asarray(
+            [len(level.segments) for level in levels], dtype=np.int64
+        ),
+        "fused_a_index": concat("a_index"),
+        "fused_b_index": concat("b_index"),
+        "fused_out_index": concat("out_index"),
+        "fused_segments": np.asarray(seg_rows, dtype=np.int64).reshape(
+            (len(seg_rows), 3)
+        ),
+    }
+    return header, arrays
+
+
+def decode_fused(
+    header: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    trace: TraceProgram,
+) -> FusedProgram:
+    """Rebuild the :class:`FusedProgram` bound to ``trace``."""
+    op_table = list(header["ops"])
+    level_cycle = arrays["fused_level_cycle"]
+    level_size = arrays["fused_level_size"]
+    level_segs = arrays["fused_level_segments"]
+    a_index = arrays["fused_a_index"].astype(np.intp)
+    b_index = arrays["fused_b_index"].astype(np.intp)
+    out_index = arrays["fused_out_index"].astype(np.intp)
+    seg_rows = arrays["fused_segments"]
+
+    levels: List[FusedLevel] = []
+    offset = 0
+    seg_offset = 0
+    for i in range(len(level_cycle)):
+        size = int(level_size[i])
+        parts = []
+        for table in (a_index, b_index, out_index):
+            part = table[offset:offset + size].copy()
+            part.setflags(write=False)
+            parts.append(part)
+        count = int(level_segs[i])
+        segments = tuple(
+            OpSegment(
+                op=op_table[int(seg_rows[j, 0])],
+                start=int(seg_rows[j, 1]),
+                end=int(seg_rows[j, 2]),
+            )
+            for j in range(seg_offset, seg_offset + count)
+        )
+        levels.append(
+            FusedLevel(
+                cycle=int(level_cycle[i]),
+                a_index=parts[0],
+                b_index=parts[1],
+                out_index=parts[2],
+                segments=segments,
+            )
+        )
+        offset += size
+        seg_offset += count
+
+    return FusedProgram(
+        trace=trace,
+        num_regs=int(header["num_regs"]),
+        # The JSON header is serialized with sorted keys; rebuild in
+        # register order so the engine's contiguous PI-binding fast path
+        # (PI registers 2..2+|PI| in iteration order) survives a reload.
+        pi_regs={
+            name: int(reg)
+            for name, reg in sorted(
+                dict(header["pi_regs"]).items(), key=lambda kv: kv[1]
+            )
+        },
+        levels=levels,
+        output_regs={
+            name: int(reg)
+            for name, reg in dict(header["output_regs"]).items()
+        },
+        max_level_width=int(header["max_level_width"]),
     )
 
 

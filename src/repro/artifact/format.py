@@ -7,8 +7,10 @@ ever consumes finished instruction streams, made concrete:
 * the executable :class:`~repro.core.codegen.Program` (instruction
   queues in the 32-bit ISA encoding, buffer traffic tables, the runtime
   schedule surface, the logic graph interface),
-* optionally the lowered :class:`~repro.core.trace.TraceProgram` tables,
-  so the fast trace engine starts without re-lowering,
+* optionally the lowered :class:`~repro.core.trace.TraceProgram` tables
+  (so the trace engine starts without re-lowering) plus the
+  liveness-renamed :class:`~repro.core.liveness.FusedProgram` register
+  tables (so the fused serving default starts without re-renaming),
 * identity and provenance metadata: the format version, the producing
   ``repro`` version, the workload's content fingerprint
   (:func:`repro.compiler.graph_fingerprint`), the compile-pipeline
@@ -28,12 +30,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.codegen import Program
+from ..core.liveness import FusedProgram, adopt_fusion, fuse_trace
 from ..core.trace import TraceProgram, adopt_lowering, lower_program
 from .codec import (
     ArtifactDecodeError,
     content_fingerprint,
+    decode_fused,
     decode_program,
     decode_trace,
+    encode_fused,
     encode_program,
     encode_trace,
     pack_container,
@@ -68,6 +73,11 @@ class ExecutableArtifact:
     #: lowered trace tables (None when packaged without them; the trace
     #: engine then lowers on first use).
     trace: Optional[TraceProgram] = None
+    #: liveness-renamed register tables (None when packaged without
+    #: them; the fused engine then renames on first use).  Embedded
+    #: whenever the trace tables are, so a deployed artifact boots the
+    #: fused serving default with zero lowering *and* zero renaming.
+    fused: Optional[FusedProgram] = None
     #: content fingerprint of the *source* logic graph (the workload
     #: identity every cache layer keys on).
     workload_fingerprint: str = ""
@@ -83,10 +93,10 @@ class ExecutableArtifact:
     fingerprint: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
-        # Cached (trace-embedded?, container bytes): packaging then
-        # storing/shipping must not pay the full encode more than once.
-        # Keyed on trace presence so trace_program() lowering later
-        # invalidates it.
+        # Cached ((trace-embedded?, fused-embedded?), container bytes):
+        # packaging then storing/shipping must not pay the full encode
+        # more than once.  Keyed on table presence so trace_program() /
+        # fused_program() materialization later invalidates it.
         self._encoded: Optional[tuple] = None
 
     # ------------------------------------------------------------------
@@ -98,13 +108,16 @@ class ExecutableArtifact:
         program: Program,
         *,
         trace: Optional[TraceProgram] = None,
+        fused: Optional[FusedProgram] = None,
         lower: bool = True,
         pipeline: str = "",
         metrics: Optional[Dict[str, object]] = None,
         workload_fingerprint: Optional[str] = None,
     ) -> "ExecutableArtifact":
         """Package a compiled program (lowering the trace tables unless
-        ``lower=False`` or prebuilt ``trace`` tables are supplied).
+        ``lower=False`` or prebuilt ``trace`` tables are supplied; the
+        liveness-renamed fused tables ride along whenever trace tables
+        are embedded).
 
         ``workload_fingerprint`` is the *source* graph's content
         fingerprint when known (the identity every cache layer keys on);
@@ -120,9 +133,16 @@ class ExecutableArtifact:
             raise ValueError(
                 "the supplied trace tables lower a different program"
             )
+        if fused is not None and fused.trace is not trace:
+            raise ValueError(
+                "the supplied fused tables rename a different lowering"
+            )
+        if fused is None and trace is not None:
+            fused = fuse_trace(trace)
         artifact = cls(
             program=program,
             trace=trace,
+            fused=fused,
             workload_fingerprint=(
                 workload_fingerprint
                 if workload_fingerprint is not None
@@ -180,6 +200,12 @@ class ExecutableArtifact:
             arrays.update(trace_arrays)
         else:
             header["trace"] = None
+        if self.fused is not None:
+            fused_header, fused_arrays = encode_fused(self.fused)
+            header["fused"] = fused_header
+            arrays.update(fused_arrays)
+        else:
+            header["fused"] = None
         return header, arrays
 
     def _refresh_fingerprint(self) -> str:
@@ -191,14 +217,14 @@ class ExecutableArtifact:
         """Serialize to the deterministic zero-pickle container bytes
         (memoized: repeated calls encode once)."""
         cached = self._encoded
-        trace_present = self.trace is not None
-        if cached is not None and cached[0] == trace_present:
+        embedded = (self.trace is not None, self.fused is not None)
+        if cached is not None and cached[0] == embedded:
             return cached[1]
         header, arrays = self._encode()
         self.fingerprint = content_fingerprint(header, arrays)
         header["fingerprint"] = self.fingerprint
         data = pack_container(header, arrays)
-        self._encoded = (trace_present, data)
+        self._encoded = (embedded, data)
         return data
 
     @classmethod
@@ -228,17 +254,24 @@ class ExecutableArtifact:
         try:
             program = decode_program(header, arrays)
             trace = None
+            fused = None
             if header.get("trace") is not None:
                 trace = decode_trace(dict(header["trace"]), arrays, program)
+            if trace is not None and header.get("fused") is not None:
+                fused = decode_fused(dict(header["fused"]), arrays, trace)
         except (ArtifactDecodeError, KeyError, ValueError) as exc:
             raise ArtifactError(f"undecodable artifact: {exc}") from exc
         if trace is not None:
             # Future lower_program() calls on this program now hit the
             # process-wide cache instead of re-replaying the schedule.
-            trace = adopt_lowering(trace)
+            canonical = adopt_lowering(trace)
+            if fused is not None and canonical is trace:
+                fused = adopt_fusion(fused)
+            trace = canonical
         return cls(
             program=program,
             trace=trace,
+            fused=fused,
             workload_fingerprint=str(header.get("workload_fingerprint", "")),
             pipeline=str(header.get("pipeline", "")),
             producer=str(header.get("producer", "")),
@@ -266,6 +299,15 @@ class ExecutableArtifact:
         if self.trace is None:
             self.trace = lower_program(self.program)
         return self.trace
+
+    def fused_program(self) -> FusedProgram:
+        """The liveness-renamed tables, renaming (and caching) on first
+        use; embedded tables bound to a superseded lowering are replaced
+        by the canonical fusion of :meth:`trace_program`."""
+        if self.fused is not None and self.fused.trace is self.trace:
+            return adopt_fusion(self.fused)
+        self.fused = fuse_trace(self.trace_program())
+        return self.fused
 
     def session(self, *, engine: Optional[str] = None):
         """A ready-to-run :class:`~repro.engine.session.Session` —
@@ -329,6 +371,13 @@ class ExecutableArtifact:
                 "levels": trace.num_levels,
                 "slots": trace.num_slots,
                 "compute_instructions": trace.compute_instructions,
+            },
+            "fused": None
+            if self.fused is None
+            else {
+                "levels": self.fused.num_levels,
+                "registers": self.fused.num_regs,
+                "max_level_width": self.fused.max_level_width,
             },
             "metrics": self.metrics,
         }

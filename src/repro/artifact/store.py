@@ -19,14 +19,19 @@ import os
 import re
 import secrets
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .format import ARTIFACT_SUFFIX, ArtifactError, ExecutableArtifact
 
-__all__ = ["ArtifactStore", "StoreStats", "store_key"]
+__all__ = ["ArtifactStore", "StoreEntry", "StoreStats", "store_key"]
 
 _KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,200}$")
+
+#: age after which an orphaned `_atomic_write` temp file (its writer
+#: killed before the rename) is reclaimed by prune().
+_TMP_GRACE_SECONDS = 3600.0
 
 
 def _atomic_write(path: str, data: bytes) -> None:
@@ -74,6 +79,8 @@ class StoreStats:
     corrupt: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    evictions: int = 0
+    bytes_evicted: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(
@@ -83,6 +90,28 @@ class StoreStats:
             corrupt=self.corrupt,
             bytes_written=self.bytes_written,
             bytes_read=self.bytes_read,
+            evictions=self.evictions,
+            bytes_evicted=self.bytes_evicted,
+        )
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored blob: its key, kind, size, and last-touch time."""
+
+    key: str
+    suffix: str
+    path: str
+    size: int
+    mtime: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(
+            key=self.key,
+            suffix=self.suffix,
+            path=self.path,
+            size=self.size,
+            mtime=self.mtime,
         )
 
 
@@ -92,10 +121,21 @@ class ArtifactStore:
 
     Args:
         root: store directory (created on first write).
+        max_bytes: optional size budget.  When set, every write prunes
+            least-recently-used blobs — LRU order is file mtime, which
+            reads refresh on every hit — until the store fits the budget
+            again, so a long-lived serve fleet's store stays bounded no
+            matter how many workloads pass through it.
     """
 
     root: str
     stats: StoreStats = field(default_factory=StoreStats)
+    max_bytes: Optional[int] = None
+    #: lazily-maintained byte total so budgeted writes don't re-walk the
+    #: store directory; prune() refreshes it exactly.
+    _approx_bytes: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def path_for(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> str:
@@ -109,12 +149,23 @@ class ArtifactStore:
     def put_bytes(
         self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX
     ) -> str:
-        """Atomically write one blob; returns the blob path."""
+        """Atomically write one blob; returns the blob path.  With a
+        ``max_bytes`` budget, stale blobs are pruned afterwards."""
         path = self.path_for(key, suffix)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         _atomic_write(path, data)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        if self.max_bytes is not None:
+            # Track the total incrementally (overwrites drift it upward,
+            # i.e. conservatively) and only walk the store when the
+            # budget looks exceeded; prune() re-measures exactly.
+            if self._approx_bytes is None:
+                self._approx_bytes = self.total_bytes()
+            else:
+                self._approx_bytes += len(data)
+            if self._approx_bytes > self.max_bytes:
+                self.prune(keep=path)
         return path
 
     def get_bytes(
@@ -130,6 +181,13 @@ class ArtifactStore:
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(data)
+        try:
+            # Touch on read: eviction orders by mtime, so a hit must
+            # refresh it or the policy degrades to least-recently-written
+            # and evicts hot read-only blobs first.
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing eviction
+            pass
         return data
 
     def contains(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
@@ -159,6 +217,107 @@ class ArtifactStore:
         except OSError:  # pragma: no cover - best effort
             pass
 
+    # -- size accounting & eviction -------------------------------------
+    def entries(self) -> List[StoreEntry]:
+        """Every stored blob (all suffixes, including quarantined ones),
+        oldest mtime first.  In-flight ``_atomic_write`` temp files are
+        NOT entries: concurrent writers of one key are explicitly
+        allowed, and pruning a temp file out from under its writer would
+        crash the writer's rename."""
+        found: List[StoreEntry] = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if ".tmp." in name:
+                    continue  # another writer's in-flight temp file
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:  # racing eviction/cleanup
+                    continue
+                # Keys may themselves contain dots; the suffix is the
+                # final dotted component (".lpa", ".snap", ".corrupt").
+                stem, dot, ext = name.rpartition(".")
+                found.append(
+                    StoreEntry(
+                        key=stem if dot else name,
+                        suffix=dot + ext if dot else "",
+                        path=path,
+                        size=int(stat.st_size),
+                        mtime=stat.st_mtime,
+                    )
+                )
+        found.sort(key=lambda entry: (entry.mtime, entry.path))
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by every stored blob."""
+        return sum(entry.size for entry in self.entries())
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        *,
+        keep: Optional[str] = None,
+    ) -> List[StoreEntry]:
+        """Evict least-recently-touched blobs until the store fits
+        ``max_bytes`` (the store's own budget when omitted); returns the
+        evicted entries.  A budget of ``0`` empties the store.
+
+        ``keep`` names one blob path exempt from eviction — the write
+        path passes the blob it just published, so a single artifact
+        larger than the whole budget evicts everything *else* but never
+        its own fresh bytes (the store then simply sits over budget).
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        if budget is None:
+            return []
+        self._sweep_stale_tmp()
+        entries = self.entries()
+        total = sum(entry.size for entry in entries)
+        evicted: List[StoreEntry] = []
+        for entry in entries:  # oldest first
+            if total <= budget:
+                break
+            if entry.path == keep:
+                continue
+            try:
+                os.unlink(entry.path)
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+            total -= entry.size
+            evicted.append(entry)
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += entry.size
+        self._approx_bytes = total
+        return evicted
+
+    def _sweep_stale_tmp(self) -> None:
+        """Delete `_atomic_write` temp files whose writer died long ago
+        (SIGKILL/power loss before the rename): entries() hides live
+        temp files from eviction, so without this sweep orphans would
+        occupy untracked bytes forever."""
+        if not os.path.isdir(self.root):
+            return
+        cutoff = time.time() - _TMP_GRACE_SECONDS
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if ".tmp." not in name:
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    if os.stat(path).st_mtime < cutoff:
+                        os.unlink(path)
+                except OSError:  # pragma: no cover - racing writer
+                    continue
+
     # ------------------------------------------------------------------
     def keys(self, suffix: str = ARTIFACT_SUFFIX) -> List[str]:
         """Keys of every stored blob with ``suffix``, sorted."""
@@ -179,6 +338,7 @@ class ArtifactStore:
 
     def clear(self) -> None:
         """Delete every stored blob (the directories stay)."""
+        self._approx_bytes = None
         if not os.path.isdir(self.root):
             return
         for shard in os.listdir(self.root):

@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve-bench --artifact block.lpa --backend spawn
     python -m repro.cli report block.v --no-merge --policy sequential [--json]
     python -m repro.cli passes block.v [--json] / passes --list
+    python -m repro.cli store list /var/cache/repro-store [--json]
+    python -m repro.cli store prune /var/cache/repro-store --max-bytes 256M
 
 ``compile`` prints the compilation metrics (MFG counts, schedule length,
 FPS); ``--pipeline`` selects a named compile pipeline (``paper``,
@@ -26,11 +28,16 @@ executable with zero compilation.
 ``passes`` prints that per-pass report on its own (``--list`` enumerates
 the registered passes and named pipelines without compiling anything).
 ``simulate`` additionally executes the program on the selected
-execution engine (``--engine cycle`` for the cycle-accurate hardware model,
-``--engine trace`` for the vectorized fast path) with random stimulus and
-cross-checks it against functional evaluation.  ``throughput`` measures
-wall-clock inference throughput of the engines over repeated batched runs
-through the :class:`~repro.engine.Session` API.  ``serve-bench`` measures
+execution engine (``--engine cycle`` for the cycle-accurate hardware
+model, ``--engine trace`` for the vectorized path, ``--engine fused``
+for the register-renamed generated-kernel serving default) with random
+stimulus and cross-checks it against functional evaluation.
+``throughput`` measures wall-clock inference throughput of the engines
+over repeated batched runs through the :class:`~repro.engine.Session`
+API; with ``--json`` it also reports the process-wide lowering/fusion
+cache counters and per-level execution timing for engine diagnosability.
+``store`` lists and prunes the on-disk artifact store (LRU by mtime,
+down to ``--max-bytes``).  ``serve-bench`` measures
 the batched serving layer (:mod:`repro.serve`) against naive per-request
 execution under concurrent clients, verifying bit-identical outputs.
 ``report`` prints the per-stage breakdown.  ``--json`` on
@@ -47,7 +54,9 @@ import time
 from typing import Optional, Sequence
 
 from . import __version__
-from .artifact import ExecutableArtifact
+from .artifact import ArtifactStore, ExecutableArtifact
+from .core.liveness import fusion_cache_stats
+from .core.trace import lowering_cache_stats
 from .compiler import (
     PIPELINES,
     available_passes,
@@ -253,6 +262,14 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             f"trace:     {trace['levels']} levels, {trace['slots']} value "
             f"slots (embedded; trace engine boots with zero lowering)"
         )
+    fused = summary["fused"]
+    if fused is None:
+        print("fused:     not embedded (renamed on first fused-engine use)")
+    else:
+        print(
+            f"fused:     {fused['levels']} levels, {fused['registers']} "
+            f"registers (embedded; fused engine boots with zero renaming)"
+        )
     return 0
 
 
@@ -373,7 +390,17 @@ def cmd_throughput(args: argparse.Namespace) -> int:
             "macro_cycles_per_run": result.schedule.makespan,
             "modeled_fps": result.config.fps(result.schedule.makespan),
         }
+        if args.json and hasattr(session.engine, "profile_levels"):
+            # Per-level wall time: the diagnostic trail CI archives so an
+            # engine regression points at the level that slowed down.
+            records = session.engine.profile_levels(stimuli[0])
+            report["engines"][engine]["level_timing"] = {
+                "total_seconds": sum(r["seconds"] for r in records),
+                "levels": records,
+            }
     report["modeled_word_bits"] = word_bits
+    report["lowering_cache"] = lowering_cache_stats()
+    report["fusion_cache"] = fusion_cache_stats()
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
@@ -435,6 +462,92 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"{report['bit_identical']}"
     )
     return 0 if report["bit_identical"] else 1
+
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _parse_size(text: str) -> int:
+    """Bytes from a human size spec: plain int, or K/M/G suffixed."""
+    raw = text.strip().lower().rstrip("b")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * factor)
+    except (ValueError, OverflowError):
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (use e.g. 1048576, 512K, 64M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return value
+
+
+def _format_size(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024
+    return f"{size:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.root)
+    if args.store_command == "list":
+        entries = store.entries()
+        total = sum(entry.size for entry in entries)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "root": args.root,
+                        "entries": [e.as_dict() for e in entries],
+                        "total_bytes": total,
+                        "count": len(entries),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(f"store: {args.root} ({len(entries)} blobs, "
+              f"{_format_size(total)})")
+        for entry in entries:
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(entry.mtime)
+            )
+            print(
+                f"  {stamp}  {_format_size(entry.size):>10}  "
+                f"{entry.key[:24]}{entry.suffix}"
+            )
+        return 0
+    # prune
+    evicted = store.prune(max_bytes=args.max_bytes)
+    remaining = store.total_bytes()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": args.root,
+                    "max_bytes": args.max_bytes,
+                    "evicted": [e.as_dict() for e in evicted],
+                    "evicted_bytes": sum(e.size for e in evicted),
+                    "remaining_bytes": remaining,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    freed = sum(e.size for e in evicted)
+    print(
+        f"pruned {len(evicted)} blobs ({_format_size(freed)}); "
+        f"{_format_size(remaining)} remain under "
+        f"{_format_size(args.max_bytes)}"
+    )
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -603,6 +716,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit measurements as JSON"
     )
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect or prune an on-disk artifact store directory",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_list = store_sub.add_parser(
+        "list", help="list stored blobs (oldest first) with sizes"
+    )
+    p_store_list.add_argument("root", help="artifact store directory")
+    p_store_list.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    p_store_list.set_defaults(func=cmd_store)
+    p_store_prune = store_sub.add_parser(
+        "prune",
+        help="evict least-recently-used blobs down to a size budget",
+    )
+    p_store_prune.add_argument("root", help="artifact store directory")
+    p_store_prune.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        required=True,
+        metavar="SIZE",
+        help="size budget to prune down to (e.g. 1048576, 512K, 64M, 2G; "
+        "0 empties the store)",
+    )
+    p_store_prune.add_argument(
+        "--json", action="store_true", help="emit the eviction report as JSON"
+    )
+    p_store_prune.set_defaults(func=cmd_store)
 
     p_report = sub.add_parser("report", help="per-stage compilation report")
     _add_common(p_report)

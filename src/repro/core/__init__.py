@@ -46,6 +46,14 @@ from .schedule import (
     build_schedule,
     schedule_summary,
 )
+from .liveness import (
+    FusedLevel,
+    FusedProgram,
+    adopt_fusion,
+    clear_fusion_cache,
+    fuse_trace,
+    fusion_cache_stats,
+)
 from .trace import (
     TraceLevel,
     TraceLoweringError,
@@ -98,6 +106,12 @@ __all__ = [
     "ScheduleError",
     "build_schedule",
     "schedule_summary",
+    "FusedLevel",
+    "FusedProgram",
+    "adopt_fusion",
+    "clear_fusion_cache",
+    "fuse_trace",
+    "fusion_cache_stats",
     "TraceLevel",
     "TraceLoweringError",
     "TraceProgram",

@@ -1,0 +1,415 @@
+"""Liveness analysis and register allocation over lowered trace programs.
+
+A :class:`~repro.core.trace.TraceProgram` assigns every compute
+instruction its own value-table slot, so the execution working set grows
+with the *total* instruction count — exactly the memory-traffic problem
+the paper's LPU avoids in hardware with small circulation buffers that
+hold only the values still needed.  This module reproduces that idea in
+software: a single linear-scan pass over the lowered levels computes each
+slot's live range (defined at its level, dead after its last consuming
+level) and renames slots into a compact **register file** whose size is
+the *peak* number of simultaneously-live values.
+
+The result is a :class:`FusedProgram`: the same per-level opcode segments
+as the trace, but with operand and output indices expressed in register
+rows.  Renamed levels are no longer contiguous writes — each level carries
+an explicit ``out_index`` scatter — which is what lets a register freed by
+one value's last read be reused by a value produced in the very same
+level (operands are gathered before results are written back).  BUF
+instructions (hardware word moves between LPVs) are copy-propagated away
+entirely: the moved value simply keeps its register, with the shared
+register staying live until the last read of any alias.
+
+Allocation invariants, relied on by :class:`repro.engine.fused.FusedEngine`
+and asserted by the tests:
+
+* registers ``0`` and ``1`` hold the constants (pinned for the whole
+  run), registers ``2 .. 2+|PI|`` the primary inputs — numbered like the
+  trace slot layout so input binding stays one contiguous block write,
+  but *reusable* once the last input read has happened (inputs are
+  re-bound before every run),
+* output registers of one level form one contiguous ascending run
+  (run-fit allocation), so generated kernels write level results straight
+  into the value table without a scatter pass,
+* a register is reused only after the level containing its old value's
+  last read has gathered its operands,
+* primary-output registers are never reused,
+* allocation is deterministic: the same trace always fuses to the same
+  tables (earliest free run wins, ties broken low), which keeps
+  serialized artifacts byte-stable across processes.
+
+Like lowerings, fusions are memoized process-wide (weak references keyed
+by the trace's identity), so a pool of serving workers over one program
+shares one set of renamed tables and one generated kernel.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist import cells
+from .trace import OpSegment, TraceProgram, _NUM_CONST_SLOTS
+
+__all__ = [
+    "FusedLevel",
+    "FusedProgram",
+    "adopt_fusion",
+    "clear_fusion_cache",
+    "fuse_trace",
+    "fusion_cache_stats",
+]
+
+
+@dataclass(frozen=True)
+class FusedLevel:
+    """One macro-cycle level with operands renamed to register rows."""
+
+    cycle: int
+    a_index: np.ndarray  # register rows feeding port a (intp, len k)
+    b_index: np.ndarray  # register rows feeding port b (intp, len k;
+    # rows of single-input segments are forced to register 0 so the
+    # whole-level gather stays in bounds without extending any lifetime)
+    out_index: np.ndarray  # register rows written by this level (intp)
+    segments: Tuple[OpSegment, ...]
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.a_index)
+
+
+@dataclass
+class FusedProgram:
+    """A trace program renamed onto a compact reusable register file."""
+
+    trace: TraceProgram
+    num_regs: int
+    pi_regs: Dict[str, int]  # PI name -> register row (pinned)
+    levels: List[FusedLevel]
+    output_regs: Dict[str, int]  # PO name -> register row (never reused)
+    #: widest renamed level (rows of the shared gather/scratch buffers).
+    max_level_width: int
+    #: per-program generated run kernels — a (vector, rowwise) pair,
+    #: compiled lazily by the fused engine and shared by every engine
+    #: over this fusion (never serialized; see repro.engine.fused).
+    kernel: Optional[Tuple[Callable, Callable]] = field(
+        default=None, compare=False
+    )
+
+    @property
+    def program(self):
+        return self.trace.program
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def num_slots(self) -> int:
+        """Value-table rows the un-renamed trace would allocate."""
+        return self.trace.num_slots
+
+
+# ----------------------------------------------------------------------
+# Fusion cache: a FusedProgram depends on the TraceProgram alone and its
+# tables are immutable, so every engine fusing the same trace object can
+# share one renaming (and, transitively, one generated kernel).  Weak
+# references keyed by the trace's id, with an identity check against id
+# reuse — the exact scheme of the lowering cache in repro.core.trace.
+_FUSE_CACHE: Dict[int, "weakref.ref[FusedProgram]"] = {}
+_FUSE_LOCK = threading.Lock()
+_FUSE_HITS = 0
+_FUSE_MISSES = 0
+
+
+def fusion_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide fusion cache."""
+    with _FUSE_LOCK:
+        return {
+            "hits": _FUSE_HITS,
+            "misses": _FUSE_MISSES,
+            "live_entries": len(_FUSE_CACHE),
+        }
+
+
+def clear_fusion_cache() -> None:
+    """Drop all cached fusions and reset the counters (for tests)."""
+    global _FUSE_HITS, _FUSE_MISSES
+    with _FUSE_LOCK:
+        _FUSE_CACHE.clear()
+        _FUSE_HITS = 0
+        _FUSE_MISSES = 0
+
+
+def fuse_trace(trace: TraceProgram, *, cache: bool = True) -> FusedProgram:
+    """Rename ``trace`` onto a compact register file, memoized per trace.
+
+    With ``cache=True`` (the default) repeated fusions of the *same*
+    :class:`TraceProgram` object return one shared :class:`FusedProgram`;
+    pass ``cache=False`` to force a fresh allocation.
+    """
+    global _FUSE_HITS, _FUSE_MISSES
+    if not cache:
+        return _fuse_uncached(trace)
+    key = id(trace)
+    with _FUSE_LOCK:
+        ref = _FUSE_CACHE.get(key)
+        cached = ref() if ref is not None else None
+        if cached is not None and cached.trace is trace:
+            _FUSE_HITS += 1
+            return cached
+    fused = _fuse_uncached(trace)
+    with _FUSE_LOCK:
+        _FUSE_MISSES += 1
+        dead = [k for k, r in _FUSE_CACHE.items() if r() is None]
+        for k in dead:
+            del _FUSE_CACHE[k]
+        ref = _FUSE_CACHE.get(key)
+        racing = ref() if ref is not None else None
+        if racing is not None and racing.trace is trace:
+            return racing  # another thread fused first: share theirs
+        _FUSE_CACHE[key] = weakref.ref(fused)
+    return fused
+
+
+def adopt_fusion(fused: FusedProgram) -> FusedProgram:
+    """Register an externally-built fusion (e.g. deserialized from an
+    :mod:`repro.artifact` container) in the process-wide cache.
+
+    Returns the canonical fusion for ``fused.trace``: a live cached
+    fusion of the *same* trace object wins, so every consumer keeps
+    sharing one set of tables and one generated kernel.
+    """
+    with _FUSE_LOCK:
+        key = id(fused.trace)
+        ref = _FUSE_CACHE.get(key)
+        cached = ref() if ref is not None else None
+        if cached is not None and cached.trace is fused.trace:
+            return cached
+        # Sweep here too: artifact-only processes adopt without ever
+        # taking the fuse_trace miss path, and churning workloads would
+        # otherwise accumulate dead entries forever.
+        dead = [k for k, r in _FUSE_CACHE.items() if r() is None]
+        for k in dead:
+            del _FUSE_CACHE[k]
+        _FUSE_CACHE[key] = weakref.ref(fused)
+        return fused
+
+
+# ----------------------------------------------------------------------
+def _level_ops(level) -> List[str]:
+    """The opcode of every instruction of one lowered level, in order."""
+    ops = [""] * level.num_instructions
+    for seg in level.segments:
+        for i in range(seg.start, seg.end):
+            ops[i] = seg.op
+    return ops
+
+
+def _fuse_uncached(trace: TraceProgram) -> FusedProgram:
+    """One linear-scan register allocation over the lowered levels.
+
+    BUF instructions are *copy-propagated away*: a BUF's output slot
+    aliases its input's register (hardware BUFs move words between LPVs;
+    in a software register file the move is free), so BUFs occupy no
+    register, execute no kernel statement, and the shared register stays
+    live until the last read of *any* alias.  All other instructions keep
+    their opcode-sorted segment structure with operands renamed through
+    the alias roots.
+    """
+    levels = trace.levels
+    num_levels = len(levels)
+    num_pinned = _NUM_CONST_SLOTS + len(trace.pi_slots)
+    ops_per_level = [_level_ops(level) for level in levels]
+
+    # Alias roots: BUF chains collapse onto the real producer (or a
+    # pinned constant/PI slot).  Levels only read earlier slots, so one
+    # forward pass resolves every chain.
+    root = np.arange(trace.num_slots, dtype=np.intp)
+    for level, ops in zip(levels, ops_per_level):
+        for i, op in enumerate(ops):
+            if op == cells.BUF:
+                root[level.out_start + i] = root[level.a_index[i]]
+
+    # Last level reading each *root* (-1: never read).  BUF reads do not
+    # count (they are eliminated); port b only counts for two-input ops.
+    last_read = np.full(trace.num_slots, -1, dtype=np.int64)
+    for index, (level, ops) in enumerate(zip(levels, ops_per_level)):
+        for i, op in enumerate(ops):
+            if op == cells.BUF:
+                continue
+            last_read[root[level.a_index[i]]] = index
+            if cells.arity(op) == 2:
+                last_read[root[level.b_index[i]]] = index
+
+    protected = {int(root[slot]) for slot in trace.output_slots.values()}
+
+    # free_at[L]: register-owning slots whose register returns to the
+    # pool before level L allocates its outputs.  A root last read at
+    # level L frees *at* L (operands are gathered before results are
+    # written); a never-read root frees one level after its definition
+    # (two outputs of one level must occupy distinct registers).
+    # Primary-input registers free after their last read too — inputs are
+    # re-bound before every run, so once consumed their rows are ordinary
+    # reusable registers (only the two constants stay pinned: they feed
+    # single-input gather lanes throughout).
+    free_at: List[List[int]] = [[] for _ in range(num_levels + 1)]
+    for slot in range(_NUM_CONST_SLOTS, num_pinned):
+        if slot in protected:
+            continue
+        read = int(last_read[slot])
+        free_at[max(read, 0)].append(slot)
+    for index, (level, ops) in enumerate(zip(levels, ops_per_level)):
+        for i, op in enumerate(ops):
+            if op == cells.BUF:
+                continue
+            slot = level.out_start + i  # non-BUF slots are their own root
+            if slot in protected:
+                continue
+            read = int(last_read[slot])
+            free_at[read if read >= 0 else index + 1].append(slot)
+
+    kept_per_level = [
+        [i for i, op in enumerate(ops) if op != cells.BUF]
+        for ops in ops_per_level
+    ]
+
+    # Pass 1 — per-register simulation: the tightest achievable file
+    # size under this free schedule (lowest free register always wins).
+    # It anchors the fragmentation budget of the real allocation below.
+    sim_reg: Dict[int, int] = {}
+    sim_free: List[int] = []
+    sim_next = num_pinned
+    for index, (level, kept) in enumerate(zip(levels, kept_per_level)):
+        for slot in free_at[index]:
+            heapq.heappush(
+                sim_free,
+                slot if slot < num_pinned else sim_reg[slot],
+            )
+        for i in kept:
+            if sim_free:
+                sim_reg[level.out_start + i] = heapq.heappop(sim_free)
+            else:
+                sim_reg[level.out_start + i] = sim_next
+                sim_next += 1
+    compact_size = sim_next
+
+    # Pass 2 — bounded run-fit: every level *prefers* one contiguous
+    # register run for its outputs (generated kernels then compute
+    # segment ufuncs straight into the value table, no scatter pass).
+    # Runs come best-fit from the free list, else from the free suffix
+    # extended with fresh registers — but only while the file stays
+    # within the fragmentation budget over the tightest size; beyond it
+    # the level falls back to scattered lowest-first registers (the
+    # kernel emits an explicit scatter for those), so the working set
+    # remains O(peak live values) no matter how fragmented the frees.
+    cap = compact_size + max(8, compact_size // 2)
+    reg_of = np.full(trace.num_slots, -1, dtype=np.intp)
+    reg_of[:num_pinned] = np.arange(num_pinned)
+    free_list: List[int] = []  # sorted free registers below next_reg
+    next_reg = num_pinned
+
+    def alloc_run(k: int) -> Optional[int]:
+        nonlocal next_reg
+        # Maximal free runs, best-fit: tightest adequate run wins (ties
+        # broken low), leaving large holes intact for wider levels.
+        runs: List[Tuple[int, int]] = []  # (length, start)
+        start = prev = -2
+        for v in free_list:
+            if v != prev + 1:
+                start = v
+            prev = v
+            if runs and runs[-1][1] == start:
+                runs[-1] = (runs[-1][0] + 1, start)
+            else:
+                runs.append((1, start))
+        best = min(
+            ((length, s) for length, s in runs if length >= k),
+            default=None,
+        )
+        if best is not None:
+            lo = best[1]
+            i = bisect.bisect_left(free_list, lo)
+            del free_list[i:i + k]
+            return lo
+        # No interior run: free suffix adjacent to next_reg plus fresh
+        # registers, if that stays within the fragmentation budget.
+        lo = next_reg
+        i = len(free_list) - 1
+        while i >= 0 and free_list[i] == lo - 1:
+            lo -= 1
+            i -= 1
+        if max(next_reg, lo + k) > cap:
+            return None
+        del free_list[i + 1:]
+        next_reg = max(next_reg, lo + k)
+        return lo
+
+    def alloc_scattered(k: int) -> List[int]:
+        nonlocal next_reg
+        regs = free_list[:k]
+        del free_list[:len(regs)]
+        while len(regs) < k:
+            regs.append(next_reg)
+            next_reg += 1
+        return regs
+
+    fused_levels: List[FusedLevel] = []
+    max_width = 0
+    for index, (level, ops) in enumerate(zip(levels, ops_per_level)):
+        for slot in free_at[index]:
+            bisect.insort(free_list, int(reg_of[slot]))
+        kept = kept_per_level[index]
+        if not kept:
+            continue  # all-copy level: nothing left to execute
+        k = len(kept)
+        lo = alloc_run(k)
+        if lo is not None:
+            out_regs = list(range(lo, lo + k))
+        else:
+            out_regs = alloc_scattered(k)
+        a_index = np.empty(k, dtype=np.intp)
+        b_index = np.zeros(k, dtype=np.intp)
+        out_index = np.asarray(out_regs, dtype=np.intp)
+        segments: List[OpSegment] = []
+        for new_i, i in enumerate(kept):
+            op = ops[i]
+            a_index[new_i] = reg_of[root[level.a_index[i]]]
+            if cells.arity(op) == 2:
+                b_index[new_i] = reg_of[root[level.b_index[i]]]
+            reg_of[level.out_start + i] = out_regs[new_i]
+            if segments and segments[-1].op == op:
+                segments[-1] = OpSegment(op, segments[-1].start, new_i + 1)
+            else:
+                segments.append(OpSegment(op, new_i, new_i + 1))
+        for array in (a_index, b_index, out_index):
+            array.setflags(write=False)
+        max_width = max(max_width, k)
+        fused_levels.append(
+            FusedLevel(
+                cycle=level.cycle,
+                a_index=a_index,
+                b_index=b_index,
+                out_index=out_index,
+                segments=tuple(segments),
+            )
+        )
+
+    output_regs = {
+        name: int(reg_of[root[slot]])
+        for name, slot in trace.output_slots.items()
+    }
+    return FusedProgram(
+        trace=trace,
+        num_regs=next_reg,
+        pi_regs=dict(trace.pi_slots),
+        levels=fused_levels,
+        output_regs=output_regs,
+        max_level_width=max_width,
+    )

@@ -189,6 +189,12 @@ def adopt_lowering(trace: TraceProgram) -> TraceProgram:
         cached = ref() if ref is not None else None
         if cached is not None and cached.program is trace.program:
             return cached
+        # Sweep here too: artifact-only processes adopt without ever
+        # taking the lower_program miss path, and churning workloads
+        # would otherwise accumulate dead entries forever.
+        dead = [k for k, r in _LOWER_CACHE.items() if r() is None]
+        for k in dead:
+            del _LOWER_CACHE[k]
         _LOWER_CACHE[key] = weakref.ref(trace)
         return trace
 

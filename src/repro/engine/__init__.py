@@ -1,13 +1,16 @@
 """Pluggable execution engines for compiled LPU programs.
 
-Two engines execute the same :class:`~repro.core.codegen.Program` with
+Three engines execute the same :class:`~repro.core.codegen.Program` with
 bit-identical outputs and identical run statistics:
 
 * :class:`CycleAccurateEngine` (``"cycle"``) — the macro-cycle-accurate
   hardware model (ground truth),
 * :class:`TraceEngine` (``"trace"``) — the program lowered once to flat
-  numpy tables and executed with vectorized gathers (the fast inference
-  path).
+  numpy tables and executed with vectorized gathers,
+* :class:`FusedEngine` (``"fused"``) — the lowered tables renamed onto a
+  compact register file (liveness-driven slot reuse) and executed by a
+  generated per-program kernel over preallocated workspaces: the fastest
+  path and the serving default.
 
 :class:`Session` amortizes compile + lowering across repeated runs.
 """
@@ -18,9 +21,11 @@ from .base import (
     SimulationResult,
     available_engines,
     create_engine,
+    engine_uses_trace,
     register_engine,
 )
 from .cycle import CycleAccurateEngine
+from .fused import FusedEngine
 from .session import DEFAULT_ENGINE, Session
 from .trace import TraceEngine
 
@@ -30,8 +35,10 @@ __all__ = [
     "SimulationResult",
     "available_engines",
     "create_engine",
+    "engine_uses_trace",
     "register_engine",
     "CycleAccurateEngine",
+    "FusedEngine",
     "TraceEngine",
     "Session",
     "DEFAULT_ENGINE",

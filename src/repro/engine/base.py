@@ -14,7 +14,11 @@ with a string:
 * ``"cycle"`` — :class:`~repro.engine.cycle.CycleAccurateEngine`, the
   macro-cycle-accurate hardware model (ground truth),
 * ``"trace"`` — :class:`~repro.engine.trace.TraceEngine`, the precompiled
-  vectorized fast path.
+  vectorized path,
+* ``"fused"`` — :class:`~repro.engine.fused.FusedEngine`, the trace
+  lowering renamed onto a compact register file and executed by a
+  generated per-program kernel over preallocated workspaces (the serving
+  default).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "SimulationResult",
     "available_engines",
     "create_engine",
+    "engine_uses_trace",
     "register_engine",
 ]
 
@@ -47,9 +52,21 @@ class ExecutionEngine(ABC):
 
     #: Registry name; subclasses override (and register themselves).
     name: str = "abstract"
+    #: True for engines built on the trace lowering — caching layers
+    #: pre-lower (and artifact packagers embed tables) for these without
+    #: naming individual engines.
+    uses_trace: bool = False
 
     def __init__(self, program: Program) -> None:
         self.program = program
+
+    @classmethod
+    def from_artifact(cls, artifact) -> "ExecutionEngine":
+        """Construct from a deserialized
+        :class:`~repro.artifact.format.ExecutableArtifact`.  The default
+        uses the program only; engines with embedded-table fast paths
+        override this."""
+        return cls(artifact.program)
 
     @abstractmethod
     def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
@@ -101,7 +118,12 @@ def create_engine(name: str, source) -> ExecutionEngine:
     from ..artifact.format import ExecutableArtifact
 
     if isinstance(source, ExecutableArtifact):
-        if name == "trace":
-            return cls(source.program, source.trace_program())
-        return cls(source.program)
+        return cls.from_artifact(source)
     return cls(source)
+
+
+def engine_uses_trace(name: str) -> bool:
+    """True when the engine registered under ``name`` executes the trace
+    lowering (so serving caches pre-lower and artifacts embed tables)."""
+    cls = _REGISTRY.get(name)
+    return bool(cls is not None and cls.uses_trace)

@@ -1,0 +1,465 @@
+"""The fused engine: generated per-program kernels over a register file.
+
+Three stacked optimizations over :class:`~repro.engine.trace.TraceEngine`,
+all bit-identical to it (outputs and statistics):
+
+1. **Liveness-driven slot reuse** — the lowered trace is renamed onto a
+   compact register file (:func:`repro.core.liveness.fuse_trace`), so the
+   execution working set is the *peak* number of live values instead of
+   one row per instruction, and BUF word-moves are copy-propagated away.
+   Smaller tables mean less memory traffic per gather — the software
+   analogue of the LPU's circulation buffers.
+2. **Preallocated workspaces** — each engine keeps one workspace per
+   batch shape (the register file plus one gather scratch) and executes
+   with ``take(..., out=...)`` gathers and ufunc ``out=`` kernels, so the
+   steady-state run loop performs no array allocation at all.
+3. **Per-program generated kernels** — the level/segment loop is lowered
+   once into flat ``exec``-compiled Python functions of direct ufunc
+   calls: no per-level tuple unpacking, no segment dispatch.  Two kernels
+   are generated per program, chosen per run by batch size:
+
+   * the **vector** kernel minimizes Python/numpy *call count* (one
+     fused A+B gather per level, segment ufuncs computed in place in the
+     gather buffer, one scatter) — fastest when rows are a few words and
+     interpreter overhead dominates;
+   * the **rowwise** kernel minimizes *memory traffic* (every
+     instruction one direct row-view ufunc, no gather/scatter copies at
+     all — three row touches per instruction instead of seven) — fastest
+     when rows are wide and bandwidth dominates.
+
+   Both are cached on the :class:`~repro.core.liveness.FusedProgram`
+   itself, which lives in the process-wide fusion cache — a serving pool
+   over one program compiles the kernels once, not once per worker.
+
+One :class:`FusedEngine` instance owns mutable workspaces; a per-engine
+lock serializes concurrent :meth:`FusedEngine.run` calls, so sharing one
+engine (or :class:`~repro.engine.session.Session`) across threads stays
+*correct* — but for thread-PARALLEL serving create one engine per
+thread, which is exactly what :class:`~repro.serve.pool.WorkerPool`
+does; the renamed tables and the generated kernels are still shared
+process-wide.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.codegen import Program
+from ..core.liveness import (
+    FusedProgram,
+    _level_ops,
+    adopt_fusion,
+    fuse_trace,
+)
+from ..core.trace import _NUM_CONST_SLOTS, TraceProgram, lower_program
+from ..lpu.simulator import SimulationResult
+from ..netlist import cells
+from .base import ExecutionEngine, register_engine
+
+_WORD = np.uint64
+
+#: first primary-input register (right after the pinned constants — the
+#: same layout the trace lowering and the liveness allocator pin).
+_PI_BASE = _NUM_CONST_SLOTS
+
+#: In the vector kernel, levels with at most this many instructions are
+#: inlined as direct row-view ufunc calls (when register aliasing allows
+#: it) instead of the gather/compute/scatter sequence.
+INLINE_MAX = 4
+
+#: Batch sizes (uint64 words per PI) at or above which the rowwise
+#: kernel wins: rows are wide enough that the gather/scatter copies cost
+#: more than the extra per-instruction ufunc calls.
+ROWWISE_MIN_WORDS = 32
+
+#: Workspaces retained per engine (distinct batch shapes); least recently
+#: used beyond this are dropped.
+MAX_WORKSPACES = 4
+
+#: base ufunc name + invert-after flag per two-input opcode.
+_MISO_KERNELS = {
+    cells.AND: ("band", False),
+    cells.OR: ("bor", False),
+    cells.XOR: ("bxor", False),
+    cells.NAND: ("band", True),
+    cells.NOR: ("bor", True),
+    cells.XNOR: ("bxor", True),
+}
+
+_KERNEL_LOCK = threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Kernel generation
+# ----------------------------------------------------------------------
+def _rowwise_safe(level) -> bool:
+    """True when the level may run as ordered per-instruction statements.
+
+    Safe only if no later instruction reads a register an earlier one of
+    the same level writes (an instruction aliasing its *own* output with
+    an input is fine: numpy ufuncs handle exact overlap in place).
+    """
+    ops = _level_ops(level)
+    written: set = set()
+    for j in range(level.num_instructions):
+        if int(level.a_index[j]) in written:
+            return False
+        if cells.arity(ops[j]) == 2 and int(level.b_index[j]) in written:
+            return False
+        written.add(int(level.out_index[j]))
+    return True
+
+
+def _emit_rowwise_level(lines: List[str], level) -> None:
+    """Every instruction as one direct row-view ufunc statement."""
+    ops = _level_ops(level)
+    for i, op in enumerate(ops):
+        a = int(level.a_index[i])
+        r = int(level.out_index[i])
+        if op == cells.NOT:
+            lines.append(f"    binv(rows[{a}], out=rows[{r}])")
+        else:
+            b = int(level.b_index[i])
+            name, inverted = _MISO_KERNELS[op]
+            lines.append(f"    {name}(rows[{a}], rows[{b}], out=rows[{r}])")
+            if inverted:
+                lines.append(f"    binv(rows[{r}], out=rows[{r}])")
+
+
+def _emit_gather_level(
+    lines: List[str], ns: Dict[str, object], index: int, level
+) -> None:
+    """One gather/compute level.
+
+    Ports a and b are fetched with a single fused ``take`` of the
+    concatenated index vector; segment ufuncs then compute *straight into
+    the value table* — the allocator guarantees each level's output
+    registers form one contiguous run, so no scatter pass exists.  (A
+    scatter fallback covers non-contiguous tables, e.g. from a foreign
+    artifact producer.)
+    """
+    k = level.num_instructions
+    two_ary = any(cells.arity(seg.op) == 2 for seg in level.segments)
+    if two_ary:
+        ns[f"AB{index}"] = np.ascontiguousarray(
+            np.concatenate([level.a_index, level.b_index])
+        )
+        lines.append(f"    take(AB{index}, 0, ab_buf[:{2 * k}], 'clip')")
+    else:
+        ns[f"AB{index}"] = level.a_index
+        lines.append(f"    take(AB{index}, 0, ab_buf[:{k}], 'clip')")
+    out = level.out_index
+    contiguous = bool(np.all(np.diff(out) == 1)) if k > 1 else True
+    lo = int(out[0])
+
+    def out_slice(seg) -> str:
+        if contiguous:
+            return f"values[{lo + seg.start}:{lo + seg.end}]"
+        return f"ab_buf[{seg.start}:{seg.end}]"
+
+    for seg in level.segments:
+        a = f"ab_buf[{seg.start}:{seg.end}]"
+        o = out_slice(seg)
+        if seg.op == cells.NOT:
+            lines.append(f"    binv({a}, out={o})")
+        else:
+            b = f"ab_buf[{k + seg.start}:{k + seg.end}]"
+            name, inverted = _MISO_KERNELS[seg.op]
+            lines.append(f"    {name}({a}, {b}, out={o})")
+            if inverted:
+                lines.append(f"    binv({o}, out={o})")
+    if not contiguous:
+        ns[f"O{index}"] = out
+        lines.append(f"    values[O{index}] = ab_buf[:{k}]")
+
+
+#: kernel prologue: ufuncs enter as default arguments (local-variable
+#: lookups inside the generated body, not global dict lookups) and the
+#: bound ``take`` method is hoisted out of the level sequence.
+_KERNEL_HEAD = (
+    "def _kernel(values, rows, ab_buf, band=_band, bor=_bor, "
+    "bxor=_bxor, binv=_binv):\n    take = values.take"
+)
+
+
+def _compile_kernel(lines: List[str], ns: Dict[str, object]):
+    source = "\n".join(lines)
+    exec(compile(source, "<fused-kernel>", "exec"), ns)  # noqa: S102
+    kernel = ns["_kernel"]
+    kernel.__source__ = source  # inspectable, for tests and debugging
+    return kernel
+
+
+def generate_kernels(
+    fused: FusedProgram,
+) -> Tuple[Callable, Callable]:
+    """Compile the (vector, rowwise) run kernels of one fused program.
+
+    Each kernel executes every level in place over a workspace:
+    ``kernel(values, rows, ab_buf)``.
+    """
+    base_ns = {
+        "_band": np.bitwise_and,
+        "_bor": np.bitwise_or,
+        "_bxor": np.bitwise_xor,
+        "_binv": np.invert,
+    }
+
+    vec_ns: Dict[str, object] = dict(base_ns)
+    vec_lines = [_KERNEL_HEAD]
+    for index, level in enumerate(fused.levels):
+        if level.num_instructions <= INLINE_MAX and _rowwise_safe(level):
+            _emit_rowwise_level(vec_lines, level)
+        else:
+            _emit_gather_level(vec_lines, vec_ns, index, level)
+    vector = _compile_kernel(vec_lines, vec_ns)
+
+    row_ns: Dict[str, object] = dict(base_ns)
+    row_lines = [_KERNEL_HEAD]
+    for index, level in enumerate(fused.levels):
+        if _rowwise_safe(level):
+            _emit_rowwise_level(row_lines, level)
+        else:
+            _emit_gather_level(row_lines, row_ns, index, level)
+    rowwise = _compile_kernel(row_lines, row_ns)
+    return vector, rowwise
+
+
+def ensure_kernels(fused: FusedProgram) -> Tuple[Callable, Callable]:
+    """The generated kernels of ``fused``, compiling (once) on first use."""
+    kernels = fused.kernel
+    if kernels is not None:
+        return kernels
+    with _KERNEL_LOCK:
+        if fused.kernel is None:
+            fused.kernel = generate_kernels(fused)
+        return fused.kernel
+
+
+# ----------------------------------------------------------------------
+# Workspaces
+# ----------------------------------------------------------------------
+class _Workspace:
+    """Preallocated buffers for one batch shape: the register file plus
+    the whole-level fused a+b gather scratch."""
+
+    __slots__ = ("values", "rows", "ab_buf", "pi_block")
+
+    def __init__(self, fused: FusedProgram, shape: Tuple[int, ...]) -> None:
+        self.values = np.empty((fused.num_regs,) + shape, dtype=_WORD)
+        self.values[0] = 0
+        self.values[1] = _WORD(0xFFFFFFFFFFFFFFFF)
+        width = max(2 * fused.max_level_width, 1)
+        self.ab_buf = np.empty((width,) + shape, dtype=_WORD)
+        # Prebound row views: generated code indexes rows[i] instead of
+        # re-slicing values[i] on every rowwise instruction, and input
+        # binding concatenates straight into the pinned PI block.
+        self.rows = list(self.values)
+        self.pi_block = self.values[_PI_BASE:_PI_BASE + len(fused.pi_regs)]
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.ab_buf.nbytes
+
+
+# ----------------------------------------------------------------------
+@register_engine
+class FusedEngine(ExecutionEngine):
+    """Zero-allocation execution of a liveness-renamed lowered program."""
+
+    name = "fused"
+    uses_trace = True
+
+    @classmethod
+    def from_artifact(cls, artifact) -> "FusedEngine":
+        # Embedded renamed tables boot with zero lowering and zero
+        # renaming; the engine falls back to fusing the embedded (or
+        # freshly lowered) trace when they are absent.
+        return cls(
+            artifact.program, trace=artifact.trace, fused=artifact.fused
+        )
+
+    def __init__(
+        self,
+        program: Program,
+        trace: Optional[TraceProgram] = None,
+        fused: Optional[FusedProgram] = None,
+    ) -> None:
+        super().__init__(program)
+        if fused is not None and (trace is None or fused.trace is trace):
+            # Prebuilt renamed tables (e.g. artifact-embedded): adopt
+            # them; a live canonical fusion of the same trace wins.
+            self.fused = adopt_fusion(fused)
+        else:
+            if trace is None:
+                trace = lower_program(program)
+            self.fused = fuse_trace(trace)
+        self.trace = self.fused.trace
+        self._kernels = ensure_kernels(self.fused)
+        # Workspaces are mutable per-instance state; the lock keeps a
+        # Session shared across threads correct (the re-entrancy the
+        # old trace default offered), at ~100ns uncontended cost.
+        # Thread-PARALLEL serving still wants one engine per worker,
+        # which is what WorkerPool builds.
+        self._run_lock = threading.Lock()
+        self._pi_names = list(self.fused.pi_regs)
+        # PI registers are pinned to one contiguous block by the
+        # allocator, so binding is a single concatenate into that block;
+        # the row-by-row fallback guards the invariant anyway.
+        regs = list(self.fused.pi_regs.values())
+        self._pi_contiguous = regs == list(
+            range(_PI_BASE, _PI_BASE + len(regs))
+        )
+        self._workspaces: "OrderedDict[Tuple[int, ...], _Workspace]" = \
+            OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _gather_inputs(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> Tuple[List[np.ndarray], Tuple[int, ...]]:
+        """The PI words in register order, plus their common shape."""
+        words: List[np.ndarray] = []
+        shape: Optional[Tuple[int, ...]] = None
+        for name in self._pi_names:
+            try:
+                word = inputs[name]
+            except KeyError:
+                raise KeyError(
+                    f"missing value for primary input {name!r}"
+                ) from None
+            word = np.asarray(word, dtype=_WORD)
+            if shape is None:
+                shape = word.shape
+            elif word.shape != shape:
+                raise ValueError("all PI arrays must share one shape")
+            words.append(word)
+        return words, shape if shape is not None else (1,)
+
+    def workspace(self, shape: Tuple[int, ...]) -> _Workspace:
+        """The (pre)allocated workspace for one batch shape."""
+        ws = self._workspaces.get(shape)
+        if ws is None:
+            ws = _Workspace(self.fused, shape)
+            self._workspaces[shape] = ws
+            while len(self._workspaces) > MAX_WORKSPACES:
+                self._workspaces.popitem(last=False)
+        else:
+            self._workspaces.move_to_end(shape)
+        return ws
+
+    def _bind_inputs(
+        self, ws: _Workspace, words: List[np.ndarray]
+    ) -> None:
+        if not words:
+            return
+        if self._pi_contiguous:
+            # One C-level assignment stacks every PI word into the
+            # pinned PI block (numpy converts the list in one pass).
+            ws.pi_block[...] = words
+            return
+        rows = ws.rows
+        for reg, word in zip(self.fused.pi_regs.values(), words):
+            np.copyto(rows[reg], word)
+
+    def _result(self, ws: _Workspace) -> SimulationResult:
+        trace = self.trace
+        rows = ws.rows
+        outputs = {
+            name: rows[reg].copy()
+            for name, reg in self.fused.output_regs.items()
+        }
+        return SimulationResult(
+            outputs=outputs,
+            macro_cycles=trace.macro_cycles,
+            clock_cycles=trace.clock_cycles,
+            compute_instructions_executed=trace.compute_instructions,
+            switch_routes=trace.switch_routes,
+            peak_buffer_words=trace.peak_buffer_words,
+            buffer_writes=trace.buffer_writes,
+        )
+
+    @staticmethod
+    def _promote_scalars(words, shape):
+        """0-d (scalar-per-PI) stimulus runs as a one-word batch — row
+        views of a 1-D value table would be numpy scalars, which ufunc
+        ``out=`` rejects.  Outputs are squeezed back to 0-d afterwards,
+        matching the trace engine's shapes exactly."""
+        if shape != ():
+            return words, shape, False
+        return [word.reshape(1) for word in words], (1,), True
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        words, shape = self._gather_inputs(inputs)
+        words, shape, squeeze = self._promote_scalars(words, shape)
+        with self._run_lock:
+            ws = self.workspace(shape)
+            self._bind_inputs(ws, words)
+            vector, rowwise = self._kernels
+            kernel = rowwise if math.prod(shape) >= ROWWISE_MIN_WORDS \
+                else vector
+            kernel(ws.values, ws.rows, ws.ab_buf)
+            result = self._result(ws)
+        if squeeze:
+            for name in result.outputs:
+                result.outputs[name] = result.outputs[name].reshape(())
+        return result
+
+    # ------------------------------------------------------------------
+    def profile_levels(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> List[Dict[str, object]]:
+        """Per-level wall time of one run (interpreted, not the generated
+        kernels — a diagnostic view with identical dataflow)."""
+        words, shape = self._gather_inputs(inputs)
+        words, shape, _squeeze = self._promote_scalars(words, shape)
+        with self._run_lock:
+            ws = self.workspace(shape)
+            self._bind_inputs(ws, words)
+            values = ws.values
+            records: List[Dict[str, object]] = []
+            for index, level in enumerate(self.fused.levels):
+                k = level.num_instructions
+                start = time.perf_counter()
+                ab = ws.ab_buf[:2 * k]
+                values.take(
+                    np.concatenate([level.a_index, level.b_index]),
+                    0, ab, "clip",
+                )
+                a, b = ab[:k], ab[k:]
+                for seg in level.segments:
+                    func = cells.WORD_FUNCS[seg.op]
+                    s, e = seg.start, seg.end
+                    if cells.arity(seg.op) == 2:
+                        a[s:e] = func(a[s:e], b[s:e])
+                    else:
+                        a[s:e] = func(a[s:e])
+                values[level.out_index] = a
+                records.append(
+                    {
+                        "level": index,
+                        "cycle": level.cycle,
+                        "instructions": k,
+                        "segments": len(level.segments),
+                        "seconds": time.perf_counter() - start,
+                    }
+                )
+        return records
+
+    # ------------------------------------------------------------------
+    def workspace_stats(self) -> Dict[str, object]:
+        """Sizes of the live workspaces (for diagnostics and benches)."""
+        return {
+            "num_regs": self.fused.num_regs,
+            "trace_slots": self.trace.num_slots,
+            "max_level_width": self.fused.max_level_width,
+            "shapes": {
+                str(shape): ws.nbytes
+                for shape, ws in self._workspaces.items()
+            },
+        }

@@ -23,7 +23,12 @@ from ..lpu.simulator import SimulationResult
 from ..netlist.graph import LogicGraph
 from .base import SAMPLES_PER_WORD, ExecutionEngine, create_engine
 
-DEFAULT_ENGINE = "trace"
+#: Default engine for sessions and the serving layer: the fused engine is
+#: bit-identical to ``"trace"`` and ``"cycle"`` (outputs and statistics —
+#: proven over every model workload in tests/test_engine.py and
+#: benchmarks/bench_trace_fusion.py) while running the hot path with
+#: zero steady-state allocation.
+DEFAULT_ENGINE = "fused"
 
 
 class Session:
@@ -37,7 +42,8 @@ class Session:
             the ahead-of-time serving path).
         config: LPU parameters, when compiling from a graph
             (:data:`~repro.core.config.PAPER_CONFIG` by default).
-        engine: registered engine name (``"trace"`` or ``"cycle"``), or an
+        engine: registered engine name (``"fused"``, ``"trace"``, or
+            ``"cycle"``), or an
             already-constructed :class:`ExecutionEngine` bound to ``source``
             — the reuse hook serving layers use to share one-time lowering
             artifacts across many sessions over the same program.

@@ -18,7 +18,8 @@ reported identically to the cycle-accurate engine, per run.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +37,11 @@ class TraceEngine(ExecutionEngine):
     """Vectorized execution of a program lowered to flat numpy tables."""
 
     name = "trace"
+    uses_trace = True
+
+    @classmethod
+    def from_artifact(cls, artifact) -> "TraceEngine":
+        return cls(artifact.program, artifact.trace_program())
 
     def __init__(
         self, program: Program, trace: Optional[TraceProgram] = None
@@ -74,15 +80,21 @@ class TraceEngine(ExecutionEngine):
             words[name] = word
         return words, shape if shape is not None else (1,)
 
-    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+    def _fresh_values(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """A value table with constants and PI words bound (one run's
+        mutable state — shared by run() and profile_levels())."""
         trace = self.trace
         words, shape = self._gather_inputs(inputs)
-
         values = np.empty((trace.num_slots,) + shape, dtype=_WORD)
         values[0] = 0
         values[1] = _WORD(0xFFFFFFFFFFFFFFFF)
         for name, slot in trace.pi_slots.items():
             values[slot] = words[name]
+        return values
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        trace = self.trace
+        values = self._fresh_values(inputs)
 
         for out_start, a_index, b_index, segments in self._levels:
             a = values[a_index]
@@ -106,3 +118,34 @@ class TraceEngine(ExecutionEngine):
             peak_buffer_words=trace.peak_buffer_words,
             buffer_writes=trace.buffer_writes,
         )
+
+    def profile_levels(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> List[Dict[str, object]]:
+        """Per-level wall time of one run (the diagnostic view behind
+        ``repro throughput --json``)."""
+        values = self._fresh_values(inputs)
+        records = []
+        # The loop body mirrors run()'s level execution exactly, with a
+        # timer around each level — keep the two in sync.
+        for index, (out_start, a_index, b_index, segments) in enumerate(
+            self._levels
+        ):
+            start = time.perf_counter()
+            a = values[a_index]
+            out = values[out_start:out_start + len(a_index)]
+            for func, arity, s, e in segments:
+                if arity == 2:
+                    out[s:e] = func(a[s:e], values[b_index[s:e]])
+                else:
+                    out[s:e] = func(a[s:e])
+            records.append(
+                {
+                    "level": index,
+                    "cycle": self.trace.levels[index].cycle,
+                    "instructions": len(a_index),
+                    "segments": len(segments),
+                    "seconds": time.perf_counter() - start,
+                }
+            )
+        return records

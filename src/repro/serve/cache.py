@@ -34,6 +34,7 @@ from ..core.codegen import Program
 from ..core.compiler import CompileResult, compile_ffcl
 from ..core.config import LPUConfig, PAPER_CONFIG
 from ..core.trace import TraceProgram, lower_program
+from ..engine.base import engine_uses_trace
 from ..engine.session import DEFAULT_ENGINE
 from ..netlist.graph import LogicGraph
 
@@ -304,9 +305,11 @@ class ProgramCache:
             program = compile_result.program
             if program is None:  # pragma: no cover - compile_ffcl guards
                 raise ValueError("compilation produced no program")
-        if engine == "trace":
+        if engine_uses_trace(engine):
             # Artifact-borne lowerings were adopted into the process-wide
-            # cache on deserialization, so this never re-lowers them.
+            # cache on deserialization, so this never re-lowers them (the
+            # fused engine's renamed tables live in the analogous
+            # process-wide fusion cache, keyed by this shared lowering).
             trace = lower_program(program)
         else:
             trace = artifact.trace if artifact is not None else None

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..artifact.format import ExecutableArtifact
 from ..core.codegen import Program
+from ..engine.base import engine_uses_trace
 from ..engine.session import DEFAULT_ENGINE, Session
 from ..lpu.simulator import SimulationResult
 
@@ -220,7 +221,7 @@ class WorkerPool:
         if backend == "spawn":
             if artifact is None:
                 self.artifact = artifact = ExecutableArtifact.from_program(
-                    program, lower=engine == "trace"
+                    program, lower=engine_uses_trace(engine)
                 )
             elif artifact.program is not program:
                 raise ValueError(

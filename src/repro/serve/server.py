@@ -42,7 +42,7 @@ class InferenceServer:
             :class:`~repro.artifact.format.ExecutableArtifact` (the
             ahead-of-time path: no compile, no lowering).
         config: LPU parameters when compiling from a graph.
-        engine: execution engine every worker runs (``"trace"`` default).
+        engine: execution engine every worker runs (``"fused"`` default).
         num_workers: parallel engine instances in the worker pool.
         max_batch_size: requests coalesced into one engine run.
         max_wait_ms: micro-batching deadline for a non-full batch.

@@ -384,6 +384,132 @@ class TestArtifactStore:
         assert len(store) == 0
 
 
+class TestStoreEviction:
+    def _put(self, store, name, payload, mtime):
+        path = store.put_bytes(store_key(name), payload)
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_entries_oldest_first_with_sizes(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "new", b"n" * 10, 2_000)
+        self._put(store, "old", b"o" * 20, 1_000)
+        entries = store.entries()
+        assert [e.size for e in entries] == [20, 10]  # oldest first
+        assert entries[0].mtime < entries[1].mtime
+        assert store.total_bytes() == 30
+        assert all(e.suffix == ".lpa" for e in entries)
+
+    def test_prune_evicts_lru_by_mtime(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "a", b"a" * 40, 1_000)  # oldest
+        self._put(store, "b", b"b" * 40, 2_000)
+        self._put(store, "c", b"c" * 40, 3_000)  # newest
+        evicted = store.prune(max_bytes=90)
+        assert [e.key for e in evicted] == [store_key("a")]
+        assert store.total_bytes() == 80
+        assert store.get_bytes(store_key("a")) is None
+        assert store.get_bytes(store_key("c")) == b"c" * 40
+        assert store.stats.evictions == 1
+        assert store.stats.bytes_evicted == 40
+
+    def test_max_bytes_budget_enforced_on_write(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"), max_bytes=100)
+        for i in range(6):
+            path = store.put_bytes(store_key(f"blob{i}"), b"x" * 40)
+            os.utime(path, (1_000 + i, 1_000 + i))
+        assert store.total_bytes() <= 100
+        # The newest blobs survive.
+        assert store.get_bytes(store_key("blob5")) == b"x" * 40
+        assert store.get_bytes(store_key("blob0")) is None
+        assert store.stats.evictions >= 1
+
+    def test_oversized_write_never_evicts_its_own_blob(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"), max_bytes=50)
+        self._put(store, "old", b"o" * 30, 1_000)
+        path = store.put_bytes(store_key("big"), b"z" * 200)
+        # The budget-buster evicted everything else but kept itself.
+        assert os.path.exists(path)
+        assert store.get_bytes(store_key("big")) == b"z" * 200
+        assert store.get_bytes(store_key("old")) is None
+
+    def test_prune_skips_inflight_temp_files(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "a", b"a" * 10, 1_000)
+        shard_dir = os.path.dirname(store.path_for(store_key("a")))
+        tmp = os.path.join(shard_dir, "whatever.lpa.tmp.123.456.abcd")
+        with open(tmp, "wb") as handle:
+            handle.write(b"partial")
+        assert all(".tmp." not in e.path for e in store.entries())
+        assert store.prune(max_bytes=0)  # evicts the real blob only
+        assert os.path.exists(tmp)  # the in-flight write is untouched
+
+    def test_read_refreshes_lru_order(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "hot", b"h" * 40, 1_000)   # oldest write...
+        self._put(store, "cold", b"c" * 40, 2_000)
+        assert store.get_bytes(store_key("hot")) is not None  # ...but read
+        evicted = store.prune(max_bytes=40)
+        assert [e.key for e in evicted] == [store_key("cold")]
+        assert store.get_bytes(store_key("hot")) == b"h" * 40
+
+    def test_prune_reclaims_stale_temp_files(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "a", b"a" * 10, 1_000)
+        shard_dir = os.path.dirname(store.path_for(store_key("a")))
+        stale = os.path.join(shard_dir, "dead.lpa.tmp.1.2.feed")
+        with open(stale, "wb") as handle:
+            handle.write(b"orphan")
+        os.utime(stale, (1_000, 1_000))  # writer died long ago
+        store.prune(max_bytes=1_000_000)  # under budget: no eviction
+        assert not os.path.exists(stale)
+        assert store.get_bytes(store_key("a")) is not None
+
+    def test_prune_zero_empties_store(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "a", b"a" * 10, 1_000)
+        self._put(store, "b", b"b" * 10, 2_000)
+        evicted = store.prune(max_bytes=0)
+        assert len(evicted) == 2
+        assert store.total_bytes() == 0
+
+    def test_prune_without_budget_is_noop(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "a", b"a" * 10, 1_000)
+        assert store.prune() == []
+        assert store.total_bytes() == 10
+
+    def test_store_cli_list_and_prune(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        self._put(store, "a", b"a" * 64, 1_000)
+        self._put(store, "b", b"b" * 64, 2_000)
+        root = str(tmp_path / "store")
+        assert main(["store", "list", root, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["count"] == 2 and listing["total_bytes"] == 128
+        assert main(
+            ["store", "prune", root, "--max-bytes", "64", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted_bytes"] == 64
+        assert report["remaining_bytes"] == 64
+        assert main(["store", "list", root]) == 0
+        assert "1 blobs" in capsys.readouterr().out
+
+    def test_cli_size_spec_parsing(self):
+        from repro.cli import _parse_size
+
+        assert _parse_size("1048576") == 1 << 20
+        assert _parse_size("512K") == 512 << 10
+        assert _parse_size("64M") == 64 << 20
+        assert _parse_size("2G") == 2 << 30
+        assert _parse_size("1.5k") == 1536
+        with pytest.raises(Exception, match="not a size"):
+            _parse_size("lots")
+
+
 # ----------------------------------------------------------------------
 # Cache disk tiers
 # ----------------------------------------------------------------------

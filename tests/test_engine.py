@@ -40,30 +40,34 @@ TINY = LPUConfig(num_lpvs=2, lpes_per_lpv=4)
 
 
 def assert_engines_agree(program, seed=0, array_size=3):
-    """Both engines == functional reference, with identical statistics."""
+    """Every registered engine == functional reference, with identical
+    statistics across all of them."""
     stim = random_stimulus(program.graph, array_size=array_size, seed=seed)
     reference = evaluate_graph(program.graph, stim)
-    cycle = create_engine("cycle", program).run(stim)
-    trace = create_engine("trace", program).run(stim)
-    assert set(cycle.outputs) == set(reference) == set(trace.outputs)
-    for name, word in reference.items():
-        assert np.array_equal(cycle.outputs[name], word), ("cycle", name)
-        assert np.array_equal(trace.outputs[name], word), ("trace", name)
-    assert cycle.macro_cycles == trace.macro_cycles
-    assert cycle.clock_cycles == trace.clock_cycles
-    assert (
-        cycle.compute_instructions_executed
-        == trace.compute_instructions_executed
-    )
-    assert cycle.switch_routes == trace.switch_routes
-    assert cycle.peak_buffer_words == trace.peak_buffer_words
-    assert cycle.buffer_writes == trace.buffer_writes
-    return cycle, trace
+    results = {
+        name: create_engine(name, program).run(stim)
+        for name in available_engines()
+    }
+    cycle = results["cycle"]
+    for engine, result in results.items():
+        assert set(result.outputs) == set(reference), engine
+        for name, word in reference.items():
+            assert np.array_equal(result.outputs[name], word), (engine, name)
+        assert cycle.macro_cycles == result.macro_cycles, engine
+        assert cycle.clock_cycles == result.clock_cycles, engine
+        assert (
+            cycle.compute_instructions_executed
+            == result.compute_instructions_executed
+        ), engine
+        assert cycle.switch_routes == result.switch_routes, engine
+        assert cycle.peak_buffer_words == result.peak_buffer_words, engine
+        assert cycle.buffer_writes == result.buffer_writes, engine
+    return cycle, results["trace"]
 
 
 class TestRegistry:
-    def test_both_engines_registered(self):
-        assert available_engines() == ["cycle", "trace"]
+    def test_all_engines_registered(self):
+        assert available_engines() == ["cycle", "fused", "trace"]
 
     def test_create_engine(self):
         g = random_dag(4, 20, 1, seed=0)
@@ -187,32 +191,37 @@ class TestParityModelWorkloads:
         block, _ = layer_block(layer, sample_neurons=2, seed=0)
         res = compile_ffcl(block, SMALL)
         # Multi-element batches AND repeated runs on the same Session.
-        trace = Session(res.program, engine="trace")
-        cycle = Session(res.program, engine="cycle")
+        sessions = {
+            name: Session(res.program, engine=name)
+            for name in available_engines()
+        }
         first_stats = None
         for batch, array_size in enumerate((1, 4)):
             stim = random_stimulus(
                 res.program.graph, array_size=array_size, seed=batch
             )
             ref = evaluate_graph(res.program.graph, stim)
-            out_t, out_c = trace.run(stim), cycle.run(stim)
-            for name, word in ref.items():
-                assert np.array_equal(out_t.outputs[name], word), name
-                assert np.array_equal(out_c.outputs[name], word), name
-            stats = (
-                out_c.macro_cycles,
-                out_c.compute_instructions_executed,
-                out_c.switch_routes,
-                out_c.peak_buffer_words,
-                out_c.buffer_writes,
-            )
-            assert stats == (
-                out_t.macro_cycles,
-                out_t.compute_instructions_executed,
-                out_t.switch_routes,
-                out_t.peak_buffer_words,
-                out_t.buffer_writes,
-            )
+            outs = {
+                name: session.run(stim)
+                for name, session in sessions.items()
+            }
+            for engine, out in outs.items():
+                for name, word in ref.items():
+                    assert np.array_equal(
+                        out.outputs[name], word
+                    ), (engine, name)
+            per_engine = {
+                engine: (
+                    out.macro_cycles,
+                    out.compute_instructions_executed,
+                    out.switch_routes,
+                    out.peak_buffer_words,
+                    out.buffer_writes,
+                )
+                for engine, out in outs.items()
+            }
+            stats = per_engine["cycle"]
+            assert all(s == stats for s in per_engine.values())
             # Statistics are per-run: identical across repeated runs, not
             # accumulating.
             if first_stats is None:
@@ -225,7 +234,7 @@ class TestSession:
     def test_compiles_from_graph(self):
         g = random_dag(5, 30, 2, seed=2)
         s = Session(g, TINY)
-        assert s.engine_name == "trace"
+        assert s.engine_name == "fused"  # the serving default
         assert s.compile_result is not None
         assert s.config == TINY
         result = s.run_random(array_size=2, seed=0)
