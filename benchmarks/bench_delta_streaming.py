@@ -1,0 +1,228 @@
+"""Delta streaming: event-driven incremental execution vs dense re-run.
+
+The paper's flagship throughput deployments — network intrusion detection
+and jet-substructure triggers — are *streams*: consecutive samples differ
+in a handful of bits, so a dense engine recomputes a table whose values
+almost all match the previous step's.  The delta engine
+(:mod:`repro.engine.delta`) keeps that table and sweeps only the dirty
+cone.  This bench pins down the contract that makes it safe to deploy:
+
+* >= 3x higher steps/second than the fused engine on a 1-bit-flip-per-
+  step NID stream (a stack of sampled NID layer blocks),
+* <= 1.3x slowdown vs fused on fully random streams, with the dense
+  fallback demonstrably engaged (worst case costs ~one fused run),
+* bit-identical — outputs AND statistics — to the fused engine over all
+  seven model workloads, including sessions booted from an ``.lpa``
+  artifact round-trip with the fanout tables embedded.
+"""
+
+import numpy as np
+from conftest import fast_mode, publish, publish_json
+
+from repro.analysis import render_table
+from repro.artifact import ExecutableArtifact
+from repro.core import LPUConfig, compile_ffcl
+from repro.engine import Session
+from repro.lpu import evaluate_graph, random_stimulus
+from repro.models import (
+    jsc_l_workload,
+    jsc_m_workload,
+    layer_block,
+    lenet5_workload,
+    mlpmixer_b4_workload,
+    mlpmixer_s4_workload,
+    nid_workload,
+    vgg16_workload,
+)
+from repro.netlist.compose import merge_parallel
+from repro.serve import run_stream_bench
+from repro.serve.stream import make_stream
+
+SAMPLE_NEURONS = 32 if fast_mode() else 100
+STEPS = 64 if fast_mode() else 128
+REPS = 3 if fast_mode() else 5
+STACK_LAYERS = 3
+
+#: every repro.models workload generator (identity must hold on all 7).
+MODEL_FACTORIES = [
+    vgg16_workload,
+    lenet5_workload,
+    mlpmixer_s4_workload,
+    mlpmixer_b4_workload,
+    nid_workload,
+    jsc_m_workload,
+    jsc_l_workload,
+]
+PARITY_CONFIG = LPUConfig(num_lpvs=4, lpes_per_lpv=8)
+
+_CACHE = {}
+
+
+def _nid_stack():
+    """Sampled neuron cones from the first ``STACK_LAYERS`` NID layers,
+    merged over the shared input space — a deep enough block that dense
+    re-execution has real work to skip."""
+    if "block" not in _CACHE:
+        model = nid_workload()
+        blocks = [
+            layer_block(
+                model.layers[i], sample_neurons=SAMPLE_NEURONS, seed=i
+            )[0]
+            for i in range(STACK_LAYERS)
+        ]
+        _CACHE["block"] = merge_parallel(blocks, name="nid_stream_stack")
+    return _CACHE["block"]
+
+
+def _stats_tuple(result):
+    return (
+        result.macro_cycles,
+        result.clock_cycles,
+        result.compute_instructions_executed,
+        result.switch_routes,
+        result.peak_buffer_words,
+        result.buffer_writes,
+    )
+
+
+def test_delta_bit_identical_all_models(benchmark):
+    """Delta == fused — outputs and statistics, over stateful stream
+    histories — on all 7 model workloads, including a session booted
+    from an .lpa round-trip with the fanout tables embedded."""
+    checked = 0
+    for factory in MODEL_FACTORIES:
+        model = factory()
+        layer = min(model.layers, key=lambda l: (l.fan_in, l.num_neurons))
+        block, _ = layer_block(layer, sample_neurons=2, seed=0)
+        result = compile_ffcl(block, PARITY_CONFIG)
+        graph = result.program.graph
+        # The streaming deployment path: serialize with the fanout/cone
+        # tables embedded, reload, boot the delta engine from the bytes.
+        artifact = ExecutableArtifact.from_bytes(
+            result.to_artifact(fanout=True).to_bytes()
+        )
+        assert artifact.fanout is not None, factory.__name__
+        sessions = {
+            "fused": Session(result.program, engine="fused"),
+            "delta": Session(result.program, engine="delta"),
+            "delta/artifact": artifact.session(engine="delta"),
+        }
+        for array_size in (1, 4):
+            stream = make_stream(
+                graph, steps=6, flip_bits=1, array_size=array_size, seed=7
+            )
+            for stim in stream:
+                reference = evaluate_graph(graph, stim)
+                results = {
+                    name: session.run(stim)
+                    for name, session in sessions.items()
+                }
+                baseline = _stats_tuple(results["fused"])
+                for name, run in results.items():
+                    for po, word in reference.items():
+                        assert np.array_equal(run.outputs[po], word), (
+                            factory.__name__, name, po,
+                        )
+                    assert _stats_tuple(run) == baseline, (
+                        factory.__name__, name,
+                    )
+            checked += 1
+    assert checked == 2 * len(MODEL_FACTORIES)
+    block = _nid_stack()
+    program = compile_ffcl(block, PARITY_CONFIG).program
+    stim = random_stimulus(block, array_size=1, seed=0)
+    session = Session(program, engine="delta")
+    session.run(stim)
+    benchmark(session.run, stim)
+
+
+def test_delta_streaming_speedup(benchmark):
+    """The headline numbers: low-entropy NID stream speedup, random-
+    stream worst case with the dense fallback engaged, JSC measured
+    informationally — all through :func:`run_stream_bench` (the same
+    driver behind ``repro stream-bench``)."""
+    block = _nid_stack()
+
+    low = run_stream_bench(
+        block, PARITY_CONFIG, steps=STEPS, flip_bits=1, reps=REPS
+    )
+    rand = run_stream_bench(
+        block, PARITY_CONFIG, steps=max(STEPS // 2, 16),
+        random_stream=True, reps=REPS,
+    )
+    jsc_block, _ = layer_block(
+        jsc_m_workload().layers[0], sample_neurons=SAMPLE_NEURONS, seed=0
+    )
+    jsc = run_stream_bench(
+        jsc_block, PARITY_CONFIG, steps=STEPS, flip_bits=1, reps=REPS
+    )
+
+    program = compile_ffcl(block, PARITY_CONFIG).program
+    stream = make_stream(block, steps=4, flip_bits=1, seed=0)
+    session = Session(program, engine="delta")
+    for stim in stream:
+        session.run(stim)
+    benchmark(session.run, stream[-1])
+
+    low_speedup = low["speedup"]
+    rand_slowdown = (
+        rand["streaming"]["seconds"] / rand["baseline"]["seconds"]
+    )
+    rows = [
+        [
+            "NID stream (1 flip/step)", f"{low_speedup:.2f}x faster",
+            ">= 3.00x", f"{low['steps']} steps, "
+            f"{low['delta']['sparse_runs']} sparse runs",
+        ],
+        [
+            "NID random stream", f"{rand_slowdown:.2f}x slower",
+            "<= 1.30x", f"{rand['delta']['dense_fallback_runs']} dense "
+            "fallback runs",
+        ],
+        [
+            "JSC-M stream (1 flip/step)", f"{jsc['speedup']:.2f}x faster",
+            "(informational)", f"{jsc['steps']} steps",
+        ],
+    ]
+    publish(
+        "delta_streaming",
+        render_table(
+            f"Delta streaming — NID {STACK_LAYERS}-layer stack "
+            f"({block.num_inputs} PIs, {block.num_gates} gates), "
+            f"{low['delta']['num_instructions']} delta instructions",
+            ["stream", "measured", "floor", "notes"],
+            rows,
+        ),
+    )
+    publish_json(
+        "delta_streaming",
+        {
+            "fast_mode": fast_mode(),
+            "sample_neurons": SAMPLE_NEURONS,
+            "stack_layers": STACK_LAYERS,
+            "low_entropy": low,
+            "random": rand,
+            "jsc": jsc,
+            "random_slowdown": rand_slowdown,
+        },
+    )
+
+    assert low["bit_identical"], "delta diverged from fused on NID"
+    assert rand["bit_identical"], "delta diverged on random streams"
+    assert jsc["bit_identical"], "delta diverged from fused on JSC"
+    assert low["stream_session"]["stateful"]
+    assert low["stream_session"]["verified"]
+    assert low["delta"]["sparse_runs"] > 0, "sparse path never engaged"
+    assert rand["delta"]["dense_fallback_runs"] > 0, (
+        "random streams never triggered the dense fallback"
+    )
+    # Fast mode still checks every property but relaxes the wall-clock
+    # bars: CI smoke runners have noisy, throttled cores.
+    speedup_floor = 2.0 if fast_mode() else 3.0
+    slowdown_ceiling = 1.5 if fast_mode() else 1.3
+    assert low_speedup >= speedup_floor, (
+        f"delta only {low_speedup:.2f}x faster on the 1-flip NID stream"
+    )
+    assert rand_slowdown <= slowdown_ceiling, (
+        f"delta {rand_slowdown:.2f}x slower than fused on random streams"
+    )

@@ -18,8 +18,10 @@ The package implements the paper's complete system in pure Python:
 * :mod:`repro.lpu` — the logic-processor hardware model and macro-cycle-
   accurate simulator,
 * :mod:`repro.engine` — the pluggable execution-engine layer: the
-  cycle-accurate model and the precompiled vectorized trace engine behind
-  one interface, plus the compile-once/run-many :class:`Session` API,
+  cycle-accurate model, the precompiled vectorized trace engine, the
+  fused generated-kernel engine, and the incremental streaming delta
+  engine behind one interface, plus the compile-once/run-many
+  :class:`Session` API,
 * :mod:`repro.artifact` — ahead-of-time executable artifacts: a
   versioned, content-addressed, zero-pickle binary format
   (:class:`ExecutableArtifact`, ``.lpa`` files) plus the on-disk
@@ -60,7 +62,7 @@ Ahead-of-time deployment (compile once, serve from any process)::
     session = ExecutableArtifact.load("block.lpa").session()
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from .artifact import ArtifactStore, ExecutableArtifact
 from .compiler import PassCache, PassManager, compile_with_pipeline

@@ -39,20 +39,23 @@ import numpy as np
 
 from ..core.codegen import Program
 from ..core.config import LPUConfig
+from ..core.fanout import FanoutTables
 from ..core.isa import LPEInstruction, decode_instruction, encode_instruction
 from ..core.liveness import FusedLevel, FusedProgram
 from ..core.schedule import RuntimeSchedule
-from ..core.trace import OpSegment, TraceLevel, TraceProgram
+from ..core.trace import OpSegment, TraceLevel, TraceProgram, _NUM_CONST_SLOTS
 from ..netlist import cells
 from ..netlist.graph import LogicGraph
 
 __all__ = [
     "ArtifactDecodeError",
+    "decode_fanout",
     "decode_fused",
     "decode_graph",
     "decode_program",
     "decode_snapshot",
     "decode_trace",
+    "encode_fanout",
     "encode_fused",
     "encode_graph",
     "encode_program",
@@ -679,6 +682,128 @@ def decode_fused(
             for name, reg in dict(header["output_regs"]).items()
         },
         max_level_width=int(header["max_level_width"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fanout/delta tables (the delta engine's cone analysis)
+# ----------------------------------------------------------------------
+def encode_fanout(
+    tables: FanoutTables,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode the single-assignment delta tables + consumer CSR."""
+    op_table = sorted(cells.ALL_OPS)
+    header = {
+        "ops": op_table,
+        "num_rows": tables.num_rows,
+        "num_pinned": tables.num_pinned,
+        "pi_rows": dict(tables.pi_rows),
+        "output_rows": dict(tables.output_rows),
+    }
+    arrays = {
+        "fanout_a_row": tables.a_row.astype(np.int64),
+        "fanout_b_row": tables.b_row.astype(np.int64),
+        "fanout_op_code": tables.op_code.astype(np.int64),
+        "fanout_level_start": tables.level_start.astype(np.int64),
+        "fanout_consumer_offsets":
+            tables.consumer_offsets.astype(np.int64),
+        "fanout_consumer_gids": tables.consumer_gids.astype(np.int64),
+    }
+    return header, arrays
+
+
+def decode_fanout(
+    header: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    fused: FusedProgram,
+) -> FanoutTables:
+    """Rebuild the :class:`FanoutTables` bound to ``fused``.
+
+    The dense-view levels are re-sliced from the flat embedded arrays —
+    no cone re-analysis — reusing the fused levels' segment schedules and
+    cycles, which the embedded tables were derived from in the producer.
+    """
+    a_row = arrays["fanout_a_row"].astype(np.intp)
+    b_row = arrays["fanout_b_row"].astype(np.intp)
+    op_code = arrays["fanout_op_code"].astype(np.int16)
+    level_start = arrays["fanout_level_start"].astype(np.int64)
+    consumer_offsets = arrays["fanout_consumer_offsets"].astype(np.int64)
+    consumer_gids = arrays["fanout_consumer_gids"].astype(np.intp)
+    num_rows = int(header["num_rows"])
+    num_pinned = int(header["num_pinned"])
+
+    if len(level_start) != len(fused.levels) + 1:
+        raise ArtifactDecodeError(
+            "fanout tables do not match the embedded fused program: "
+            f"{len(level_start) - 1} levels vs {len(fused.levels)}"
+        )
+    if num_pinned != _NUM_CONST_SLOTS + len(fused.pi_regs):
+        raise ArtifactDecodeError(
+            "fanout tables do not match the embedded fused program: "
+            "pinned-row count mismatch"
+        )
+
+    dense_levels: List[FusedLevel] = []
+    for i, level in enumerate(fused.levels):
+        s, e = int(level_start[i]), int(level_start[i + 1])
+        if e - s != level.num_instructions:
+            raise ArtifactDecodeError(
+                "fanout tables do not match the embedded fused program: "
+                f"level {i} width {e - s} vs {level.num_instructions}"
+            )
+        a_part = a_row[s:e].copy()
+        b_part = b_row[s:e].copy()
+        out_part = np.arange(
+            num_pinned + s, num_pinned + e, dtype=np.intp
+        )
+        for part in (a_part, b_part, out_part):
+            part.setflags(write=False)
+        dense_levels.append(
+            FusedLevel(
+                cycle=level.cycle,
+                a_index=a_part,
+                b_index=b_part,
+                out_index=out_part,
+                segments=level.segments,
+            )
+        )
+
+    # Sorted-key JSON scrambled the map order; rebuild in row order so
+    # the dense view keeps the contiguous PI block the engine binds.
+    pi_rows = {
+        name: int(row)
+        for name, row in sorted(
+            dict(header["pi_rows"]).items(), key=lambda kv: kv[1]
+        )
+    }
+    output_rows = {
+        name: int(row)
+        for name, row in dict(header["output_rows"]).items()
+    }
+    for array in (a_row, b_row, op_code, level_start,
+                  consumer_offsets, consumer_gids):
+        array.setflags(write=False)
+    dense = FusedProgram(
+        trace=fused.trace,
+        num_regs=num_rows,
+        pi_regs=pi_rows,
+        levels=dense_levels,
+        output_regs=output_rows,
+        max_level_width=fused.max_level_width,
+    )
+    return FanoutTables(
+        fused=fused,
+        num_rows=num_rows,
+        num_pinned=num_pinned,
+        pi_rows=pi_rows,
+        output_rows=output_rows,
+        a_row=a_row,
+        b_row=b_row,
+        op_code=op_code,
+        level_start=level_start,
+        consumer_offsets=consumer_offsets,
+        consumer_gids=consumer_gids,
+        dense=dense,
     )
 
 

@@ -30,14 +30,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.codegen import Program
+from ..core.fanout import FanoutTables, adopt_fanout, build_fanout
 from ..core.liveness import FusedProgram, adopt_fusion, fuse_trace
 from ..core.trace import TraceProgram, adopt_lowering, lower_program
 from .codec import (
     ArtifactDecodeError,
     content_fingerprint,
+    decode_fanout,
     decode_fused,
     decode_program,
     decode_trace,
+    encode_fanout,
     encode_fused,
     encode_program,
     encode_trace,
@@ -78,6 +81,12 @@ class ExecutableArtifact:
     #: whenever the trace tables are, so a deployed artifact boots the
     #: fused serving default with zero lowering *and* zero renaming.
     fused: Optional[FusedProgram] = None
+    #: fanout/delta tables for the delta streaming engine (an *optional*
+    #: format-v1-compatible section, like the fused tables: readers that
+    #: predate it ignore the extra header key and arrays).  Opt-in via
+    #: ``from_program(..., fanout=True)``; the delta engine derives them
+    #: on the fly when absent.
+    fanout: Optional[FanoutTables] = None
     #: content fingerprint of the *source* logic graph (the workload
     #: identity every cache layer keys on).
     workload_fingerprint: str = ""
@@ -110,6 +119,7 @@ class ExecutableArtifact:
         trace: Optional[TraceProgram] = None,
         fused: Optional[FusedProgram] = None,
         lower: bool = True,
+        fanout: bool = False,
         pipeline: str = "",
         metrics: Optional[Dict[str, object]] = None,
         workload_fingerprint: Optional[str] = None,
@@ -117,7 +127,10 @@ class ExecutableArtifact:
         """Package a compiled program (lowering the trace tables unless
         ``lower=False`` or prebuilt ``trace`` tables are supplied; the
         liveness-renamed fused tables ride along whenever trace tables
-        are embedded).
+        are embedded).  ``fanout=True`` additionally embeds the delta
+        engine's fanout/cone tables, so streaming deployments boot with
+        zero cone analysis; the section is optional and ignored by
+        readers that predate it.
 
         ``workload_fingerprint`` is the *source* graph's content
         fingerprint when known (the identity every cache layer keys on);
@@ -139,10 +152,16 @@ class ExecutableArtifact:
             )
         if fused is None and trace is not None:
             fused = fuse_trace(trace)
+        if fanout and fused is None:
+            raise ValueError(
+                "fanout tables require the fused tables to be embedded "
+                "(they are derived from, and decoded against, them)"
+            )
         artifact = cls(
             program=program,
             trace=trace,
             fused=fused,
+            fanout=build_fanout(fused) if fanout else None,
             workload_fingerprint=(
                 workload_fingerprint
                 if workload_fingerprint is not None
@@ -162,6 +181,7 @@ class ExecutableArtifact:
         *,
         trace: Optional[TraceProgram] = None,
         lower: bool = True,
+        fanout: bool = False,
     ) -> "ExecutableArtifact":
         """Package a :class:`~repro.core.compiler.CompileResult`."""
         from ..compiler.cache import graph_fingerprint
@@ -178,6 +198,7 @@ class ExecutableArtifact:
             result.program,
             trace=trace,
             lower=lower,
+            fanout=fanout,
             pipeline=pipeline,
             metrics=result.metrics.as_dict() if result.metrics else None,
             workload_fingerprint=graph_fingerprint(result.source),
@@ -206,6 +227,12 @@ class ExecutableArtifact:
             arrays.update(fused_arrays)
         else:
             header["fused"] = None
+        if self.fanout is not None and self.fused is not None:
+            fanout_header, fanout_arrays = encode_fanout(self.fanout)
+            header["fanout"] = fanout_header
+            arrays.update(fanout_arrays)
+        else:
+            header["fanout"] = None
         return header, arrays
 
     def _refresh_fingerprint(self) -> str:
@@ -217,7 +244,8 @@ class ExecutableArtifact:
         """Serialize to the deterministic zero-pickle container bytes
         (memoized: repeated calls encode once)."""
         cached = self._encoded
-        embedded = (self.trace is not None, self.fused is not None)
+        embedded = (self.trace is not None, self.fused is not None,
+                    self.fanout is not None)
         if cached is not None and cached[0] == embedded:
             return cached[1]
         header, arrays = self._encode()
@@ -268,10 +296,24 @@ class ExecutableArtifact:
             if fused is not None and canonical is trace:
                 fused = adopt_fusion(fused)
             trace = canonical
+        fanout = None
+        if fused is not None and header.get("fanout") is not None:
+            # Decoded against the *final* (possibly cache-canonical)
+            # fused object, so the tables' identity check holds for
+            # every engine booted from this artifact.
+            try:
+                fanout = adopt_fanout(
+                    decode_fanout(dict(header["fanout"]), arrays, fused)
+                )
+            except (ArtifactDecodeError, KeyError, ValueError) as exc:
+                raise ArtifactError(
+                    f"undecodable artifact: {exc}"
+                ) from exc
         return cls(
             program=program,
             trace=trace,
             fused=fused,
+            fanout=fanout,
             workload_fingerprint=str(header.get("workload_fingerprint", "")),
             pipeline=str(header.get("pipeline", "")),
             producer=str(header.get("producer", "")),
@@ -308,6 +350,17 @@ class ExecutableArtifact:
             return adopt_fusion(self.fused)
         self.fused = fuse_trace(self.trace_program())
         return self.fused
+
+    def fanout_tables(self) -> FanoutTables:
+        """The delta engine's fanout/cone tables, deriving (and caching)
+        on first use; embedded tables bound to a superseded fusion are
+        replaced by a fresh derivation over :meth:`fused_program`."""
+        fused = self.fused_program()
+        if self.fanout is not None and self.fanout.fused is fused:
+            self.fanout = adopt_fanout(self.fanout)
+            return self.fanout
+        self.fanout = build_fanout(fused)
+        return self.fanout
 
     def session(self, *, engine: Optional[str] = None):
         """A ready-to-run :class:`~repro.engine.session.Session` —
@@ -378,6 +431,13 @@ class ExecutableArtifact:
                 "levels": self.fused.num_levels,
                 "registers": self.fused.num_regs,
                 "max_level_width": self.fused.max_level_width,
+            },
+            "fanout": None
+            if self.fanout is None
+            else {
+                "rows": self.fanout.num_rows,
+                "instructions": self.fanout.num_instructions,
+                "consumer_edges": len(self.fanout.consumer_gids),
             },
             "metrics": self.metrics,
         }

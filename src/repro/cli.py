@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli throughput block.v --array-size 256 --batches 16
     python -m repro.cli serve-bench block.v --requests 256 --workers 2
     python -m repro.cli serve-bench --artifact block.lpa --backend spawn
+    python -m repro.cli stream-bench block.v --steps 512 --flip-bits 1
+    python -m repro.cli stream-bench --artifact block.lpa --random
     python -m repro.cli report block.v --no-merge --policy sequential [--json]
     python -m repro.cli passes block.v [--json] / passes --list
     python -m repro.cli store list /var/cache/repro-store [--json]
@@ -40,9 +42,15 @@ cache counters and per-level execution timing for engine diagnosability.
 down to ``--max-bytes``).  ``serve-bench`` measures
 the batched serving layer (:mod:`repro.serve`) against naive per-request
 execution under concurrent clients, verifying bit-identical outputs.
-``report`` prints the per-stage breakdown.  ``--json`` on
-``compile``/``report``/``throughput``/``serve-bench`` emits
-machine-readable output for benchmark harnesses.
+``stream-bench`` measures the incremental ``delta`` engine on a
+low-entropy input stream (``--flip-bits`` per step, or ``--random`` for
+the independent-samples worst case) against dense per-step re-execution,
+verifying bit-identical outputs and statistics; ``compile
+--embed-fanout`` additionally packages the delta engine's fanout/cone
+tables in the ``.lpa`` artifact so streaming deployments boot with zero
+cone analysis.  ``report`` prints the per-stage breakdown.  ``--json`` on
+``compile``/``report``/``throughput``/``serve-bench``/``stream-bench``
+emits machine-readable output for benchmark harnesses.
 """
 
 from __future__ import annotations
@@ -69,7 +77,7 @@ from .core.schedule import schedule_summary
 from .engine import SAMPLES_PER_WORD, Session, available_engines
 from .lpu import cross_check, random_stimulus
 from .netlist import parse_bench, parse_verilog
-from .serve import run_serve_bench
+from .serve import run_serve_bench, run_stream_bench
 from .serve.pool import BACKENDS, PLACEMENTS
 
 
@@ -191,7 +199,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.output:
         if not _require_program(result, args):
             return 2
-        artifact = result.to_artifact()
+        artifact = result.to_artifact(fanout=args.embed_fanout)
         path = artifact.save(args.output)
         artifact_info = {
             "path": path,
@@ -269,6 +277,18 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         print(
             f"fused:     {fused['levels']} levels, {fused['registers']} "
             f"registers (embedded; fused engine boots with zero renaming)"
+        )
+    fanout = summary.get("fanout")
+    if fanout is None:
+        print(
+            "fanout:    not embedded (delta engine derives the cone "
+            "tables on first use)"
+        )
+    else:
+        print(
+            f"fanout:    {fanout['rows']} rows, "
+            f"{fanout['consumer_edges']} consumer edges (embedded; delta "
+            f"engine boots with zero cone analysis)"
         )
     return 0
 
@@ -464,6 +484,65 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if report["bit_identical"] else 1
 
 
+def cmd_stream_bench(args: argparse.Namespace) -> int:
+    program, result, artifact = _resolve_program(args)
+    if result is not None and not _require_program(result, args):
+        return 2
+    report = run_stream_bench(
+        artifact if artifact is not None else program,
+        engine=args.engine,
+        baseline_engine=args.baseline_engine,
+        steps=args.steps,
+        flip_bits=args.flip_bits,
+        array_size=args.array_size,
+        random_stream=args.random,
+        seed=args.seed,
+        num_workers=args.workers,
+    )
+    report["netlist"] = args.netlist
+    report["artifact"] = args.artifact
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["bit_identical"] else 1
+    if result is not None:
+        print(result.metrics)
+    else:
+        print(f"artifact: {args.artifact}")
+    entropy = (
+        "independent random samples" if args.random
+        else f"{args.flip_bits} bit flips/step"
+    )
+    print(
+        f"stream-bench: {args.steps} steps x "
+        f"{report['samples_per_step']} samples ({entropy})"
+    )
+    print(
+        f"  {report['baseline_engine']:>6}: "
+        f"{report['baseline']['steps_per_second']:>12,.0f} steps/s "
+        f"({report['baseline']['seconds']:.3f}s wall)"
+    )
+    print(
+        f"  {report['engine']:>6}: "
+        f"{report['streaming']['steps_per_second']:>12,.0f} steps/s "
+        f"({report['streaming']['seconds']:.3f}s wall)"
+    )
+    delta = report["delta"]
+    if delta is not None:
+        print(
+            f"  runs: {delta['sparse_runs']} sparse, "
+            f"{delta['clean_runs']} clean, "
+            f"{delta['dense_fallback_runs']} dense-fallback, "
+            f"{delta['full_runs']} full; "
+            f"{delta['sparse_instructions']} instructions executed "
+            f"sparsely (one dense run = {delta['num_instructions']})"
+        )
+    print(
+        f"  speedup {report['speedup']:.2f}x, bit-identical: "
+        f"{report['bit_identical']}"
+    )
+    return 0 if report["bit_identical"] else 1
+
+
 _SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
 
 
@@ -616,6 +695,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the compiled executable as an ahead-of-time "
         ".lpa artifact (program + lowered trace tables + metadata)",
     )
+    p_compile.add_argument(
+        "--embed-fanout",
+        action="store_true",
+        help="embed the delta engine's fanout/cone tables in the .lpa "
+        "artifact (streaming deployments boot with zero cone analysis)",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_inspect = sub.add_parser(
@@ -716,6 +801,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit measurements as JSON"
     )
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_stream = sub.add_parser(
+        "stream-bench",
+        help="measure incremental streaming (delta engine) vs dense "
+        "per-step re-execution",
+    )
+    _add_common(p_stream, netlist_optional=True)
+    _add_artifact_source(p_stream)
+    _add_engine(p_stream, default="delta")
+    p_stream.add_argument(
+        "--baseline-engine",
+        choices=available_engines(),
+        default="fused",
+        help="dense engine to compare against",
+    )
+    p_stream.add_argument(
+        "--steps", type=_positive_int, default=256,
+        help="stream length in samples",
+    )
+    p_stream.add_argument(
+        "--flip-bits", type=_positive_int, default=1,
+        help="bits flipped per step in the low-entropy random walk",
+    )
+    p_stream.add_argument(
+        "--array-size", type=_positive_int, default=1,
+        help="uint64 words per primary input per step (64 samples each)",
+    )
+    p_stream.add_argument(
+        "--random", action="store_true",
+        help="draw every step independently instead (the incremental "
+        "worst case; exercises the dense fallback)",
+    )
+    p_stream.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="streaming server worker threads",
+    )
+    p_stream.add_argument("--seed", type=int, default=0, help="stream seed")
+    p_stream.add_argument(
+        "--json", action="store_true", help="emit measurements as JSON"
+    )
+    p_stream.set_defaults(func=cmd_stream_bench)
 
     p_store = sub.add_parser(
         "store",

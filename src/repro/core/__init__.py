@@ -46,6 +46,13 @@ from .schedule import (
     build_schedule,
     schedule_summary,
 )
+from .fanout import (
+    FanoutTables,
+    adopt_fanout,
+    build_fanout,
+    clear_fanout_cache,
+    fanout_cache_stats,
+)
 from .liveness import (
     FusedLevel,
     FusedProgram,
@@ -106,6 +113,11 @@ __all__ = [
     "ScheduleError",
     "build_schedule",
     "schedule_summary",
+    "FanoutTables",
+    "adopt_fanout",
+    "build_fanout",
+    "clear_fanout_cache",
+    "fanout_cache_stats",
     "FusedLevel",
     "FusedProgram",
     "adopt_fusion",

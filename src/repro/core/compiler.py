@@ -68,18 +68,22 @@ class CompileResult:
     def balanced(self) -> LogicGraph:
         return self.preprocess.graph
 
-    def to_artifact(self, *, lower: bool = True):
+    def to_artifact(self, *, lower: bool = True, fanout: bool = False):
         """Package this compile as a serializable
         :class:`~repro.artifact.format.ExecutableArtifact` (memoized).
 
         ``lower=False`` skips embedding the trace-engine tables (smaller
         artifact; the trace engine then lowers on first use).
+        ``fanout=True`` additionally embeds the delta engine's
+        fanout/cone tables for zero-analysis streaming boots.
         """
-        if self.artifact is None:
+        if self.artifact is None or (
+            fanout and self.artifact.fanout is None
+        ):
             from ..artifact.format import ExecutableArtifact
 
             self.artifact = ExecutableArtifact.from_compile(
-                self, lower=lower
+                self, lower=lower, fanout=fanout
             )
         return self.artifact
 

@@ -1,6 +1,6 @@
 """Pluggable execution engines for compiled LPU programs.
 
-Three engines execute the same :class:`~repro.core.codegen.Program` with
+Four engines execute the same :class:`~repro.core.codegen.Program` with
 bit-identical outputs and identical run statistics:
 
 * :class:`CycleAccurateEngine` (``"cycle"``) — the macro-cycle-accurate
@@ -10,7 +10,11 @@ bit-identical outputs and identical run statistics:
 * :class:`FusedEngine` (``"fused"``) — the lowered tables renamed onto a
   compact register file (liveness-driven slot reuse) and executed by a
   generated per-program kernel over preallocated workspaces: the fastest
-  path and the serving default.
+  batch path and the serving default,
+* :class:`DeltaEngine` (``"delta"``) — stateful incremental execution
+  for low-entropy streams: XOR-diffs each sample against the previous
+  one and recomputes only the dirty cone, falling back to the fused
+  dense kernel when too much changed.
 
 :class:`Session` amortizes compile + lowering across repeated runs.
 """
@@ -25,6 +29,7 @@ from .base import (
     register_engine,
 )
 from .cycle import CycleAccurateEngine
+from .delta import DeltaEngine, DeltaState
 from .fused import FusedEngine
 from .session import DEFAULT_ENGINE, Session
 from .trace import TraceEngine
@@ -38,6 +43,8 @@ __all__ = [
     "engine_uses_trace",
     "register_engine",
     "CycleAccurateEngine",
+    "DeltaEngine",
+    "DeltaState",
     "FusedEngine",
     "TraceEngine",
     "Session",

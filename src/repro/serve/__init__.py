@@ -12,7 +12,9 @@ Built on :mod:`repro.engine`, this package turns the compile-once
   execution,
 * :class:`WorkerPool` — batches sharded across N engine instances
   (thread- or process-backed) with round-robin or least-loaded placement,
-* :class:`InferenceServer` / :func:`serve` — the facade wiring all three.
+* :class:`InferenceServer` / :func:`serve` — the facade wiring all three,
+* :class:`StreamingServer` / :class:`StreamSession` — sticky stateful
+  per-client streams for the incremental ``"delta"`` engine.
 
 Quick start::
 
@@ -33,6 +35,12 @@ from .cache import (
 from .pool import BACKENDS, PLACEMENTS, WorkerPool
 from .scheduler import BatchScheduler, SchedulerStats
 from .server import InferenceServer, naive_serve, serve
+from .stream import (
+    StreamSession,
+    StreamingServer,
+    make_stream,
+    run_stream_bench,
+)
 
 __all__ = [
     "BACKENDS",
@@ -44,11 +52,15 @@ __all__ = [
     "InferenceServer",
     "ProgramCache",
     "SchedulerStats",
+    "StreamSession",
+    "StreamingServer",
     "WorkerPool",
     "default_program_cache",
     "disk_key",
     "graph_fingerprint",
+    "make_stream",
     "naive_serve",
     "run_serve_bench",
+    "run_stream_bench",
     "serve",
 ]

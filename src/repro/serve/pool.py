@@ -73,6 +73,13 @@ class _ThreadWorker:
         self._queue.put((inputs, future))
         return future
 
+    def submit_call(self, fn) -> "Future":
+        """Run ``fn(session)`` on the worker thread, in queue order with
+        submitted batches (the streaming layer's stateful entry point)."""
+        future: "Future" = Future()
+        self._queue.put((fn, future))
+        return future
+
     def close(self) -> None:
         self._queue.put(_STOP)
         self._thread.join()
@@ -82,11 +89,14 @@ class _ThreadWorker:
             item = self._queue.get()
             if item is _STOP:
                 return
-            inputs, future = item
+            task, future = item
             if not future.set_running_or_notify_cancel():
                 continue
             try:
-                future.set_result(self.session.run(inputs))
+                if callable(task):
+                    future.set_result(task(self.session))
+                else:
+                    future.set_result(self.session.run(task))
             except Exception as exc:  # noqa: BLE001 - delivered via future
                 future.set_exception(exc)
 
@@ -291,6 +301,29 @@ class WorkerPool:
     def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(inputs).result()
+
+    def submit_call(self, index: int, fn) -> "Future":
+        """Run ``fn(session)`` on worker ``index`` (thread backend only).
+
+        The callable executes on the worker's own thread, FIFO-ordered
+        with that worker's batches — the hook sticky streaming sessions
+        (:class:`repro.serve.stream.StreamSession`) use to drive per-state
+        engine calls without cross-thread workspace sharing.  Process
+        backends would have to pickle the callable and the engine state;
+        they raise instead.
+        """
+        if self.backend != "thread":
+            raise RuntimeError(
+                "submit_call needs the thread worker backend; "
+                f"this pool runs backend={self.backend!r}"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            self._dispatched[index] += 1
+            # Enqueue under the lock for the same close()-race reason
+            # as submit().
+            return self._workers[index].submit_call(fn)
 
     def stats(self) -> Dict[str, object]:
         with self._lock:

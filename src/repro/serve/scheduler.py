@@ -32,7 +32,7 @@ import numpy as np
 
 from ..lpu.simulator import SimulationResult
 
-__all__ = ["BatchScheduler", "SchedulerStats"]
+__all__ = ["BatchScheduler", "SchedulerStats", "WAIT_BUCKETS_MS"]
 
 #: A dispatch target: takes coalesced inputs, returns the batch result
 #: either synchronously or as a Future (e.g. from a WorkerPool).
@@ -41,9 +41,18 @@ DispatchFn = Callable[
 ]
 
 
+#: upper bucket bounds (milliseconds) of the per-request wait histogram;
+#: the final ``inf`` bucket catches deadline-busting stragglers.
+WAIT_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    float("inf"),
+)
+
+
 @dataclass
 class SchedulerStats:
-    """Counters describing how requests were coalesced."""
+    """Counters describing how requests were coalesced and how long each
+    request waited in the queue before its batch dispatched."""
 
     requests: int = 0
     batches: int = 0
@@ -54,18 +63,60 @@ class SchedulerStats:
     recent: Deque[Tuple[int, int, float]] = field(
         default_factory=lambda: deque(maxlen=1024)
     )
+    #: per-request wait histogram over :data:`WAIT_BUCKETS_MS` (exact,
+    #: never evicted — unlike the bounded percentile window below).
+    wait_buckets: List[int] = field(
+        default_factory=lambda: [0] * len(WAIT_BUCKETS_MS)
+    )
+    wait_count: int = 0
+    wait_total_ms: float = 0.0
+    #: recent per-request waits (ms) backing the reported percentiles.
+    recent_waits_ms: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=4096)
+    )
 
     @property
     def mean_batch(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    @property
+    def mean_wait_ms(self) -> float:
+        return self.wait_total_ms / self.wait_count if self.wait_count \
+            else 0.0
+
+    def record_waits(self, waits_s: List[float]) -> None:
+        """Fold one dispatched batch's per-request queue waits in."""
+        for wait_s in waits_s:
+            ms = wait_s * 1e3
+            self.wait_count += 1
+            self.wait_total_ms += ms
+            self.recent_waits_ms.append(ms)
+            for i, bound in enumerate(WAIT_BUCKETS_MS):
+                if ms <= bound:
+                    self.wait_buckets[i] += 1
+                    break
+
+    def wait_percentile_ms(self, pct: float) -> float:
+        """A percentile of the recent per-request wait window."""
+        if not self.recent_waits_ms:
+            return 0.0
+        return float(np.percentile(list(self.recent_waits_ms), pct))
+
+    def as_dict(self) -> Dict[str, object]:
+        histogram = {
+            ("inf" if bound == float("inf") else f"{bound:g}"): count
+            for bound, count in zip(WAIT_BUCKETS_MS, self.wait_buckets)
+        }
         return {
             "requests": self.requests,
             "batches": self.batches,
             "mean_batch": self.mean_batch,
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_s * 1e3,
+            "mean_wait_ms": self.mean_wait_ms,
+            "wait_p50_ms": self.wait_percentile_ms(50.0),
+            "wait_p99_ms": self.wait_percentile_ms(99.0),
+            "wait_histogram_ms": histogram,
         }
 
 
@@ -251,6 +302,7 @@ class BatchScheduler:
         self.stats.total_wait_s += waited
         self.stats.max_wait_s = max(self.stats.max_wait_s, waited)
         self.stats.recent.append((len(live), words, waited))
+        self.stats.record_waits([now - r.enqueued for r in live])
         try:
             if len(live) == 1:
                 single = live[0]

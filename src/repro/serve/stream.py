@@ -1,0 +1,430 @@
+"""Stateful streaming sessions over the worker pool.
+
+The batch serving stack (:class:`~repro.serve.server.InferenceServer`)
+treats every request as independent — correct, but blind to the structure
+of the paper's flagship deployments (intrusion detection, trigger
+systems), where each *client* is a stream whose consecutive samples
+barely differ.  The delta engine (:mod:`repro.engine.delta`) exploits
+that only if one persistent engine state sees the whole stream in order.
+
+:class:`StreamingServer` provides exactly that: it owns a thread-backed
+:class:`~repro.serve.pool.WorkerPool` and hands out sticky
+:class:`StreamSession` handles.  Opening a session pins the client to the
+least-loaded worker and allocates a dedicated engine state there
+(:meth:`~repro.engine.delta.DeltaEngine.new_state`); every subsequent
+step runs on that worker's own thread via
+:meth:`~repro.serve.pool.WorkerPool.submit_call`, FIFO with the worker's
+other traffic — so interleaved sessions sharing one worker stay isolated
+(separate states) and ordered (one queue), with no cross-thread state
+sharing.  Engines without stream state (``"fused"``, ``"trace"``) degrade
+gracefully to plain per-request runs on the sticky worker.
+
+:func:`run_stream_bench` is the measurement driver behind the
+``repro stream-bench`` CLI and ``benchmarks/bench_delta_streaming.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..artifact.format import ExecutableArtifact
+from ..core.codegen import Program
+from ..core.config import LPUConfig
+from ..engine.base import SAMPLES_PER_WORD
+from ..engine.session import Session
+from ..lpu.functional import random_stimulus
+from ..lpu.simulator import SimulationResult
+from ..netlist.graph import LogicGraph
+from .cache import ProgramCache, default_program_cache
+from .pool import WorkerPool
+
+__all__ = [
+    "StreamSession",
+    "StreamingServer",
+    "make_stream",
+    "run_stream_bench",
+]
+
+_WORD = np.uint64
+
+
+class StreamSession:
+    """One client's sticky, ordered, stateful stream.
+
+    Obtained from :meth:`StreamingServer.open_session`; drive it from one
+    thread at a time (steps are FIFO on the pinned worker regardless).
+    """
+
+    def __init__(self, server: "StreamingServer", index: int, state) -> None:
+        self._server = server
+        self.worker_index = index
+        self._state = state  # None for engines without stream state
+        self._closed = False
+
+    @property
+    def stateful(self) -> bool:
+        return self._state is not None
+
+    def submit(self, inputs: Dict[str, np.ndarray]) -> "object":
+        """Enqueue one stream step; the Future resolves to its result."""
+        if self._closed:
+            raise RuntimeError("stream session is closed")
+        state = self._state
+        if state is None:
+            return self._server.pool.submit_call(
+                self.worker_index, lambda session: session.run(inputs)
+            )
+        return self._server.pool.submit_call(
+            self.worker_index,
+            lambda session: session.engine.run_with_state(inputs, state),
+        )
+
+    def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
+        """Synchronous single step (blocks for the result)."""
+        return self.submit(inputs).result()
+
+    def reset(self) -> None:
+        """Forget the stream history (the next step runs densely).
+
+        Executed on the worker thread, ordered after steps already
+        queued."""
+        if self._closed:
+            raise RuntimeError("stream session is closed")
+        state = self._state
+        if state is not None:
+            self._server.pool.submit_call(
+                self.worker_index, lambda _session: state.invalidate()
+            ).result()
+
+    def stats(self) -> Dict[str, object]:
+        """This stream's delta counters (empty for stateless engines)."""
+        state = self._state
+        if state is None:
+            return {}
+        return dict(state.counters())
+
+    def close(self) -> None:
+        """Release the worker slot (the state is garbage-collected)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server._release(self.worker_index)
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StreamingServer:
+    """Sticky per-client streaming on top of :class:`WorkerPool`.
+
+    Args:
+        source: a :class:`LogicGraph` to compile, a compiled
+            :class:`Program`, or an :class:`ExecutableArtifact`.
+        config: LPU parameters when compiling from a graph.
+        engine: engine every worker runs (``"delta"`` — the point of the
+            layer; any registered engine works, stateless ones simply run
+            per-request).
+        num_workers: parallel worker threads; sessions are placed on the
+            worker with the fewest open sessions.
+        cache: program cache to resolve compilations through.
+        **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`.
+    """
+
+    def __init__(
+        self,
+        source: Union[LogicGraph, Program, ExecutableArtifact],
+        config: Optional[LPUConfig] = None,
+        *,
+        engine: str = "delta",
+        num_workers: int = 1,
+        cache: Optional[ProgramCache] = None,
+        **compile_kwargs,
+    ) -> None:
+        self.cache = cache if cache is not None else default_program_cache()
+        entry = self.cache.get_or_compile(
+            source, config, engine=engine, **compile_kwargs
+        )
+        self.program = entry.program
+        self.engine_name = engine
+        # Thread backend only: per-session engine state lives in-process
+        # and submit_call drives it on the owning worker's thread.
+        self.pool = WorkerPool(
+            self.program,
+            num_workers=num_workers,
+            engine=engine,
+            backend="thread",
+            artifact=entry.artifact,
+        )
+        self._lock = threading.Lock()
+        self._open_sessions = [0] * num_workers
+        self._sessions_opened = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LogicGraph:
+        return self.program.graph
+
+    def open_session(self) -> StreamSession:
+        """Open one client stream, pinned to the least-busy worker."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("streaming server is closed")
+            index = min(
+                range(self.pool.num_workers),
+                key=lambda i: (self._open_sessions[i], i),
+            )
+            self._open_sessions[index] += 1
+            self._sessions_opened += 1
+        try:
+            state = self.pool.submit_call(
+                index,
+                lambda session: session.engine.new_state()
+                if hasattr(session.engine, "new_state") else None,
+            ).result()
+        except BaseException:
+            self._release(index)
+            raise
+        return StreamSession(self, index, state)
+
+    def _release(self, index: int) -> None:
+        with self._lock:
+            self._open_sessions[index] -= 1
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            open_sessions = list(self._open_sessions)
+            opened = self._sessions_opened
+        return {
+            "engine": self.engine_name,
+            "open_sessions": open_sessions,
+            "sessions_opened": opened,
+            "pool": self.pool.stats(),
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.pool.close()
+
+    def __enter__(self) -> "StreamingServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingServer(graph={self.graph.name!r}, "
+            f"engine={self.engine_name!r}, "
+            f"workers={self.pool.num_workers})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The stream-bench driver
+# ----------------------------------------------------------------------
+def make_stream(
+    graph: LogicGraph,
+    *,
+    steps: int,
+    flip_bits: int = 1,
+    array_size: int = 1,
+    random_stream: bool = False,
+    seed: int = 0,
+) -> List[Dict[str, np.ndarray]]:
+    """A deterministic input stream over ``graph``.
+
+    Low-entropy mode (default): one random base sample, then a random
+    walk flipping ``flip_bits`` uniformly-chosen bits per step —
+    cumulative, like a real sensor stream.  ``random_stream=True``
+    instead draws every step independently (the worst case for any
+    incremental engine).
+    """
+    if random_stream:
+        return [
+            random_stimulus(graph, array_size=array_size, seed=seed + i)
+            for i in range(steps)
+        ]
+    rng = np.random.default_rng(seed)
+    current = {
+        name: np.asarray(words, dtype=_WORD).copy()
+        for name, words in random_stimulus(
+            graph, array_size=array_size, seed=seed
+        ).items()
+    }
+    names = sorted(current)
+    stream = [{name: words.copy() for name, words in current.items()}]
+    for _ in range(steps - 1):
+        for _ in range(flip_bits):
+            name = names[int(rng.integers(len(names)))]
+            flat = current[name].reshape(-1)
+            word = int(rng.integers(flat.size))
+            bit = _WORD(rng.integers(SAMPLES_PER_WORD))
+            flat[word] ^= _WORD(1) << bit
+        stream.append(
+            {name: words.copy() for name, words in current.items()}
+        )
+    return stream
+
+
+def _stats_key(result: SimulationResult):
+    return (
+        result.macro_cycles,
+        result.clock_cycles,
+        result.compute_instructions_executed,
+        result.switch_routes,
+        result.peak_buffer_words,
+        result.buffer_writes,
+    )
+
+
+def run_stream_bench(
+    source: Union[LogicGraph, Program, ExecutableArtifact],
+    config: Optional[LPUConfig] = None,
+    *,
+    steps: int = 256,
+    flip_bits: int = 1,
+    array_size: int = 1,
+    random_stream: bool = False,
+    seed: int = 0,
+    num_workers: int = 1,
+    engine: str = "delta",
+    baseline_engine: str = "fused",
+    reps: int = 3,
+    verify: bool = True,
+    cache: Optional[ProgramCache] = None,
+    **compile_kwargs,
+) -> Dict[str, object]:
+    """Measure streamed incremental vs. per-step dense execution.
+
+    1. compile (through the program cache) and generate a ``steps``-long
+       stream (``flip_bits`` flips/step, or fully random),
+    2. verify the streaming engine is bit-identical to the baseline on
+       every step — outputs AND statistics,
+    3. time full-stream sweeps of both engines interleaved (``reps``
+       repetitions, medians reported) through direct stateful sessions,
+    4. exercise the :class:`StreamingServer` session path on the same
+       stream and verify it too,
+    5. report steps/second for both, the speedup, and the delta
+       counters.  Returns a JSON-able report.
+    """
+    if steps < 2:
+        raise ValueError("steps must be >= 2")
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    cache = cache if cache is not None else default_program_cache()
+    entry = cache.get_or_compile(
+        source, config, engine=engine, **compile_kwargs
+    )
+    program = entry.program
+    graph = program.graph
+    stream = make_stream(
+        graph,
+        steps=steps,
+        flip_bits=flip_bits,
+        array_size=array_size,
+        random_stream=random_stream,
+        seed=seed,
+    )
+
+    baseline = Session(program, engine=baseline_engine)
+    streaming = Session(program, engine=engine)
+
+    bit_identical = True
+    if verify:
+        for stim in stream:
+            expected = baseline.run(stim)
+            got = streaming.run(stim)
+            for name, words in expected.outputs.items():
+                if not np.array_equal(got.outputs[name], words):
+                    bit_identical = False
+            if _stats_key(expected) != _stats_key(got):
+                bit_identical = False
+
+    def sweep(session: Session) -> float:
+        start = time.perf_counter()
+        for stim in stream:
+            session.run(stim)
+        return time.perf_counter() - start
+
+    # Warm both (workspace/state allocation, kernel generation), then
+    # interleave sweeps so drift hits both engines alike.
+    sweep(baseline)
+    sweep(streaming)
+    baseline_times: List[float] = []
+    streaming_times: List[float] = []
+    for _ in range(reps):
+        baseline_times.append(sweep(baseline))
+        streaming_times.append(sweep(streaming))
+    baseline_s = float(np.median(baseline_times))
+    streaming_s = float(np.median(streaming_times))
+
+    # The served path: one sticky session over a StreamingServer.
+    served_verified = True
+    server = StreamingServer(
+        source,
+        config,
+        engine=engine,
+        num_workers=num_workers,
+        cache=cache,
+        **compile_kwargs,
+    )
+    try:
+        with server.open_session() as session:
+            session_stateful = session.stateful
+            for stim in stream:
+                got = session.run(stim)
+                if verify:
+                    expected = baseline.run(stim)
+                    for name, words in expected.outputs.items():
+                        if not np.array_equal(got.outputs[name], words):
+                            served_verified = False
+            session_stats = session.stats()
+        server_stats = server.stats()
+    finally:
+        server.close()
+
+    delta_stats = None
+    if hasattr(streaming.engine, "delta_stats"):
+        delta_stats = streaming.engine.delta_stats()
+    return {
+        "graph": graph.name,
+        "engine": engine,
+        "baseline_engine": baseline_engine,
+        "steps": steps,
+        "flip_bits": None if random_stream else flip_bits,
+        "random_stream": random_stream,
+        "array_size": array_size,
+        "samples_per_step": SAMPLES_PER_WORD * array_size,
+        "num_workers": num_workers,
+        "baseline": {
+            "seconds": baseline_s,
+            "steps_per_second": steps / baseline_s if baseline_s else None,
+        },
+        "streaming": {
+            "seconds": streaming_s,
+            "steps_per_second": (
+                steps / streaming_s if streaming_s else None
+            ),
+        },
+        "speedup": baseline_s / streaming_s if streaming_s else None,
+        "bit_identical": bit_identical if verify else None,
+        "stream_session": {
+            "stateful": session_stateful,
+            "verified": served_verified if verify else None,
+            "counters": session_stats,
+        },
+        "delta": delta_stats,
+        "server": server_stats,
+    }

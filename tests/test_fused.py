@@ -286,6 +286,38 @@ class TestFusedEngine:
             stim = random_stimulus(graph, array_size=array_size, seed=1)
             _assert_fused_matches(res.program, stim)
 
+    def test_kernel_crossover_boundary(self):
+        """Exactly at the vector/rowwise switch (ROWWISE_MIN_WORDS - 1,
+        the threshold itself, and one past it) the engine picks the
+        expected kernel AND stays bit-identical to functional
+        evaluation — the boundary a off-by-one in the word-count
+        comparison would silently move."""
+        g = random_dag(6, 60, 3, seed=21)
+        res = compile_ffcl(g, SMALL)
+        graph = res.program.graph
+        engine = create_engine("fused", res.program)
+        vector, rowwise = engine._kernels
+        calls = []
+        engine._kernels = (
+            lambda *a, _k=vector: (calls.append("vector"), _k(*a))[1],
+            lambda *a, _k=rowwise: (calls.append("rowwise"), _k(*a))[1],
+        )
+        expected_kernel = {
+            ROWWISE_MIN_WORDS - 1: "vector",
+            ROWWISE_MIN_WORDS: "rowwise",
+            ROWWISE_MIN_WORDS + 1: "rowwise",
+        }
+        for array_size, kernel_name in expected_kernel.items():
+            calls.clear()
+            stim = random_stimulus(graph, array_size=array_size, seed=2)
+            reference = evaluate_graph(graph, stim)
+            result = engine.run(stim)
+            for po, words in reference.items():
+                assert np.array_equal(result.outputs[po], words), (
+                    array_size, po,
+                )
+            assert calls == [kernel_name], (array_size, calls)
+
     def test_workspace_reused_per_shape(self):
         g = random_dag(5, 30, 2, seed=3)
         res = compile_ffcl(g, TINY)
