@@ -13,10 +13,16 @@ with no compilation and no lowering.
   and identity/provenance metadata (format version, producer, workload
   fingerprint, compile-pipeline id, metrics, self-verifying content
   fingerprint).  ``.lpa`` on disk.
-* :class:`ArtifactStore` — a content-addressed on-disk store; the disk
-  tier of :class:`~repro.serve.cache.ProgramCache` and
-  :class:`~repro.compiler.cache.PassCache`, making warm serve restarts
-  compile nothing.
+* :class:`StoreBackend` — the pluggable content-addressed blob-store
+  protocol every cache tier talks to, with three implementations:
+  :class:`DirectoryBackend` (= :class:`ArtifactStore`, the on-disk
+  store), :class:`MemoryStoreBackend` (in-process, for tests and
+  store-only fabric nodes), and :class:`HTTPStoreBackend` (a remote
+  store served by a fabric node, so a fleet of serve workers shares one
+  warm compile store).  Any backend plugs into
+  :class:`~repro.serve.cache.ProgramCache` and
+  :class:`~repro.compiler.cache.PassCache` as the disk tier, making
+  warm serve restarts compile nothing.
 * :mod:`~repro.artifact.codec` — the binary container encoding (JSON
   header + raw ``.npy`` tables, deterministic bytes, no pickle).
 
@@ -35,6 +41,7 @@ or from the CLI: ``repro compile block.v -o block.lpa``, then
 ``repro simulate --artifact block.lpa`` / ``repro inspect block.lpa``.
 """
 
+from .backends import HTTPStoreBackend, MemoryStoreBackend
 from .codec import ArtifactDecodeError
 from .format import (
     ARTIFACT_SUFFIX,
@@ -42,8 +49,16 @@ from .format import (
     FORMAT_VERSION,
     ArtifactError,
     ExecutableArtifact,
+    ProbeSet,
 )
-from .store import ArtifactStore, StoreEntry, StoreStats, store_key
+from .store import (
+    ArtifactStore,
+    DirectoryBackend,
+    StoreBackend,
+    StoreEntry,
+    StoreStats,
+    store_key,
+)
 
 __all__ = [
     "ARTIFACT_SUFFIX",
@@ -52,7 +67,12 @@ __all__ = [
     "ArtifactDecodeError",
     "ArtifactError",
     "ArtifactStore",
+    "DirectoryBackend",
     "ExecutableArtifact",
+    "HTTPStoreBackend",
+    "MemoryStoreBackend",
+    "ProbeSet",
+    "StoreBackend",
     "StoreEntry",
     "StoreStats",
     "store_key",

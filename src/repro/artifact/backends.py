@@ -1,0 +1,251 @@
+"""Store backends beyond the local directory: in-memory and HTTP.
+
+Two more :class:`~repro.artifact.store.StoreBackend` implementations:
+
+* :class:`MemoryStoreBackend` — an in-process dict-backed store.  The
+  test double for every store-wired code path, and the storage tier of a
+  store-only fabric node that keeps its blobs in RAM.
+* :class:`HTTPStoreBackend` — a client for the ``/v1/store`` endpoints a
+  :class:`~repro.serve.fabric.FabricNode` serves.  This is the fleet
+  story: one node (or a dedicated store node) owns the warm compile
+  store, and every other serve worker's
+  :class:`~repro.serve.cache.ProgramCache` resolves artifacts over the
+  wire instead of compiling — one compile feeds the whole fleet.
+
+The HTTP backend is deliberately forgiving: a store outage degrades to
+cache misses (the caller compiles locally) instead of taking serving
+down with it.  Transport failures are counted in ``transport_errors``
+and surfaced once as a warning.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import warnings
+from typing import List, Optional, Tuple
+from urllib.parse import quote, urlsplit
+
+from .format import ARTIFACT_SUFFIX
+from .store import StoreBackend, StoreStats
+
+__all__ = ["HTTPStoreBackend", "MemoryStoreBackend"]
+
+
+class MemoryStoreBackend(StoreBackend):
+    """An in-process, thread-safe, dict-backed blob store."""
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+        self._blobs: dict = {}
+        self._lock = threading.RLock()
+
+    def get_bytes(
+        self, key: str, suffix: str = ARTIFACT_SUFFIX
+    ) -> Optional[bytes]:
+        with self._lock:
+            data = self._blobs.get((key, suffix))
+            if data is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.bytes_read += len(data)
+            return data
+
+    def put_bytes(
+        self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX
+    ) -> str:
+        with self._lock:
+            self._blobs[(key, suffix)] = bytes(data)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+        return f"memory://{key}{suffix}"
+
+    def delete(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
+        with self._lock:
+            return self._blobs.pop((key, suffix), None) is not None
+
+    def keys(self, suffix: str = ARTIFACT_SUFFIX) -> List[str]:
+        with self._lock:
+            return sorted(k for k, s in self._blobs if s == suffix)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(data) for data in self._blobs.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blobs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryStoreBackend(entries={len(self._blobs)})"
+
+
+class HTTPStoreBackend(StoreBackend):
+    """A remote blob store spoken over the fabric ``/v1/store`` protocol.
+
+    Args:
+        base_url: the store root, e.g. ``http://10.0.0.5:8080/v1/store``
+            (a bare ``http://host:port`` is normalized to ``/v1/store``).
+        timeout: per-request socket timeout in seconds.
+
+    Protocol (implemented by :class:`repro.serve.fabric.FabricNode`):
+
+    * ``GET    {base}/{key}{suffix}`` → 200 blob bytes | 404
+    * ``PUT    {base}/{key}{suffix}`` ← blob bytes → 204
+    * ``DELETE {base}/{key}{suffix}`` → 204 | 404
+    * ``GET    {base}?suffix=.lpa``   → 200 ``{"keys": [...]}``
+
+    One persistent keep-alive connection is shared behind a lock (store
+    traffic is boot-time and compile-time, not per-request); a dropped
+    connection is re-dialed once per operation.  Network failures count
+    as misses on the read path and are swallowed (warned once, counted
+    in ``transport_errors``) on the write path, so a store outage never
+    takes serving down with it.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http":
+            raise ValueError(
+                f"HTTPStoreBackend speaks plain http, got {base_url!r}"
+            )
+        if parts.hostname is None:
+            raise ValueError(f"no host in store url {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        self.base_path = parts.path.rstrip("/") or "/v1/store"
+        self.timeout = timeout
+        self.stats = StoreStats()
+        self.transport_errors = 0
+        self._warned = False
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _blob_path(self, key: str, suffix: str) -> str:
+        return f"{self.base_path}/{quote(key, safe='')}{suffix}"
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        """One round trip on the shared connection (re-dialed once)."""
+        with self._lock:
+            for attempt in (0, 1):
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                try:
+                    self._conn.request(
+                        method,
+                        path,
+                        body=body,
+                        headers={"Content-Type": "application/octet-stream"}
+                        if body is not None
+                        else {},
+                    )
+                    response = self._conn.getresponse()
+                    data = response.read()
+                    return response.status, data
+                except (http.client.HTTPException, OSError):
+                    # A stale keep-alive connection is expected after the
+                    # server idles us out; one fresh dial per op is not.
+                    try:
+                        self._conn.close()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+                    self._conn = None
+                    if attempt:
+                        raise
+        raise OSError("unreachable")  # pragma: no cover - loop returns
+
+    def _transport_failure(self, op: str) -> None:
+        self.transport_errors += 1
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"artifact store at http://{self.host}:{self.port}"
+                f"{self.base_path} is unreachable ({op}); continuing "
+                "without the remote tier",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # ------------------------------------------------------------------
+    def get_bytes(
+        self, key: str, suffix: str = ARTIFACT_SUFFIX
+    ) -> Optional[bytes]:
+        try:
+            status, data = self._request(
+                "GET", self._blob_path(key, suffix)
+            )
+        except (http.client.HTTPException, OSError):
+            self._transport_failure("get")
+            self.stats.misses += 1
+            return None
+        if status != 200:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def put_bytes(
+        self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX
+    ) -> str:
+        path = self._blob_path(key, suffix)
+        try:
+            status, _ = self._request("PUT", path, body=bytes(data))
+        except (http.client.HTTPException, OSError):
+            self._transport_failure("put")
+            return f"http://{self.host}:{self.port}{path}"
+        if status in (200, 201, 204):
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+        else:
+            self._transport_failure(f"put -> {status}")
+        return f"http://{self.host}:{self.port}{path}"
+
+    def delete(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
+        try:
+            status, _ = self._request(
+                "DELETE", self._blob_path(key, suffix)
+            )
+        except (http.client.HTTPException, OSError):
+            self._transport_failure("delete")
+            return False
+        return status in (200, 204)
+
+    def keys(self, suffix: str = ARTIFACT_SUFFIX) -> List[str]:
+        import json
+
+        try:
+            status, data = self._request(
+                "GET", f"{self.base_path}?suffix={quote(suffix)}"
+            )
+        except (http.client.HTTPException, OSError):
+            self._transport_failure("list")
+            return []
+        if status != 200:
+            return []
+        try:
+            keys = json.loads(data.decode("utf-8")).get("keys", [])
+        except (ValueError, AttributeError):
+            return []
+        return sorted(str(key) for key in keys)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+                self._conn = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HTTPStoreBackend(http://{self.host}:{self.port}"
+            f"{self.base_path})"
+        )

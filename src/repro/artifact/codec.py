@@ -52,12 +52,14 @@ __all__ = [
     "decode_fanout",
     "decode_fused",
     "decode_graph",
+    "decode_probes",
     "decode_program",
     "decode_snapshot",
     "decode_trace",
     "encode_fanout",
     "encode_fused",
     "encode_graph",
+    "encode_probes",
     "encode_program",
     "encode_snapshot",
     "encode_trace",
@@ -804,6 +806,57 @@ def decode_fanout(
         consumer_offsets=consumer_offsets,
         consumer_gids=consumer_gids,
         dense=dense,
+    )
+
+
+# ----------------------------------------------------------------------
+# Probe-vector codec (an optional, format-v1-compatible section)
+# ----------------------------------------------------------------------
+def encode_probes(probes) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Encode an embedded :class:`~repro.artifact.format.ProbeSet`."""
+    header = {
+        "input_names": list(probes.input_names),
+        "output_names": list(probes.output_names),
+        "words": probes.words,
+        "seed": probes.seed,
+    }
+    arrays = {
+        "probe_inputs": probes.inputs.astype(np.uint64),
+        "probe_outputs": probes.outputs.astype(np.uint64),
+    }
+    return header, arrays
+
+
+def decode_probes(
+    header: Dict[str, object], arrays: Dict[str, np.ndarray]
+):
+    """Rebuild the embedded probe vectors (read-only arrays)."""
+    from .format import ProbeSet
+
+    inputs = arrays["probe_inputs"].astype(np.uint64)
+    outputs = arrays["probe_outputs"].astype(np.uint64)
+    input_names = tuple(str(name) for name in header["input_names"])
+    output_names = tuple(str(name) for name in header["output_names"])
+    if inputs.ndim != 2 or outputs.ndim != 2:
+        raise ArtifactDecodeError("probe vectors must be 2-D word stacks")
+    if inputs.shape[0] != len(input_names):
+        raise ArtifactDecodeError(
+            "probe inputs do not match their name table: "
+            f"{inputs.shape[0]} rows vs {len(input_names)} names"
+        )
+    if outputs.shape[0] != len(output_names):
+        raise ArtifactDecodeError(
+            "probe outputs do not match their name table: "
+            f"{outputs.shape[0]} rows vs {len(output_names)} names"
+        )
+    for array in (inputs, outputs):
+        array.setflags(write=False)
+    return ProbeSet(
+        input_names=input_names,
+        output_names=output_names,
+        inputs=inputs,
+        outputs=outputs,
+        seed=int(header.get("seed", 0)),
     )
 
 

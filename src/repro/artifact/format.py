@@ -27,7 +27,9 @@ and execute bit-identically to the in-memory compile on both engines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.codegen import Program
 from ..core.fanout import FanoutTables, adopt_fanout, build_fanout
@@ -38,10 +40,12 @@ from .codec import (
     content_fingerprint,
     decode_fanout,
     decode_fused,
+    decode_probes,
     decode_program,
     decode_trace,
     encode_fanout,
     encode_fused,
+    encode_probes,
     encode_program,
     encode_trace,
     pack_container,
@@ -54,6 +58,7 @@ __all__ = [
     "FORMAT_VERSION",
     "ArtifactError",
     "ExecutableArtifact",
+    "ProbeSet",
 ]
 
 #: container identification + compatibility gate.
@@ -66,6 +71,94 @@ ARTIFACT_SUFFIX = ".lpa"
 class ArtifactError(RuntimeError):
     """The bytes are not a loadable artifact (corrupt, wrong format, or an
     incompatible format version)."""
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """Packed probe vectors embedded in an artifact at package time.
+
+    A handful of random 64-sample words per primary input, paired with
+    the functional reference's expected outputs, captured while the
+    source netlist was still in hand.  A deployed artifact can then
+    prove end-to-end correctness on any box — ``repro inspect --verify``
+    replays the probes through a freshly booted engine and compares
+    bit-for-bit — with no source netlist and no compiler present.
+    An optional format-v1-compatible section, like the fanout tables.
+    """
+
+    #: PI names in stimulus-row order (row ``i`` of :attr:`inputs`).
+    input_names: Tuple[str, ...]
+    #: PO names in expected-row order (row ``i`` of :attr:`outputs`).
+    output_names: Tuple[str, ...]
+    #: ``(len(input_names), words)`` uint64 stimulus words.
+    inputs: np.ndarray
+    #: ``(len(output_names), words)`` uint64 expected output words.
+    outputs: np.ndarray
+    #: stimulus seed, for provenance.
+    seed: int = 0
+
+    @property
+    def words(self) -> int:
+        """Packed words per signal (64 independent samples each)."""
+        return int(self.inputs.shape[1])
+
+    @property
+    def samples(self) -> int:
+        return self.words * 64
+
+    def stimulus(self) -> Dict[str, np.ndarray]:
+        """The probe inputs as an engine-ready ``{pi: word array}``."""
+        return {
+            name: self.inputs[i]
+            for i, name in enumerate(self.input_names)
+        }
+
+    def expected(self) -> Dict[str, np.ndarray]:
+        """The reference outputs as ``{po: word array}``."""
+        return {
+            name: self.outputs[i]
+            for i, name in enumerate(self.output_names)
+        }
+
+    @classmethod
+    def generate(cls, graph, *, words: int = 2, seed: int = 0) -> "ProbeSet":
+        """Sample random stimulus and capture the functional reference's
+        response (engine-free: pure graph evaluation)."""
+        from ..lpu.functional import evaluate_graph, random_stimulus
+
+        if words < 1:
+            raise ValueError("probe sets need at least one packed word")
+        stimulus = random_stimulus(graph, array_size=words, seed=seed)
+        expected = evaluate_graph(graph, stimulus)
+        input_names = tuple(
+            graph.input_name(nid) for nid in graph.inputs
+        )
+        output_names = tuple(name for name, _ in graph.outputs)
+        inputs = (
+            np.stack([stimulus[name] for name in input_names])
+            if input_names
+            else np.zeros((0, words), dtype=np.uint64)
+        ).astype(np.uint64)
+        outputs = (
+            np.stack([expected[name] for name in output_names])
+            if output_names
+            else np.zeros((0, words), dtype=np.uint64)
+        ).astype(np.uint64)
+        for array in (inputs, outputs):
+            array.setflags(write=False)
+        return cls(
+            input_names=input_names,
+            output_names=output_names,
+            inputs=inputs,
+            outputs=outputs,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProbeSet(pis={len(self.input_names)}, "
+            f"pos={len(self.output_names)}, words={self.words})"
+        )
 
 
 @dataclass
@@ -87,6 +180,11 @@ class ExecutableArtifact:
     #: ``from_program(..., fanout=True)``; the delta engine derives them
     #: on the fly when absent.
     fanout: Optional[FanoutTables] = None
+    #: embedded input/output probe vectors (an optional v1-compatible
+    #: section): a few packed stimulus words plus the functional
+    #: reference's expected outputs, so ``repro inspect --verify`` can
+    #: prove end-to-end correctness with no source netlist present.
+    probes: Optional[ProbeSet] = None
     #: content fingerprint of the *source* logic graph (the workload
     #: identity every cache layer keys on).
     workload_fingerprint: str = ""
@@ -120,6 +218,8 @@ class ExecutableArtifact:
         fused: Optional[FusedProgram] = None,
         lower: bool = True,
         fanout: bool = False,
+        probe_words: int = 0,
+        probe_seed: int = 0,
         pipeline: str = "",
         metrics: Optional[Dict[str, object]] = None,
         workload_fingerprint: Optional[str] = None,
@@ -130,7 +230,10 @@ class ExecutableArtifact:
         are embedded).  ``fanout=True`` additionally embeds the delta
         engine's fanout/cone tables, so streaming deployments boot with
         zero cone analysis; the section is optional and ignored by
-        readers that predate it.
+        readers that predate it.  ``probe_words=N`` embeds ``N`` packed
+        stimulus words per primary input plus the functional reference's
+        expected outputs (another optional section), enabling
+        ``repro inspect --verify`` on boxes without the source netlist.
 
         ``workload_fingerprint`` is the *source* graph's content
         fingerprint when known (the identity every cache layer keys on);
@@ -162,6 +265,13 @@ class ExecutableArtifact:
             trace=trace,
             fused=fused,
             fanout=build_fanout(fused) if fanout else None,
+            probes=(
+                ProbeSet.generate(
+                    program.graph, words=probe_words, seed=probe_seed
+                )
+                if probe_words
+                else None
+            ),
             workload_fingerprint=(
                 workload_fingerprint
                 if workload_fingerprint is not None
@@ -182,6 +292,8 @@ class ExecutableArtifact:
         trace: Optional[TraceProgram] = None,
         lower: bool = True,
         fanout: bool = False,
+        probe_words: int = 0,
+        probe_seed: int = 0,
     ) -> "ExecutableArtifact":
         """Package a :class:`~repro.core.compiler.CompileResult`."""
         from ..compiler.cache import graph_fingerprint
@@ -199,6 +311,8 @@ class ExecutableArtifact:
             trace=trace,
             lower=lower,
             fanout=fanout,
+            probe_words=probe_words,
+            probe_seed=probe_seed,
             pipeline=pipeline,
             metrics=result.metrics.as_dict() if result.metrics else None,
             workload_fingerprint=graph_fingerprint(result.source),
@@ -233,6 +347,12 @@ class ExecutableArtifact:
             arrays.update(fanout_arrays)
         else:
             header["fanout"] = None
+        if self.probes is not None:
+            probe_header, probe_arrays = encode_probes(self.probes)
+            header["probes"] = probe_header
+            arrays.update(probe_arrays)
+        else:
+            header["probes"] = None
         return header, arrays
 
     def _refresh_fingerprint(self) -> str:
@@ -245,7 +365,7 @@ class ExecutableArtifact:
         (memoized: repeated calls encode once)."""
         cached = self._encoded
         embedded = (self.trace is not None, self.fused is not None,
-                    self.fanout is not None)
+                    self.fanout is not None, self.probes is not None)
         if cached is not None and cached[0] == embedded:
             return cached[1]
         header, arrays = self._encode()
@@ -309,11 +429,20 @@ class ExecutableArtifact:
                 raise ArtifactError(
                     f"undecodable artifact: {exc}"
                 ) from exc
+        probes = None
+        if header.get("probes") is not None:
+            try:
+                probes = decode_probes(dict(header["probes"]), arrays)
+            except (ArtifactDecodeError, KeyError, ValueError) as exc:
+                raise ArtifactError(
+                    f"undecodable artifact: {exc}"
+                ) from exc
         return cls(
             program=program,
             trace=trace,
             fused=fused,
             fanout=fanout,
+            probes=probes,
             workload_fingerprint=str(header.get("workload_fingerprint", "")),
             pipeline=str(header.get("pipeline", "")),
             producer=str(header.get("producer", "")),
@@ -370,6 +499,42 @@ class ExecutableArtifact:
         return Session(
             self, engine=engine if engine is not None else DEFAULT_ENGINE
         )
+
+    def verify_probes(
+        self, *, engine: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Replay the embedded probe vectors through a fresh engine and
+        compare bit-for-bit against the packaged reference outputs.
+
+        Returns a JSON-able report (``passed``, the engine used, the
+        probe shape, and any mismatching output names).  Raises
+        :class:`ArtifactError` when the artifact carries no probes —
+        callers that want a fallback should check :attr:`probes` first.
+        """
+        if self.probes is None:
+            raise ArtifactError(
+                "artifact carries no probe vectors; package with "
+                "probe_words > 0 (CLI: repro compile --probe-words N)"
+            )
+        session = self.session(engine=engine)
+        result = session.run(self.probes.stimulus())
+        expected = self.probes.expected()
+        mismatches = [
+            name
+            for name in self.probes.output_names
+            if not np.array_equal(
+                np.asarray(result.outputs[name], dtype=np.uint64),
+                expected[name],
+            )
+        ]
+        return {
+            "passed": not mismatches,
+            "engine": session.engine_name,
+            "probe_words": self.probes.words,
+            "probe_samples": self.probes.samples,
+            "outputs_checked": len(self.probes.output_names),
+            "mismatches": mismatches,
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -438,6 +603,13 @@ class ExecutableArtifact:
                 "rows": self.fanout.num_rows,
                 "instructions": self.fanout.num_instructions,
                 "consumer_edges": len(self.fanout.consumer_gids),
+            },
+            "probes": None
+            if self.probes is None
+            else {
+                "words": self.probes.words,
+                "samples": self.probes.samples,
+                "seed": self.probes.seed,
             },
             "metrics": self.metrics,
         }

@@ -1,20 +1,31 @@
-"""The on-disk artifact store: content-addressed executable caching.
+"""Content-addressed artifact storage: the backend protocol + disk store.
 
-An :class:`ArtifactStore` is a directory of immutable blobs keyed by hex
-content fingerprints — the disk tier behind
+A :class:`StoreBackend` is the pluggable blob tier every cache layer
+talks to: content-addressed bytes behind get/put/list/delete, plus a
+concrete executable tier (:meth:`StoreBackend.get` /
+:meth:`StoreBackend.put`) that decodes/encodes
+:class:`~repro.artifact.format.ExecutableArtifact` blobs with corruption
+handling.  :class:`ArtifactStore` (alias :data:`DirectoryBackend`) is the
+on-disk implementation — the disk tier behind
 :class:`~repro.serve.cache.ProgramCache` (whole executables, ``.lpa``)
 and :class:`~repro.compiler.cache.PassCache` (per-pass snapshots).  A
 warm store survives process exit, so a cold serve restart resolves its
-workloads entirely from disk and performs zero compile passes.
+workloads entirely from disk and performs zero compile passes.  The
+sibling :mod:`repro.artifact.backends` module adds an in-process
+:class:`~repro.artifact.backends.MemoryStoreBackend` and a fleet-facing
+:class:`~repro.artifact.backends.HTTPStoreBackend`, so a fleet of serve
+workers can share one warm compile store over the wire.
 
-Writes are atomic (temp file + ``os.replace``), reads are verified
-(corrupt or truncated blobs count as misses and are quarantined out of
-the way rather than crashing the caller), and keys are namespaced by the
-caller (``prog-…``, ``pass-…``) so the one store serves every tier.
+Directory-store writes are atomic (temp file + ``os.replace``), reads
+are verified (corrupt or truncated blobs count as misses and are
+quarantined out of the way rather than crashing the caller), and keys
+are namespaced by the caller (``prog-…``, ``pass-…``) so the one store
+serves every tier.
 """
 
 from __future__ import annotations
 
+import abc
 import os
 import re
 import secrets
@@ -25,7 +36,14 @@ from typing import Dict, List, Optional
 
 from .format import ARTIFACT_SUFFIX, ArtifactError, ExecutableArtifact
 
-__all__ = ["ArtifactStore", "StoreEntry", "StoreStats", "store_key"]
+__all__ = [
+    "ArtifactStore",
+    "DirectoryBackend",
+    "StoreBackend",
+    "StoreEntry",
+    "StoreStats",
+    "store_key",
+]
 
 _KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,200}$")
 
@@ -115,8 +133,82 @@ class StoreEntry:
         )
 
 
+class StoreBackend(abc.ABC):
+    """The pluggable content-addressed blob store behind every cache tier.
+
+    A backend stores immutable bytes under caller-chosen keys (hex
+    content fingerprints by convention) with a dotted ``suffix``
+    namespacing the blob kind (``.lpa`` executables, ``.snap`` pass
+    snapshots).  Implementations provide the four raw-bytes primitives —
+    :meth:`get_bytes`, :meth:`put_bytes`, :meth:`delete`, :meth:`keys` —
+    and inherit the executable tier (:meth:`get`/:meth:`put`, decoding
+    and encoding :class:`ExecutableArtifact` blobs with corrupt blobs
+    counted and discarded instead of crashing the caller).
+
+    Every implementation keeps a :class:`StoreStats` in ``stats``.
+    Backends must tolerate concurrent readers and writers of one key:
+    the program cache explicitly allows racing misses.
+    """
+
+    stats: StoreStats
+
+    # -- raw blob tier (implementations) --------------------------------
+    @abc.abstractmethod
+    def get_bytes(
+        self, key: str, suffix: str = ARTIFACT_SUFFIX
+    ) -> Optional[bytes]:
+        """One blob's bytes, or None (counted as a miss) when absent."""
+
+    @abc.abstractmethod
+    def put_bytes(
+        self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX
+    ) -> str:
+        """Store one blob; returns a backend-specific locator string."""
+
+    @abc.abstractmethod
+    def delete(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
+        """Remove one blob; True when something was deleted."""
+
+    @abc.abstractmethod
+    def keys(self, suffix: str = ARTIFACT_SUFFIX) -> List[str]:
+        """Keys of every stored blob with ``suffix``, sorted."""
+
+    # -- shared surface --------------------------------------------------
+    def contains(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
+        return key in self.keys(suffix)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- executable tier -------------------------------------------------
+    def put(self, key: str, artifact: ExecutableArtifact) -> str:
+        """Store one executable artifact under ``key``."""
+        return self.put_bytes(key, artifact.to_bytes())
+
+    def get(self, key: str) -> Optional[ExecutableArtifact]:
+        """Load one executable, or None on a miss *or* a corrupt blob
+        (discarded — quarantined by backends that support it — so the
+        slot can be rewritten cleanly)."""
+        data = self.get_bytes(key)
+        if data is None:
+            return None
+        try:
+            return ExecutableArtifact.from_bytes(data)
+        except ArtifactError:
+            self.stats.corrupt += 1
+            self._discard_corrupt(key)
+            return None
+
+    def _discard_corrupt(self, key: str) -> None:
+        """Drop a blob that failed decoding (backends may quarantine)."""
+        try:
+            self.delete(key)
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+
 @dataclass
-class ArtifactStore:
+class ArtifactStore(StoreBackend):
     """A directory of content-addressed artifact blobs.
 
     Args:
@@ -193,23 +285,19 @@ class ArtifactStore:
     def contains(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
         return os.path.exists(self.path_for(key, suffix))
 
-    # -- executable tier ------------------------------------------------
-    def put(self, key: str, artifact: ExecutableArtifact) -> str:
-        """Store one executable artifact under ``key``."""
-        return self.put_bytes(key, artifact.to_bytes())
-
-    def get(self, key: str) -> Optional[ExecutableArtifact]:
-        """Load one executable, or None on a miss *or* a corrupt blob
-        (quarantined aside so the slot can be rewritten cleanly)."""
-        data = self.get_bytes(key)
-        if data is None:
-            return None
+    def delete(self, key: str, suffix: str = ARTIFACT_SUFFIX) -> bool:
+        """Remove one blob; True when something was deleted."""
         try:
-            return ExecutableArtifact.from_bytes(data)
-        except ArtifactError:
-            self.stats.corrupt += 1
-            self._quarantine(self.path_for(key))
-            return None
+            os.unlink(self.path_for(key, suffix))
+        except OSError:
+            return False
+        return True
+
+    # -- executable tier ------------------------------------------------
+    def _discard_corrupt(self, key: str) -> None:
+        # Quarantine instead of deleting: the bad bytes stay on disk for
+        # post-mortems while the slot itself can be rewritten cleanly.
+        self._quarantine(self.path_for(key))
 
     def _quarantine(self, path: str) -> None:
         try:
@@ -353,3 +441,9 @@ class ArtifactStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore(root={self.root!r}, entries={len(self)})"
+
+
+#: The stable backend-protocol name of the on-disk store: construct a
+#: ``DirectoryBackend(root)`` wherever a :class:`StoreBackend` is wanted
+#: and the blobs should live on the local filesystem.
+DirectoryBackend = ArtifactStore

@@ -4,8 +4,12 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.cli compile block.v --lpvs 16 --lpes 32 [--json]
     python -m repro.cli compile block.v --pipeline no-merge --explain-passes
-    python -m repro.cli compile block.v -o block.lpa
-    python -m repro.cli inspect block.lpa [--json]
+    python -m repro.cli compile block.v -o block.lpa [--probe-words 4]
+    python -m repro.cli inspect block.lpa [--json] [--verify]
+    python -m repro.cli serve block.v --workers 4 --port 8080
+    python -m repro.cli serve --artifact block.lpa --store-url http://a:8080/v1/store
+    python -m repro.cli load-bench block.v --requests 512 --clients 8
+    python -m repro.cli load-bench --url http://127.0.0.1:8080 block.v
     python -m repro.cli simulate block.v --seed 7 --engine trace
     python -m repro.cli simulate --artifact block.lpa --engine trace
     python -m repro.cli throughput block.v --array-size 256 --batches 16
@@ -23,10 +27,21 @@ FPS); ``--pipeline`` selects a named compile pipeline (``paper``,
 ``no-merge``, ``metrics-only``) or a custom comma-separated pass list, and
 ``--explain-passes`` appends the per-pass wall-time/size report.
 ``-o/--output`` additionally writes the compiled executable as an
-ahead-of-time ``.lpa`` artifact (:mod:`repro.artifact`); ``inspect``
-prints an artifact's metadata, and ``simulate``/``serve-bench`` accept
+ahead-of-time ``.lpa`` artifact (:mod:`repro.artifact`) with embedded
+probe vectors (``--probe-words``, default 2); ``inspect``
+prints an artifact's metadata (``--verify`` replays the embedded probes
+through a fresh engine, falling back to a functional cross-check when
+none are packaged), and ``simulate``/``serve-bench`` accept
 ``--artifact`` in place of a netlist to run a previously compiled
 executable with zero compilation.
+``serve`` boots a network-addressable fabric node
+(:mod:`repro.serve.fabric`): an asyncio HTTP front-end with admission
+control over the batched serving stack, plus a ``/v1/store`` artifact
+endpoint so further nodes warm-boot from it with zero compile passes
+(``--store-url`` points a cold node at a warm one).  ``load-bench``
+drives such a node with concurrent closed- or open-loop clients and
+reports saturation req/s, p50/p99 latency, and the speedup over
+single-process in-process serving, verifying bit-identical results.
 ``passes`` prints that per-pass report on its own (``--list`` enumerates
 the registered passes and named pipelines without compiling anything).
 ``simulate`` additionally executes the program on the selected
@@ -77,7 +92,7 @@ from .core.schedule import schedule_summary
 from .engine import SAMPLES_PER_WORD, Session, available_engines
 from .lpu import cross_check, random_stimulus
 from .netlist import parse_bench, parse_verilog
-from .serve import run_serve_bench, run_stream_bench
+from .serve import ServeConfig, run_serve_bench, run_stream_bench
 from .serve.pool import BACKENDS, PLACEMENTS
 
 
@@ -199,13 +214,19 @@ def cmd_compile(args: argparse.Namespace) -> int:
     if args.output:
         if not _require_program(result, args):
             return 2
-        artifact = result.to_artifact(fanout=args.embed_fanout)
+        probe_words = (
+            args.probe_words if args.probe_words is not None else 2
+        )
+        artifact = result.to_artifact(
+            fanout=args.embed_fanout, probe_words=probe_words
+        )
         path = artifact.save(args.output)
         artifact_info = {
             "path": path,
             "bytes": len(artifact.to_bytes()),
             "fingerprint": artifact.fingerprint,
             "workload_fingerprint": artifact.workload_fingerprint,
+            "probe_words": probe_words,
         }
     if args.json:
         data = dict(result.metrics.as_dict())
@@ -229,12 +250,36 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_artifact(artifact, args: argparse.Namespace):
+    """``inspect --verify``: probe replay, or functional cross-check
+    when the artifact packages no probes.  Returns a JSON-able report
+    with a ``"passed"`` verdict."""
+    if artifact.probes is not None:
+        report = artifact.verify_probes()
+        report["method"] = "probe-replay"
+        return report
+    ok, _outputs, _ref = cross_check(artifact.program, seed=0)
+    return {
+        "method": "functional-cross-check",
+        "passed": bool(ok),
+        "engine": "cycle",
+        "note": "artifact embeds no probe vectors; recompile with "
+        "--probe-words to package replayable known-answer tests",
+    }
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     artifact = ExecutableArtifact.load(args.artifact)
     summary = artifact.summary()
+    verification = _verify_artifact(artifact, args) if args.verify else None
     if args.json:
+        if verification is not None:
+            summary = dict(summary)
+            summary["verification"] = verification
         print(json.dumps(summary, indent=2, sort_keys=True))
-        return 0
+        return (
+            0 if verification is None or verification["passed"] else 1
+        )
     graph = summary["graph"]
     schedule = summary["schedule"]
     program = summary["program"]
@@ -290,6 +335,35 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             f"{fanout['consumer_edges']} consumer edges (embedded; delta "
             f"engine boots with zero cone analysis)"
         )
+    probes = summary.get("probes")
+    if probes is None:
+        print("probes:    not embedded (inspect --verify falls back to "
+              "a functional cross-check)")
+    else:
+        print(
+            f"probes:    {probes['words']} words ({probes['samples']} "
+            f"samples, seed {probes['seed']}) of known-answer vectors"
+        )
+    if verification is not None:
+        verdict = "PASSED" if verification["passed"] else "FAILED"
+        if verification["method"] == "probe-replay":
+            print(
+                f"verify:    {verdict} — replayed "
+                f"{verification['probe_samples']} probe samples through "
+                f"the {verification['engine']} engine "
+                f"({verification['outputs_checked']} outputs checked)"
+            )
+            if verification["mismatches"]:
+                print(
+                    "           mismatched outputs: "
+                    + ", ".join(verification["mismatches"])
+                )
+        else:
+            print(
+                f"verify:    {verdict} — {verification['method']} "
+                f"({verification['note']})"
+            )
+        return 0 if verification["passed"] else 1
     return 0
 
 
@@ -543,6 +617,158 @@ def cmd_stream_bench(args: argparse.Namespace) -> int:
     return 0 if report["bit_identical"] else 1
 
 
+def _serving_source(args: argparse.Namespace):
+    """(source, config) for the fabric commands.
+
+    Unlike :func:`_resolve_program` this does **not** compile a netlist
+    here — the graph goes to the node's program cache, so a node wired
+    to a warm store (``--store-url``) resolves the compiled artifact
+    over the wire with zero local compile passes.
+    """
+    if args.artifact is not None:
+        return ExecutableArtifact.load(args.artifact), None
+    if args.netlist is None:
+        raise SystemExit(
+            "error: either a netlist or --artifact FILE is required"
+        )
+    return _load_graph(args.netlist), _config(args)
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    store = None
+    if getattr(args, "store", None) is not None:
+        store = ArtifactStore(args.store)
+    elif getattr(args, "store_url", None) is not None:
+        from .artifact import HTTPStoreBackend
+
+        store = HTTPStoreBackend(args.store_url)
+    compile_options = {}
+    if args.artifact is None:
+        compile_options = {
+            "merge": not args.no_merge,
+            "policy": args.policy,
+            "pipeline": getattr(args, "pipeline", None),
+        }
+    return ServeConfig(
+        engine=args.engine,
+        num_workers=args.workers,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        placement=args.placement,
+        backend=args.backend,
+        share_tables=args.share_tables,
+        store=store,
+        compile_options=compile_options,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.fabric import FabricConfig, FabricNode
+
+    source, config = _serving_source(args)
+    node = FabricNode(
+        source,
+        config,
+        serving=_serve_config(args),
+        fabric=FabricConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+            serve_store=not args.no_store,
+            verify_artifacts=args.verify_artifacts,
+        ),
+    )
+    node.start()
+    try:
+        cache = node.stats()["server"]["cache"]
+        boot = (
+            "warm boot (artifact from store, zero compile passes)"
+            if cache["disk_hits"] > 0
+            else "cold boot (compiled locally)"
+        )
+        print(f"fabric node ready at {node.url}")
+        print(
+            f"  graph {node.server.graph.name}, engine "
+            f"{node.server.engine_name}, {args.workers} "
+            f"{args.backend} worker(s); {boot}"
+        )
+        if not args.no_store:
+            print(f"  artifact store served at {node.store_url}")
+        print("  Ctrl-C to stop")
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("stopping")
+        return 0
+    finally:
+        node.stop()
+
+
+def cmd_load_bench(args: argparse.Namespace) -> int:
+    from .serve.fabric import FabricConfig, run_load_bench
+
+    source, config = _serving_source(args)
+    report = run_load_bench(
+        source,
+        config,
+        serving=_serve_config(args),
+        fabric=FabricConfig(
+            max_inflight=args.max_inflight,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+        ),
+        url=args.url,
+        requests=args.requests,
+        clients=args.clients,
+        array_size=args.array_size,
+        seed=args.seed,
+        mode=args.mode,
+        target_rps=args.target_rps,
+        wire=args.wire,
+        baseline=not args.no_baseline,
+        verify=not args.no_verify,
+    )
+    report["netlist"] = args.netlist
+    report["artifact"] = args.artifact
+    ok = report["bit_identical"] is not False
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    fab = report["fabric"]
+    loop_desc = (
+        f"open loop @ {args.target_rps:g} req/s"
+        if args.mode == "open"
+        else "closed loop"
+    )
+    print(
+        f"load-bench: {args.requests} requests x "
+        f"{report['samples_per_request']} samples, {args.clients} "
+        f"client(s), {loop_desc}, {args.wire} wire"
+    )
+    print(
+        f"  fabric : {fab['requests_per_second']:>12,.0f} req/s  "
+        f"p50 {fab['latency_p50_ms']:.2f}ms  "
+        f"p99 {fab['latency_p99_ms']:.2f}ms  "
+        f"({fab['rejections']} rejections)"
+    )
+    baseline = report["baseline_single_process"]
+    if baseline is not None:
+        print(
+            f"  single : {baseline['requests_per_second']:>12,.0f} req/s "
+            f"(in-process, 1 worker)"
+        )
+        print(
+            f"  speedup {report['speedup_vs_single_process']:.2f}x over "
+            f"single-process serve on {report['cpu_count']} core(s), "
+            f"bit-identical: {report['bit_identical']}"
+        )
+    else:
+        print(f"  bit-identical: {report['bit_identical']}")
+    return 0 if ok else 1
+
+
 _SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
 
 
@@ -701,6 +927,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed the delta engine's fanout/cone tables in the .lpa "
         "artifact (streaming deployments boot with zero cone analysis)",
     )
+    p_compile.add_argument(
+        "--probe-words",
+        type=int,
+        default=None,
+        metavar="N",
+        help="words of known-answer probe vectors to embed in the .lpa "
+        "artifact (64 samples each; replayed by 'inspect --verify' and "
+        "at fabric store-upload time; default 2 when -o is given, 0 "
+        "disables)",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_inspect = sub.add_parser(
@@ -709,6 +945,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("artifact", help=".lpa executable artifact file")
     p_inspect.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
+    )
+    p_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the embedded probe vectors through a fresh engine "
+        "(falls back to a functional cross-check when the artifact "
+        "packages none); exit 1 on mismatch",
     )
     p_inspect.set_defaults(func=cmd_inspect)
 
@@ -842,6 +1085,137 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit measurements as JSON"
     )
     p_stream.set_defaults(func=cmd_stream_bench)
+
+    def _add_fabric_serving(p: argparse.ArgumentParser) -> None:
+        _add_common(p, netlist_optional=True)
+        _add_artifact_source(p)
+        _add_engine(p, default="fused")
+        p.add_argument(
+            "--workers", type=_positive_int, default=2,
+            help="engine workers in the node's serving pool",
+        )
+        p.add_argument(
+            "--backend", choices=BACKENDS, default="thread",
+            help="worker backend",
+        )
+        p.add_argument(
+            "--placement", choices=PLACEMENTS, default="round_robin",
+            help="worker placement policy",
+        )
+        p.add_argument(
+            "--max-batch", type=_positive_int, default=32,
+            help="max requests coalesced into one engine run",
+        )
+        p.add_argument(
+            "--max-wait-ms", type=float, default=1.0,
+            help="micro-batching deadline for a non-full batch",
+        )
+        p.add_argument(
+            "--share-tables", action="store_true",
+            help="map fused tables into one shared-memory arena across "
+            "spawn workers (one copy instead of N)",
+        )
+        p.add_argument(
+            "--max-inflight", type=_positive_int, default=64,
+            help="node-wide admission cap on in-flight requests "
+            "(beyond it: HTTP 503)",
+        )
+        p.add_argument(
+            "--client-rate", type=float, default=None, metavar="RPS",
+            help="per-client admission rate (token bucket; beyond it: "
+            "HTTP 429 with Retry-After); default unlimited",
+        )
+        p.add_argument(
+            "--client-burst", type=float, default=8.0,
+            help="per-client token-bucket burst reserve",
+        )
+
+    p_fserve = sub.add_parser(
+        "serve",
+        help="boot a fabric node: async HTTP inference front-end + "
+        "shared artifact store",
+    )
+    _add_fabric_serving(p_fserve)
+    p_fserve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_fserve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 picks a free one and prints it)",
+    )
+    p_fserve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="back the node's artifact store with this directory "
+        "(default: in-memory)",
+    )
+    p_fserve.add_argument(
+        "--store-url", metavar="URL", default=None,
+        help="resolve compiled artifacts from another node's "
+        "/v1/store (warm boot: zero compile passes when the "
+        "workload is already stored)",
+    )
+    p_fserve.add_argument(
+        "--no-store", action="store_true",
+        help="do not serve this node's store at /v1/store",
+    )
+    p_fserve.add_argument(
+        "--verify-artifacts", action="store_true",
+        help="replay embedded probe vectors before accepting .lpa "
+        "uploads into the store (reject corrupt artifacts with 422)",
+    )
+    p_fserve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "load-bench",
+        help="drive a fabric node with concurrent clients; report "
+        "saturation req/s, p50/p99 latency, speedup vs single-process",
+    )
+    _add_fabric_serving(p_load)
+    p_load.add_argument(
+        "--url", default=None, metavar="URL",
+        help="aim at an already-running node instead of booting one "
+        "(the netlist/artifact is still used for stimuli and the "
+        "baseline)",
+    )
+    p_load.add_argument(
+        "--requests", type=_positive_int, default=256,
+        help="inference requests to issue",
+    )
+    p_load.add_argument(
+        "--clients", type=_positive_int, default=4,
+        help="concurrent client connections",
+    )
+    p_load.add_argument(
+        "--array-size", type=_positive_int, default=2,
+        help="uint64 words per primary input per request (64 samples "
+        "each)",
+    )
+    p_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (saturation) or open loop (fixed offered "
+        "rate; needs --target-rps)",
+    )
+    p_load.add_argument(
+        "--target-rps", type=float, default=None,
+        help="offered request rate for --mode open",
+    )
+    p_load.add_argument(
+        "--wire", choices=("binary", "json"), default="binary",
+        help="wire format clients speak",
+    )
+    p_load.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the single-process in-process serve() comparison",
+    )
+    p_load.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bit-identity check against direct execution",
+    )
+    p_load.add_argument("--seed", type=int, default=0, help="stimulus seed")
+    p_load.add_argument(
+        "--json", action="store_true", help="emit measurements as JSON"
+    )
+    p_load.set_defaults(func=cmd_load_bench)
 
     p_store = sub.add_parser(
         "store",

@@ -126,8 +126,11 @@ class PassCache:
         capacity: maximum retained pass applications (each entry is one
             pass's output snapshot, so a 13-pass pipeline occupies 13
             entries when fully cached).
-        store: optional :class:`~repro.artifact.store.ArtifactStore` disk
-            tier.  Memory misses fall through to disk, and stored
+        store: optional :class:`~repro.artifact.store.StoreBackend` blob
+            tier (a directory store, an in-process memory backend, or a
+            remote HTTP store — anything speaking
+            ``get_bytes``/``put_bytes``).
+            Memory misses fall through to it, and stored
             snapshots are persisted whenever the zero-pickle snapshot
             codec can encode them (scalars, logic graphs, levelizations,
             flat report dataclasses — i.e. every pre-processing pass and

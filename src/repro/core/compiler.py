@@ -68,7 +68,14 @@ class CompileResult:
     def balanced(self) -> LogicGraph:
         return self.preprocess.graph
 
-    def to_artifact(self, *, lower: bool = True, fanout: bool = False):
+    def to_artifact(
+        self,
+        *,
+        lower: bool = True,
+        fanout: bool = False,
+        probe_words: int = 0,
+        probe_seed: int = 0,
+    ):
         """Package this compile as a serializable
         :class:`~repro.artifact.format.ExecutableArtifact` (memoized).
 
@@ -76,14 +83,22 @@ class CompileResult:
         artifact; the trace engine then lowers on first use).
         ``fanout=True`` additionally embeds the delta engine's
         fanout/cone tables for zero-analysis streaming boots.
+        ``probe_words>0`` embeds that many words of probe vectors —
+        known stimulus/response pairs replayable with ``repro inspect
+        --verify`` (or at store-upload time) to prove the packaged
+        executable still computes its function.
         """
         if self.artifact is None or (
             fanout and self.artifact.fanout is None
-        ):
+        ) or (probe_words > 0 and self.artifact.probes is None):
             from ..artifact.format import ExecutableArtifact
 
             self.artifact = ExecutableArtifact.from_compile(
-                self, lower=lower, fanout=fanout
+                self,
+                lower=lower,
+                fanout=fanout,
+                probe_words=probe_words,
+                probe_seed=probe_seed,
             )
         return self.artifact
 

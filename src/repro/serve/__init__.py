@@ -32,6 +32,7 @@ from .cache import (
     disk_key,
     graph_fingerprint,
 )
+from .config import ServeConfig, resolve_serving
 from .pool import BACKENDS, PLACEMENTS, WorkerPool
 from .scheduler import BatchScheduler, SchedulerStats
 from .server import InferenceServer, naive_serve, serve
@@ -52,6 +53,7 @@ __all__ = [
     "InferenceServer",
     "ProgramCache",
     "SchedulerStats",
+    "ServeConfig",
     "StreamSession",
     "StreamingServer",
     "WorkerPool",
@@ -60,6 +62,7 @@ __all__ = [
     "graph_fingerprint",
     "make_stream",
     "naive_serve",
+    "resolve_serving",
     "run_serve_bench",
     "run_stream_bench",
     "serve",

@@ -28,41 +28,48 @@ from ..artifact.format import ExecutableArtifact
 from ..core.codegen import Program
 from ..core.config import LPUConfig
 from ..engine.base import SAMPLES_PER_WORD
-from ..engine.session import DEFAULT_ENGINE, Session
+from ..engine.session import Session
 from ..lpu.functional import random_stimulus
 from ..netlist.graph import LogicGraph
-from .cache import ProgramCache, default_program_cache
+from .config import ServeConfig, resolve_serving
 from .server import InferenceServer
 
 __all__ = ["run_serve_bench"]
+
+#: the bench's historical serving defaults (tighter batching deadline,
+#: two workers) — applied when no explicit ``serving=`` is given.
+_BENCH_DEFAULTS = {"num_workers": 2, "max_wait_ms": 1.0}
 
 
 def run_serve_bench(
     source: Union[LogicGraph, Program, "ExecutableArtifact"],
     config: Optional[LPUConfig] = None,
     *,
-    engine: str = DEFAULT_ENGINE,
+    serving: Optional[ServeConfig] = None,
     requests: int = 256,
     array_size: int = 2,
     clients: int = 8,
-    num_workers: int = 2,
-    max_batch_size: int = 32,
-    max_wait_ms: float = 1.0,
-    placement: str = "round_robin",
-    backend: str = "thread",
     seed: int = 0,
     verify: bool = True,
-    cache: Optional[ProgramCache] = None,
-    **compile_kwargs,
+    **kwargs,
 ) -> Dict[str, object]:
     """Measure served vs. naive throughput; returns a JSON-able report."""
     if requests < 1:
         raise ValueError("requests must be >= 1")
     if clients < 1:
         raise ValueError("clients must be >= 1")
-    cache = cache if cache is not None else default_program_cache()
+    serving, compile_options = resolve_serving(
+        serving, kwargs, defaults=_BENCH_DEFAULTS
+    )
+    engine = serving.engine
+    cache = serving.resolve_cache()
+    # Pin the resolved cache and merged compile options so the server
+    # below resolves through the same entry (a guaranteed cache hit).
+    serving = serving.replace(
+        cache=cache, compile_options=dict(compile_options)
+    )
     entry = cache.get_or_compile(
-        source, config, engine=engine, **compile_kwargs
+        source, config, engine=engine, **compile_options
     )
     program = entry.program
     graph = program.graph
@@ -81,18 +88,7 @@ def run_serve_bench(
     # Served: concurrent open-loop clients over one InferenceServer.
     # The original source goes back through the cache (a guaranteed hit)
     # so artifact-backed entries keep their bytes for spawn workers.
-    server = InferenceServer(
-        source,
-        config,
-        engine=engine,
-        num_workers=num_workers,
-        max_batch_size=max_batch_size,
-        max_wait_ms=max_wait_ms,
-        placement=placement,
-        backend=backend,
-        cache=cache,
-        **compile_kwargs,
-    )
+    server = InferenceServer(source, config, serving=serving)
     try:
         server.infer(stimuli[0])  # warm-up
 
@@ -132,11 +128,11 @@ def run_serve_bench(
         "array_size": array_size,
         "samples_per_request": SAMPLES_PER_WORD * array_size,
         "clients": clients,
-        "num_workers": num_workers,
-        "max_batch_size": max_batch_size,
-        "max_wait_ms": max_wait_ms,
-        "placement": placement,
-        "backend": backend,
+        "num_workers": serving.num_workers,
+        "max_batch_size": serving.max_batch_size,
+        "max_wait_ms": serving.max_wait_ms,
+        "placement": serving.placement,
+        "backend": serving.backend,
         "macro_cycles_per_run": program.schedule.makespan,
         "naive": {
             "seconds": naive_seconds,

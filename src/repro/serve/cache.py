@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
 from ..artifact.format import ExecutableArtifact
-from ..artifact.store import ArtifactStore, store_key
+from ..artifact.store import StoreBackend, store_key
 from ..compiler.cache import PassCache, graph_fingerprint
 from ..compiler.pipelines import pipeline_from_options, pipeline_id
 from ..core.codegen import Program
@@ -136,20 +136,25 @@ class ProgramCache:
             common pass prefix even though they occupy separate program
             entries.  An injected cache is treated as shared: ``clear()``
             leaves it alone.
-        store: optional :class:`~repro.artifact.store.ArtifactStore` disk
-            tier.  Memory misses for graph sources fall through to the
-            store (loading a serialized executable instead of compiling —
-            zero compile passes), and compile misses write their artifact
-            back, so a *new process* pointed at a warm store resolves its
-            workloads without compiling anything.  When the cache owns its
-            pass cache, the store also becomes the pass cache's disk tier.
+        store: optional :class:`~repro.artifact.store.StoreBackend`
+            blob-store tier — a :class:`~repro.artifact.store.
+            DirectoryBackend` directory, an in-process
+            :class:`~repro.artifact.backends.MemoryStoreBackend`, or a
+            remote :class:`~repro.artifact.backends.HTTPStoreBackend`
+            shared by a fleet.  Memory misses for graph sources fall
+            through to the store (loading a serialized executable instead
+            of compiling — zero compile passes), and compile misses write
+            their artifact back, so a *new process* pointed at a warm
+            store resolves its workloads without compiling anything.
+            When the cache owns its pass cache, the store also becomes
+            the pass cache's disk tier.
     """
 
     def __init__(
         self,
         capacity: int = 8,
         pass_cache: Optional[PassCache] = None,
-        store: Optional[ArtifactStore] = None,
+        store: Optional[StoreBackend] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")

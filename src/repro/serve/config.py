@@ -1,0 +1,184 @@
+"""One serving configuration surface: :class:`ServeConfig`.
+
+Before this module every serving entry point grew its own copy of the
+same keyword sprawl — ``engine=``, ``num_workers=``, ``max_batch_size=``,
+``max_wait_ms=``, ``placement=``, ``backend=``, ``cache=`` repeated
+across :class:`~repro.serve.server.InferenceServer`, :func:`serve`,
+:func:`naive_serve`, :func:`run_serve_bench`, and
+:class:`~repro.serve.stream.StreamingServer`, drifting defaults and all.
+:class:`ServeConfig` consolidates the lot into one frozen dataclass that
+every entry point accepts as ``serving=``, and that the fabric node
+(:mod:`repro.serve.fabric`) ships across config files and process
+boundaries via :meth:`ServeConfig.describe`.
+
+The old keywords keep working through :func:`resolve_serving`, the
+deprecation shim every entry point routes its ``**kwargs`` through: the
+legacy keys are folded into a :class:`ServeConfig` (warning once per
+process), everything left over is a compile option.  Mixing an explicit
+``serving=`` with legacy keywords is an error — one source of truth per
+call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..engine.session import DEFAULT_ENGINE
+
+__all__ = ["LEGACY_SERVE_KEYS", "ServeConfig", "resolve_serving"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the serving layer needs to know, in one place.
+
+    Args:
+        engine: execution engine every worker runs (``"fused"`` default).
+        num_workers: parallel engine instances in the worker pool.
+        max_batch_size: requests coalesced into one engine run.
+        max_wait_ms: micro-batching deadline for a non-full batch.
+        placement: worker placement, ``"round_robin"`` / ``"least_loaded"``.
+        backend: worker backend, ``"thread"`` / ``"process"`` / ``"fork"``
+            / ``"spawn"`` (see :class:`~repro.serve.pool.WorkerPool`).
+        share_tables: publish the fused index tables in a shared-memory
+            arena so process-backed workers attach instead of each
+            decoding a private copy (see :mod:`repro.engine.arena`).
+        cache: program cache to resolve compilations through (the
+            process-wide default cache when omitted).
+        store: artifact store backend wired as the cache's disk tier
+            when a cache is built here (ignored when ``cache`` is given:
+            a pre-built cache carries its own store).
+        compile_options: options forwarded to
+            :func:`repro.core.compile_ffcl` when compiling from a graph.
+    """
+
+    engine: str = DEFAULT_ENGINE
+    num_workers: int = 1
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    placement: str = "round_robin"
+    backend: str = "thread"
+    share_tables: bool = False
+    cache: Optional[object] = field(default=None, compare=False)
+    store: Optional[object] = field(default=None, compare=False)
+    compile_options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from .pool import BACKENDS, PLACEMENTS
+
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (one of {BACKENDS})"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r} "
+                f"(one of {PLACEMENTS})"
+            )
+
+    def replace(self, **overrides) -> "ServeConfig":
+        """A copy with ``overrides`` applied (the tuning idiom)."""
+        return dataclasses.replace(self, **overrides)
+
+    def resolve_cache(self):
+        """The program cache this config serves through: the explicit
+        ``cache``, a fresh cache over ``store``, or the process default."""
+        from .cache import ProgramCache, default_program_cache
+
+        if self.cache is not None:
+            return self.cache
+        if self.store is not None:
+            return ProgramCache(store=self.store)
+        return default_program_cache()
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able snapshot (objects reduced to their reprs)."""
+        return {
+            "engine": self.engine,
+            "num_workers": self.num_workers,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "placement": self.placement,
+            "backend": self.backend,
+            "share_tables": self.share_tables,
+            "cache": repr(self.cache) if self.cache is not None else None,
+            "store": repr(self.store) if self.store is not None else None,
+            "compile_options": dict(self.compile_options),
+        }
+
+
+#: the pre-ServeConfig keyword surface the shim keeps alive.
+LEGACY_SERVE_KEYS: Tuple[str, ...] = (
+    "engine",
+    "num_workers",
+    "max_batch_size",
+    "max_wait_ms",
+    "placement",
+    "backend",
+    "share_tables",
+    "cache",
+    "store",
+)
+
+_warned_legacy = False
+
+
+def _warn_legacy(keys) -> None:
+    global _warned_legacy
+    if _warned_legacy:
+        return
+    _warned_legacy = True
+    warnings.warn(
+        "passing serving options as keywords ("
+        + ", ".join(sorted(keys))
+        + "=...) is deprecated; bundle them in a ServeConfig and pass "
+        "serving=ServeConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_serving(
+    serving: Optional[ServeConfig],
+    kwargs: Dict[str, object],
+    *,
+    defaults: Optional[Dict[str, object]] = None,
+) -> Tuple[ServeConfig, Dict[str, object]]:
+    """The deprecation shim: split a serving entry point's ``**kwargs``.
+
+    Legacy serving keywords (``engine=``, ``num_workers=``, ...) are
+    folded into a :class:`ServeConfig` — warning once per process —
+    and whatever remains is returned as the compile-option dict (merged
+    over ``serving.compile_options``).  An explicit ``serving=`` config
+    passes through untouched; combining it with legacy keywords raises,
+    so a call never has two sources of truth.
+    """
+    legacy = {
+        key: kwargs.pop(key) for key in LEGACY_SERVE_KEYS if key in kwargs
+    }
+    if serving is not None:
+        if legacy:
+            raise ValueError(
+                "pass serving options either as serving=ServeConfig(...) "
+                "or as legacy keywords, not both: "
+                + ", ".join(sorted(legacy))
+            )
+        config = serving
+    else:
+        base = dict(defaults) if defaults else {}
+        base.update(legacy)
+        if legacy:
+            _warn_legacy(legacy)
+        config = ServeConfig(**base)
+    compile_options = dict(config.compile_options)
+    compile_options.update(kwargs)
+    return config, compile_options

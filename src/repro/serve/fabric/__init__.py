@@ -1,0 +1,58 @@
+"""The distributed serving fabric.
+
+``repro.serve`` turns compiled programs into an in-process inference
+service; this package puts that service on the network.  A
+:class:`FabricNode` wraps one :class:`~repro.serve.server.InferenceServer`
+in an asyncio HTTP/1.1 front-end (stdlib only — no web framework) with
+two-gate admission control, binary (``application/x-lpw``) and JSON
+wire formats, and an artifact-store endpoint so a warm node can feed
+cold ones their ``.lpa`` executables.  :class:`FabricClient` is the
+matching synchronous caller, and :func:`run_load_bench` is the
+closed/open-loop load generator behind ``repro load-bench``.
+
+Everything a node answers is bit-identical — outputs *and* run
+statistics — to a direct in-process :class:`~repro.engine.session.Session`
+run over the same words.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionStats,
+    Decision,
+    TokenBucket,
+)
+from .client import FabricClient, FabricError, FabricRejected
+from .httpio import HTTPProtocolError, Request
+from .loadgen import run_load_bench
+from .node import FabricConfig, FabricNode
+from .wire import (
+    BINARY_CONTENT_TYPE,
+    JSON_CONTENT_TYPE,
+    WireError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BINARY_CONTENT_TYPE",
+    "Decision",
+    "FabricClient",
+    "FabricConfig",
+    "FabricError",
+    "FabricNode",
+    "FabricRejected",
+    "HTTPProtocolError",
+    "JSON_CONTENT_TYPE",
+    "Request",
+    "TokenBucket",
+    "WireError",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "run_load_bench",
+]

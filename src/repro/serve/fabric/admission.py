@@ -1,0 +1,200 @@
+"""Admission control for the fabric front-end.
+
+Two independent gates run in front of the batch scheduler:
+
+* a **node-wide in-flight cap** — the fabric never holds more than
+  ``max_inflight`` requests between admission and response, so a burst
+  saturates the worker pool instead of growing an unbounded queue
+  (shed load early, keep tail latency honest),
+* **per-client token buckets** — each client identity refills at
+  ``client_rate`` requests/second up to a ``client_burst`` reserve, so
+  one greedy client cannot starve the others: everyone's sustained
+  admission rate converges to their own bucket's rate, regardless of
+  how aggressively the neighbors submit.
+
+Both gates are *non-blocking*: a request is admitted or rejected on the
+spot (HTTP 503 for a saturated node, 429 with a ``Retry-After`` hint
+for a throttled client) — the polite form of backpressure for an open
+fabric.  The clock is injectable, so fairness is property-testable with
+a deterministic virtual time source.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["AdmissionController", "AdmissionStats", "Decision", "TokenBucket"]
+
+
+class TokenBucket:
+    """The classic token bucket, on an injectable clock.
+
+    ``rate`` tokens/second accrue continuously up to ``burst``; one
+    token admits one request.  Not thread-safe by itself — the
+    controller serializes access.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("token rate must be > 0")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+            self._updated = now
+
+    def try_acquire(self) -> bool:
+        """Take one token if available."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token matures (0 when one is ready)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of one admission attempt."""
+
+    admitted: bool
+    #: ``"saturated"`` (node in-flight cap) or ``"throttled"``
+    #: (client bucket) when rejected; ``""`` when admitted.
+    reason: str = ""
+    #: seconds the client should wait before retrying (throttle only).
+    retry_after: float = 0.0
+
+
+class AdmissionStats:
+    """Counters the node's ``/v1/stats`` endpoint reports."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected_saturated = 0
+        self.rejected_throttled = 0
+        self.peak_inflight = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "admitted": self.admitted,
+            "rejected_saturated": self.rejected_saturated,
+            "rejected_throttled": self.rejected_throttled,
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+class AdmissionController:
+    """The two-gate admission policy (in-flight cap + client buckets).
+
+    Args:
+        max_inflight: node-wide cap on requests between
+            :meth:`admit` and :meth:`release`.
+        client_rate: per-client sustained admissions/second; ``None``
+            disables the per-client gate entirely.
+        client_burst: per-client token reserve (instantaneous burst).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 64,
+        client_rate: Optional[float] = None,
+        client_burst: float = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.client_rate = client_rate
+        self.client_burst = client_burst
+        self.stats = AdmissionStats()
+        self._clock = clock
+        self._inflight = 0
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def admit(self, client: str) -> Decision:
+        """Gate one request from ``client``; pair with :meth:`release`."""
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self.stats.rejected_saturated += 1
+                return Decision(False, "saturated")
+            if self.client_rate is not None:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = TokenBucket(
+                        self.client_rate,
+                        self.client_burst,
+                        clock=self._clock,
+                    )
+                    self._buckets[client] = bucket
+                if not bucket.try_acquire():
+                    self.stats.rejected_throttled += 1
+                    return Decision(
+                        False, "throttled",
+                        retry_after=bucket.retry_after(),
+                    )
+            self._inflight += 1
+            self.stats.admitted += 1
+            if self._inflight > self.stats.peak_inflight:
+                self.stats.peak_inflight = self._inflight
+            return Decision(True)
+
+    def release(self) -> None:
+        """One admitted request finished (success or failure)."""
+        with self._lock:
+            if self._inflight <= 0:  # pragma: no cover - misuse guard
+                raise RuntimeError("release() without a matching admit()")
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            report = self.stats.as_dict()
+            report.update(
+                {
+                    "max_inflight": self.max_inflight,
+                    "inflight": self._inflight,
+                    "client_rate": self.client_rate,
+                    "client_burst": self.client_burst,
+                    "clients_seen": len(self._buckets),
+                }
+            )
+            return report

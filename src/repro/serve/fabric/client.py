@@ -1,0 +1,216 @@
+"""A synchronous keep-alive client for one fabric node.
+
+:class:`FabricClient` is the caller-side half of the fabric protocol:
+one persistent :class:`http.client.HTTPConnection` (re-dialed once per
+operation when the server idles it out), speaking the binary LPW frame
+format by default and returning plain
+:class:`~repro.lpu.simulator.SimulationResult` objects — so a result
+fetched over the wire drops into every comparison and report the
+in-process serving layer already supports, bit for bit.
+
+One client is one connection is one lane: drive it from one thread, and
+give each load-generator client its own instance (that is what the
+per-client admission fairness on the node keys on, via the
+``X-Client`` header).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...lpu.simulator import SimulationResult
+from .wire import (
+    BINARY_CONTENT_TYPE,
+    JSON_CONTENT_TYPE,
+    WireError,
+    decode_json_response,
+    decode_response,
+    encode_request,
+)
+
+__all__ = ["FabricClient", "FabricError", "FabricRejected"]
+
+
+class FabricError(RuntimeError):
+    """The node answered with a non-retryable error."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"fabric node answered {status}: {message}")
+        self.status = status
+
+
+class FabricRejected(FabricError):
+    """Admission control turned the request away (429/503) — retryable
+    after :attr:`retry_after` seconds."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: float
+    ) -> None:
+        super().__init__(status, message)
+        self.retry_after = retry_after
+
+
+class FabricClient:
+    """One persistent connection to one fabric node.
+
+    Args:
+        base_url: the node root, e.g. ``http://127.0.0.1:8080``.
+        client_id: admission identity sent as ``X-Client`` (per-client
+            token buckets key on it); defaults to anonymous.
+        wire: ``"binary"`` (LPW frames, the fast path) or ``"json"``.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: Optional[str] = None,
+        wire: str = "binary",
+        timeout: float = 30.0,
+    ) -> None:
+        from urllib.parse import urlsplit
+
+        if wire not in ("binary", "json"):
+            raise ValueError("wire must be 'binary' or 'json'")
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or parts.hostname is None:
+            raise ValueError(f"need an http://host:port url, got {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        self.client_id = client_id
+        self.wire = wire
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        #: latency metadata of the most recent inference (node-measured).
+        self.last_latency: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(
+                    method, path, body=body, headers=headers or {}
+                )
+                response = self._conn.getresponse()
+                data = response.read()
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    data,
+                )
+            except (http.client.HTTPException, OSError):
+                try:
+                    self._conn.close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+                self._conn = None
+                if attempt:
+                    raise
+        raise OSError("unreachable")  # pragma: no cover - loop returns
+
+    @staticmethod
+    def _error_message(body: bytes) -> str:
+        try:
+            return str(json.loads(body.decode("utf-8"))["error"])
+        except Exception:  # noqa: BLE001 - diagnostic best effort
+            return body[:200].decode("latin-1")
+
+    # ------------------------------------------------------------------
+    def infer(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> SimulationResult:
+        """One inference round trip; bit-identical to a local run.
+
+        Raises :class:`FabricRejected` when admission control turns the
+        request away (retryable), :class:`FabricError` otherwise.  The
+        node's latency metadata lands in :attr:`last_latency`.
+        """
+        if self.wire == "binary":
+            body = encode_request(inputs)
+            content_type = BINARY_CONTENT_TYPE
+        else:
+            body = json.dumps(
+                {
+                    "inputs": {
+                        name: [int(w) for w in np.atleast_1d(words)]
+                        for name, words in inputs.items()
+                    }
+                }
+            ).encode("utf-8")
+            content_type = JSON_CONTENT_TYPE
+        headers = {"Content-Type": content_type}
+        if self.client_id is not None:
+            headers["X-Client"] = self.client_id
+        status, response_headers, data = self._request(
+            "POST", "/v1/infer", body=body, headers=headers
+        )
+        if status in (429, 503):
+            try:
+                retry_after = float(
+                    response_headers.get("retry-after", "0.01")
+                )
+            except ValueError:  # pragma: no cover - defensive
+                retry_after = 0.01
+            raise FabricRejected(
+                status, self._error_message(data), retry_after
+            )
+        if status != 200:
+            raise FabricError(status, self._error_message(data))
+        try:
+            if response_headers.get("content-type", "").startswith(
+                BINARY_CONTENT_TYPE
+            ):
+                result, latency = decode_response(data)
+            else:
+                result, latency = decode_json_response(data)
+        except WireError as exc:
+            raise FabricError(200, str(exc)) from exc
+        self.last_latency = latency
+        return result
+
+    def health(self) -> Dict[str, object]:
+        status, _, data = self._request("GET", "/v1/health")
+        if status != 200:
+            raise FabricError(status, self._error_message(data))
+        return json.loads(data.decode("utf-8"))
+
+    def stats(self) -> Dict[str, object]:
+        status, _, data = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise FabricError(status, self._error_message(data))
+        return json.loads(data.decode("utf-8"))
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "FabricClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FabricClient(http://{self.host}:{self.port}, "
+            f"wire={self.wire!r})"
+        )

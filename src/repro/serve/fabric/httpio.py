@@ -1,0 +1,207 @@
+"""A tiny asyncio HTTP/1.1 codec — just enough protocol for the fabric.
+
+The fabric node speaks plain HTTP so that any client — ``curl``, a
+browser, :class:`~repro.artifact.backends.HTTPStoreBackend`, the
+:class:`~repro.serve.fabric.client.FabricClient` — can talk to it, but
+it deliberately implements only the slice of HTTP/1.1 the fabric
+protocol uses, on top of bare :mod:`asyncio` streams:
+
+* requests with an exact ``Content-Length`` body (no chunked encoding,
+  no trailers, no continuations),
+* persistent connections by default (``Connection: close`` honored),
+* latin-1 header handling, case-insensitive header names.
+
+No third-party dependency, no thread-per-connection: one coroutine per
+connection, reading requests in a loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+__all__ = [
+    "HTTPProtocolError",
+    "Request",
+    "json_response",
+    "read_request",
+    "render_response",
+    "split_status",
+]
+
+#: request bodies above this are refused outright (a fabric inference
+#: frame is a few KB; artifact uploads a few MB).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+#: a single start-line / header line above this is malformed.
+_MAX_LINE_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPProtocolError(ValueError):
+    """The peer sent bytes this codec cannot parse as a request."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    headers: Dict[str, str]
+    body: bytes
+    #: path with the query string stripped and percent-decoding applied.
+    path: str = field(init=False)
+    #: decoded query parameters (first value wins).
+    query: Dict[str, str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        parts = urlsplit(self.target)
+        self.path = unquote(parts.path)
+        self.query = {
+            key: values[0]
+            for key, values in parse_qs(parts.query).items()
+        }
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("content-type", "")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise HTTPProtocolError("truncated header line") from exc
+        return b""  # clean EOF between requests
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPProtocolError("header line too long") from exc
+    if len(line) > _MAX_LINE_BYTES:
+        raise HTTPProtocolError("header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request; ``None`` on clean EOF (peer closed keep-alive).
+
+    Raises :class:`HTTPProtocolError` on malformed bytes — the caller
+    should answer 400 (if it still can) and drop the connection.
+    """
+    start = await _read_line(reader)
+    if not start:
+        return None
+    try:
+        method, target, version = start.decode("latin-1").split()
+    except ValueError as exc:
+        raise HTTPProtocolError(
+            f"malformed request line: {start[:80]!r}"
+        ) from exc
+    if not version.startswith("HTTP/1."):
+        raise HTTPProtocolError(f"unsupported protocol {version!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HTTPProtocolError("connection closed inside headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HTTPProtocolError(f"malformed header line {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise HTTPProtocolError(
+            "chunked transfer encoding is not supported; "
+            "send an exact Content-Length"
+        )
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError as exc:
+        raise HTTPProtocolError("unparsable Content-Length") from exc
+    if length < 0 or length > max_body:
+        raise HTTPProtocolError(f"refusing {length}-byte body")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPProtocolError("truncated request body") from exc
+    return Request(method=method.upper(), target=target,
+                   headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/octet-stream",
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response (always with an exact Content-Length)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(
+    status: int,
+    payload: object,
+    *,
+    keep_alive: bool = True,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """A :func:`render_response` with a JSON body."""
+    import json
+
+    return render_response(
+        status,
+        json.dumps(payload).encode("utf-8"),
+        content_type="application/json",
+        headers=headers,
+        keep_alive=keep_alive,
+    )
+
+
+def split_status(response: bytes) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse a rendered response (the test-side inverse)."""
+    head, _, body = response.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body

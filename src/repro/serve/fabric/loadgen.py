@@ -1,0 +1,273 @@
+"""The fabric load generator: saturation throughput and tail latency.
+
+One measurement procedure behind the ``repro load-bench`` CLI and
+``benchmarks/bench_serve_fabric.py``:
+
+1. boot a :class:`~repro.serve.fabric.node.FabricNode` over the
+   workload (or aim at an already-running node via ``url=``) and
+   pre-generate deterministic stimuli,
+2. drive it with ``clients`` concurrent :class:`FabricClient` lanes —
+   **closed-loop** (every client fires its next request the moment the
+   previous answer lands: the saturation measurement) or **open-loop**
+   (requests scheduled at a fixed offered rate regardless of responses:
+   the tail-latency-under-load measurement, immune to coordinated
+   omission),
+3. measure per-request latency client-side, report p50/p99 and
+   saturation requests/second, plus every admission rejection and
+   retry,
+4. optionally run the single-process in-process ``serve()`` baseline on
+   the same stimuli and report the fabric-over-single-process speedup,
+5. optionally verify every fabric result bit-identical — outputs AND
+   statistics — to a direct :meth:`~repro.engine.session.Session.run`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ...core.codegen import Program
+from ...core.config import LPUConfig
+from ...engine.base import SAMPLES_PER_WORD
+from ...lpu.functional import random_stimulus
+from ...netlist.graph import LogicGraph
+from ..config import ServeConfig
+from .client import FabricClient, FabricRejected
+from .node import FabricConfig, FabricNode
+
+__all__ = ["run_load_bench"]
+
+#: bounded retry budget per request when admission keeps rejecting.
+_MAX_RETRIES = 1000
+
+
+def _stats_key(result):
+    return (
+        result.macro_cycles,
+        result.clock_cycles,
+        result.compute_instructions_executed,
+        result.switch_routes,
+        result.peak_buffer_words,
+        result.buffer_writes,
+    )
+
+
+def _drive_client(
+    url: str,
+    lane: int,
+    indices: List[int],
+    stimuli,
+    wire: str,
+    schedule: Optional[List[float]],
+    epoch: float,
+):
+    """One load lane: its own connection, its own admission identity."""
+    latencies: List[float] = []
+    results = []
+    rejections = 0
+    with FabricClient(url, client_id=f"lane-{lane}", wire=wire) as client:
+        for position, index in enumerate(indices):
+            if schedule is not None:
+                # Open loop: fire at the scheduled offered time and
+                # measure from it, so server-side queueing is charged
+                # to latency instead of silently slowing the offer.
+                target = epoch + schedule[position]
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                started = target
+            else:
+                started = time.perf_counter()
+            for _ in range(_MAX_RETRIES):
+                try:
+                    result = client.infer(stimuli[index])
+                    break
+                except FabricRejected as rejected:
+                    rejections += 1
+                    time.sleep(max(rejected.retry_after, 0.001))
+            else:
+                raise RuntimeError(
+                    f"request {index} never admitted after "
+                    f"{_MAX_RETRIES} retries"
+                )
+            latencies.append((time.perf_counter() - started) * 1e3)
+            results.append((index, result))
+    return results, latencies, rejections
+
+
+def run_load_bench(
+    source: Union[LogicGraph, Program, object],
+    config: Optional[LPUConfig] = None,
+    *,
+    serving: Optional[ServeConfig] = None,
+    fabric: Optional[FabricConfig] = None,
+    url: Optional[str] = None,
+    requests: int = 256,
+    clients: int = 4,
+    array_size: int = 1,
+    seed: int = 0,
+    mode: str = "closed",
+    target_rps: Optional[float] = None,
+    wire: str = "binary",
+    baseline: bool = True,
+    verify: bool = True,
+) -> Dict[str, object]:
+    """Measure a fabric node under load; returns a JSON-able report.
+
+    ``mode="closed"`` measures saturation throughput; ``mode="open"``
+    offers ``target_rps`` requests/second (required in that mode) and
+    measures latency from each request's *scheduled* time.  With
+    ``url=`` the load aims at an already-running node and no node is
+    booted here.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError("mode must be 'closed' or 'open'")
+    if mode == "open" and (target_rps is None or target_rps <= 0):
+        raise ValueError("open-loop load needs target_rps > 0")
+    if requests < 1 or clients < 1:
+        raise ValueError("requests and clients must be >= 1")
+    serving = serving if serving is not None else ServeConfig()
+    graph = (
+        source if isinstance(source, LogicGraph) else source.graph
+    )
+    stimuli = [
+        random_stimulus(graph, array_size=array_size, seed=seed + i)
+        for i in range(requests)
+    ]
+
+    node: Optional[FabricNode] = None
+    try:
+        if url is None:
+            node = FabricNode(
+                source, config, serving=serving, fabric=fabric
+            ).start()
+            url = node.url
+
+        shards = [
+            list(range(lane, requests, clients))
+            for lane in range(clients)
+        ]
+        shards = [shard for shard in shards if shard]
+        schedules: List[Optional[List[float]]] = [None] * len(shards)
+        if mode == "open":
+            per_lane_interval = len(shards) / float(target_rps)
+            schedules = [
+                [
+                    (lane + position * len(shards))
+                    / float(target_rps)
+                    for position in range(len(shard))
+                ]
+                for lane, shard in enumerate(shards)
+            ]
+            del per_lane_interval
+
+        # Warm-up outside the measurement: connection dial, kernel gen.
+        with FabricClient(url, client_id="warmup", wire=wire) as probe:
+            probe.infer(stimuli[0])
+
+        epoch = time.perf_counter()
+        with ThreadPoolExecutor(len(shards)) as executor:
+            gathered = list(
+                executor.map(
+                    lambda item: _drive_client(
+                        url, item[0], item[1], stimuli, wire,
+                        schedules[item[0]], epoch,
+                    ),
+                    enumerate(shards),
+                )
+            )
+        wall = time.perf_counter() - epoch
+
+        node_stats = None
+        if node is not None:
+            node_stats = node.stats()
+    finally:
+        if node is not None:
+            node.stop()
+
+    results: Dict[int, object] = {}
+    latencies: List[float] = []
+    rejections = 0
+    for lane_results, lane_latencies, lane_rejections in gathered:
+        for index, result in lane_results:
+            results[index] = result
+        latencies.extend(lane_latencies)
+        rejections += lane_rejections
+    fabric_rps = requests / wall if wall > 0 else None
+
+    bit_identical: Optional[bool] = None
+    baseline_report: Optional[Dict[str, object]] = None
+    if verify or baseline:
+        from ..server import naive_serve, serve
+
+        reference = naive_serve(
+            source, stimuli, config,
+            serving=ServeConfig(
+                engine=serving.engine,
+                compile_options=dict(serving.compile_options),
+            ),
+        )
+        if verify:
+            bit_identical = True
+            for index, expected in enumerate(reference):
+                got = results[index]
+                for name, words in expected.outputs.items():
+                    if not np.array_equal(got.outputs[name], words):
+                        bit_identical = False
+                if _stats_key(expected) != _stats_key(got):
+                    bit_identical = False
+        if baseline:
+            single = ServeConfig(
+                engine=serving.engine,
+                num_workers=1,
+                max_batch_size=serving.max_batch_size,
+                max_wait_ms=serving.max_wait_ms,
+                compile_options=dict(serving.compile_options),
+            )
+            start = time.perf_counter()
+            serve(source, stimuli, config, serving=single)
+            single_wall = time.perf_counter() - start
+            baseline_report = {
+                "seconds": single_wall,
+                "requests_per_second": (
+                    requests / single_wall if single_wall > 0 else None
+                ),
+            }
+
+    latency_array = np.asarray(latencies, dtype=np.float64)
+    report: Dict[str, object] = {
+        "graph": graph.name,
+        "engine": serving.engine,
+        "mode": mode,
+        "wire": wire,
+        "requests": requests,
+        "clients": clients,
+        "array_size": array_size,
+        "samples_per_request": SAMPLES_PER_WORD * array_size,
+        "num_workers": serving.num_workers,
+        "backend": serving.backend,
+        "cpu_count": os.cpu_count(),
+        "target_rps": target_rps,
+        "fabric": {
+            "seconds": wall,
+            "requests_per_second": fabric_rps,
+            "latency_p50_ms": float(np.percentile(latency_array, 50)),
+            "latency_p99_ms": float(np.percentile(latency_array, 99)),
+            "latency_mean_ms": float(latency_array.mean()),
+            "rejections": rejections,
+        },
+        "baseline_single_process": baseline_report,
+        "speedup_vs_single_process": (
+            fabric_rps / baseline_report["requests_per_second"]
+            if baseline_report
+            and baseline_report["requests_per_second"]
+            else None
+        ),
+        "bit_identical": bit_identical,
+        "node": node_stats,
+    }
+    return report

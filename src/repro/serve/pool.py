@@ -109,6 +109,9 @@ class _ThreadWorker:
 # compiled Python object crosses the boundary, so it works under every
 # start method.
 _PROC_SESSION: Optional[Session] = None
+#: the attached shared-table arena, pinned for the process lifetime so
+#: the segment mapping outlives every run (spawn workers only).
+_PROC_ARENA = None
 
 
 def _proc_initializer(program: Program, engine: str) -> None:
@@ -116,9 +119,19 @@ def _proc_initializer(program: Program, engine: str) -> None:
     _PROC_SESSION = Session(program, engine=engine)
 
 
-def _spawn_initializer(artifact_bytes: bytes, engine: str) -> None:
-    global _PROC_SESSION
+def _spawn_initializer(
+    artifact_bytes: bytes, engine: str, arena_handle=None
+) -> None:
+    global _PROC_SESSION, _PROC_ARENA
     artifact = ExecutableArtifact.from_bytes(artifact_bytes)
+    if arena_handle is not None and artifact.fused is not None:
+        # Attach the parent's shared index tables and swap our private
+        # decoded copies for zero-copy views *before* the engine boots,
+        # so kernel generation and workspaces bind the shared tables.
+        from ..engine.arena import SharedTableArena
+
+        _PROC_ARENA = SharedTableArena.attach(arena_handle)
+        _PROC_ARENA.rebind(artifact.fused_program())
     _PROC_SESSION = artifact.session(engine=engine)
 
 
@@ -153,14 +166,20 @@ class _ProcessWorker:
 class _SpawnWorker:
     """One spawn-started worker booting from shipped artifact bytes."""
 
-    def __init__(self, index: int, artifact_bytes: bytes, engine: str) -> None:
+    def __init__(
+        self,
+        index: int,
+        artifact_bytes: bytes,
+        engine: str,
+        arena_handle=None,
+    ) -> None:
         self.index = index
         context = multiprocessing.get_context("spawn")
         self._executor = ProcessPoolExecutor(
             max_workers=1,
             mp_context=context,
             initializer=_spawn_initializer,
-            initargs=(artifact_bytes, engine),
+            initargs=(artifact_bytes, engine, arena_handle),
         )
 
     def submit(
@@ -187,6 +206,12 @@ class WorkerPool:
             supports it, otherwise the spawn path).
         artifact: optional pre-serialized executable for the spawn
             backend (one is packaged from ``program`` when omitted).
+        share_tables: publish the fused program's constant index tables
+            in a :class:`~repro.engine.arena.SharedTableArena` so spawn
+            workers attach zero-copy views instead of each holding a
+            private decoded copy.  Spawn-only: thread workers share the
+            tables natively and fork workers inherit them copy-on-write,
+            so the flag is a no-op there.
     """
 
     def __init__(
@@ -198,6 +223,7 @@ class WorkerPool:
         placement: str = "round_robin",
         backend: str = "thread",
         artifact: Optional[ExecutableArtifact] = None,
+        share_tables: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -227,6 +253,7 @@ class WorkerPool:
         self.placement = placement
         self.backend = backend
         self.artifact = artifact
+        self._arena = None
         workers: List[Union[_ThreadWorker, _ProcessWorker, _SpawnWorker]]
         if backend == "spawn":
             if artifact is None:
@@ -239,8 +266,14 @@ class WorkerPool:
                     "than this pool executes"
                 )
             artifact_bytes = artifact.to_bytes()
+            arena_handle = None
+            if share_tables and artifact.fused is not None:
+                from ..engine.arena import SharedTableArena
+
+                self._arena = SharedTableArena.publish(artifact.fused)
+                arena_handle = self._arena.handle()
             workers = [
-                _SpawnWorker(i, artifact_bytes, engine)
+                _SpawnWorker(i, artifact_bytes, engine, arena_handle)
                 for i in range(num_workers)
             ]
         elif backend == "fork":
@@ -333,6 +366,9 @@ class WorkerPool:
                 "num_workers": len(self._workers),
                 "dispatched": list(self._dispatched),
                 "pending_words": list(self._pending_words),
+                "shared_table_bytes": (
+                    self._arena.size if self._arena is not None else 0
+                ),
             }
 
     def close(self) -> None:
@@ -342,6 +378,11 @@ class WorkerPool:
             self._closed = True
         for worker in self._workers:
             worker.close()
+        if self._arena is not None:
+            # Workers have exited (their mappings are gone); the owner
+            # now detaches and unlinks the segment.
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -10,8 +10,16 @@ result is bit-identical to a direct
 
 The :func:`serve` function is the synchronous fire-and-forget form::
 
-    from repro.serve import serve
-    results = serve(graph, requests, num_workers=4, max_batch_size=16)
+    from repro.serve import ServeConfig, serve
+    results = serve(
+        graph, requests,
+        serving=ServeConfig(num_workers=4, max_batch_size=16),
+    )
+
+All serving knobs live in one :class:`~repro.serve.config.ServeConfig`
+passed as ``serving=``; the pre-config keyword spelling
+(``num_workers=4, max_batch_size=16`` directly) still works through a
+deprecation shim that warns once per process.
 """
 
 from __future__ import annotations
@@ -23,10 +31,10 @@ import numpy as np
 
 from ..core.codegen import Program
 from ..core.config import LPUConfig
-from ..engine.session import DEFAULT_ENGINE, Session
+from ..engine.session import Session
 from ..lpu.simulator import SimulationResult
 from ..netlist.graph import LogicGraph
-from .cache import ProgramCache, default_program_cache
+from .config import ServeConfig, resolve_serving
 from .pool import WorkerPool
 from .scheduler import BatchScheduler
 
@@ -42,16 +50,14 @@ class InferenceServer:
             :class:`~repro.artifact.format.ExecutableArtifact` (the
             ahead-of-time path: no compile, no lowering).
         config: LPU parameters when compiling from a graph.
-        engine: execution engine every worker runs (``"fused"`` default).
-        num_workers: parallel engine instances in the worker pool.
-        max_batch_size: requests coalesced into one engine run.
-        max_wait_ms: micro-batching deadline for a non-full batch.
-        placement: worker placement, ``"round_robin"`` / ``"least_loaded"``.
-        backend: worker backend, ``"thread"`` / ``"process"`` / ``"fork"``
-            / ``"spawn"`` (see :class:`~repro.serve.pool.WorkerPool`).
-        cache: program cache to resolve compilations through (the
-            process-wide default cache when omitted).
-        **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`.
+        serving: the :class:`~repro.serve.config.ServeConfig` bundling
+            every serving knob (engine, workers, batching, placement,
+            backend, cache/store wiring).
+        **kwargs: compile options forwarded to
+            :func:`repro.core.compile_ffcl` — plus, through the
+            deprecation shim, the legacy serving keywords
+            (``engine=``, ``num_workers=``, ...), which warn once and
+            must not be mixed with an explicit ``serving=``.
     """
 
     def __init__(
@@ -59,35 +65,32 @@ class InferenceServer:
         source: Union[LogicGraph, Program],
         config: Optional[LPUConfig] = None,
         *,
-        engine: str = DEFAULT_ENGINE,
-        num_workers: int = 1,
-        max_batch_size: int = 32,
-        max_wait_ms: float = 2.0,
-        placement: str = "round_robin",
-        backend: str = "thread",
-        cache: Optional[ProgramCache] = None,
-        **compile_kwargs,
+        serving: Optional[ServeConfig] = None,
+        **kwargs,
     ) -> None:
-        self.cache = cache if cache is not None else default_program_cache()
+        serving, compile_options = resolve_serving(serving, kwargs)
+        self.serving = serving
+        self.cache = serving.resolve_cache()
         entry = self.cache.get_or_compile(
-            source, config, engine=engine, **compile_kwargs
+            source, config, engine=serving.engine, **compile_options
         )
         self.program = entry.program
-        self.engine_name = engine
+        self.engine_name = serving.engine
         self.pool = WorkerPool(
             self.program,
-            num_workers=num_workers,
-            engine=engine,
-            placement=placement,
-            backend=backend,
+            num_workers=serving.num_workers,
+            engine=serving.engine,
+            placement=serving.placement,
+            backend=serving.backend,
             # Spawn workers ship these bytes instead of re-packaging.
             artifact=entry.artifact,
+            share_tables=serving.share_tables,
         )
         graph = self.program.graph
         self.scheduler = BatchScheduler(
             self.pool.submit,
-            max_batch_size=max_batch_size,
-            max_wait_ms=max_wait_ms,
+            max_batch_size=serving.max_batch_size,
+            max_wait_ms=serving.max_wait_ms,
             pi_names=frozenset(
                 graph.input_name(nid) for nid in graph.inputs
             ),
@@ -156,7 +159,8 @@ def serve(
 
     Results are returned in request order, each bit-identical to a direct
     :meth:`Session.run <repro.engine.session.Session.run>` of that request.
-    Keyword arguments are forwarded to :class:`InferenceServer`.
+    Keyword arguments are forwarded to :class:`InferenceServer`
+    (``serving=ServeConfig(...)`` plus compile options).
     """
     with InferenceServer(source, config, **server_kwargs) as server:
         return server.map(requests)
@@ -167,10 +171,15 @@ def naive_serve(
     requests: Iterable[Dict[str, np.ndarray]],
     config: Optional[LPUConfig] = None,
     *,
-    engine: str = DEFAULT_ENGINE,
-    **compile_kwargs,
+    serving: Optional[ServeConfig] = None,
+    **kwargs,
 ) -> List[SimulationResult]:
     """The baseline the serving layer is benchmarked against: one
-    compile-once session, one engine run per request, no coalescing."""
-    session = Session(source, config, engine=engine, **compile_kwargs)
+    compile-once session, one engine run per request, no coalescing.
+    Only ``serving.engine`` and the compile options apply here — there
+    is no pool, no batching, no cache."""
+    serving, compile_options = resolve_serving(serving, kwargs)
+    session = Session(
+        source, config, engine=serving.engine, **compile_options
+    )
     return [session.run(request) for request in requests]

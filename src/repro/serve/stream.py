@@ -39,7 +39,8 @@ from ..engine.session import Session
 from ..lpu.functional import random_stimulus
 from ..lpu.simulator import SimulationResult
 from ..netlist.graph import LogicGraph
-from .cache import ProgramCache, default_program_cache
+from .cache import ProgramCache
+from .config import ServeConfig, resolve_serving
 from .pool import WorkerPool
 
 __all__ = [
@@ -128,13 +129,16 @@ class StreamingServer:
         source: a :class:`LogicGraph` to compile, a compiled
             :class:`Program`, or an :class:`ExecutableArtifact`.
         config: LPU parameters when compiling from a graph.
-        engine: engine every worker runs (``"delta"`` — the point of the
-            layer; any registered engine works, stateless ones simply run
-            per-request).
-        num_workers: parallel worker threads; sessions are placed on the
-            worker with the fewest open sessions.
-        cache: program cache to resolve compilations through.
-        **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`.
+        serving: the :class:`~repro.serve.config.ServeConfig`; the
+            streaming layer uses its ``engine`` (``"delta"`` default —
+            the point of the layer; stateless engines simply run
+            per-request), ``num_workers`` (sessions are placed on the
+            worker with the fewest open sessions), and cache/store
+            wiring.  The backend must stay ``"thread"``: per-session
+            engine state lives in-process.
+        **kwargs: compile options forwarded to
+            :func:`repro.core.compile_ffcl` (legacy serving keywords
+            keep working through the deprecation shim).
     """
 
     def __init__(
@@ -142,28 +146,36 @@ class StreamingServer:
         source: Union[LogicGraph, Program, ExecutableArtifact],
         config: Optional[LPUConfig] = None,
         *,
-        engine: str = "delta",
-        num_workers: int = 1,
-        cache: Optional[ProgramCache] = None,
-        **compile_kwargs,
+        serving: Optional[ServeConfig] = None,
+        **kwargs,
     ) -> None:
-        self.cache = cache if cache is not None else default_program_cache()
+        serving, compile_options = resolve_serving(
+            serving, kwargs, defaults={"engine": "delta"}
+        )
+        if serving.backend != "thread":
+            raise ValueError(
+                "streaming sessions require the thread backend: "
+                "per-session engine state lives in-process and is "
+                "driven on the owning worker's thread"
+            )
+        self.serving = serving
+        self.cache = serving.resolve_cache()
         entry = self.cache.get_or_compile(
-            source, config, engine=engine, **compile_kwargs
+            source, config, engine=serving.engine, **compile_options
         )
         self.program = entry.program
-        self.engine_name = engine
+        self.engine_name = serving.engine
         # Thread backend only: per-session engine state lives in-process
         # and submit_call drives it on the owning worker's thread.
         self.pool = WorkerPool(
             self.program,
-            num_workers=num_workers,
-            engine=engine,
+            num_workers=serving.num_workers,
+            engine=serving.engine,
             backend="thread",
             artifact=entry.artifact,
         )
         self._lock = threading.Lock()
-        self._open_sessions = [0] * num_workers
+        self._open_sessions = [0] * serving.num_workers
         self._sessions_opened = 0
         self._closed = False
 
@@ -323,7 +335,12 @@ def run_stream_bench(
         raise ValueError("steps must be >= 2")
     if reps < 1:
         raise ValueError("reps must be >= 1")
-    cache = cache if cache is not None else default_program_cache()
+    serving = ServeConfig(
+        engine=engine, num_workers=num_workers, cache=cache,
+        compile_options=dict(compile_kwargs),
+    )
+    cache = serving.resolve_cache()
+    serving = serving.replace(cache=cache)
     entry = cache.get_or_compile(
         source, config, engine=engine, **compile_kwargs
     )
@@ -372,14 +389,7 @@ def run_stream_bench(
 
     # The served path: one sticky session over a StreamingServer.
     served_verified = True
-    server = StreamingServer(
-        source,
-        config,
-        engine=engine,
-        num_workers=num_workers,
-        cache=cache,
-        **compile_kwargs,
-    )
+    server = StreamingServer(source, config, serving=serving)
     try:
         with server.open_session() as session:
             session_stateful = session.stateful

@@ -28,6 +28,7 @@ from repro.artifact import (
     ArtifactStore,
     ExecutableArtifact,
     FORMAT_VERSION,
+    ProbeSet,
     store_key,
 )
 from repro.artifact.codec import (
@@ -805,3 +806,112 @@ class TestVersionSingleSourcing:
             check=True,
         )
         assert proc.stdout.strip().splitlines()[-1] == repro.__version__
+
+
+class TestProbeVectors:
+    """Embedded known-answer probe vectors (``--probe-words``)."""
+
+    @pytest.fixture(scope="class")
+    def probed(self):
+        g = random_dag(6, 40, 3, seed=21)
+        result = compile_ffcl(g, SMALL)
+        artifact = ExecutableArtifact.from_compile(
+            result, probe_words=2, probe_seed=4
+        )
+        return result, artifact
+
+    def test_probes_survive_roundtrip_deterministically(self, probed):
+        _, artifact = probed
+        assert artifact.probes is not None
+        data = artifact.to_bytes()
+        back = ExecutableArtifact.from_bytes(data)
+        assert back.probes is not None
+        assert back.to_bytes() == data
+        assert back.probes.input_names == artifact.probes.input_names
+        assert back.probes.output_names == artifact.probes.output_names
+        assert np.array_equal(back.probes.inputs, artifact.probes.inputs)
+        assert np.array_equal(back.probes.outputs, artifact.probes.outputs)
+        assert back.probes.seed == 4
+        assert back.fingerprint == artifact.fingerprint
+
+    def test_probes_are_engine_free_functional_truth(self, probed):
+        result, artifact = probed
+        probes = artifact.probes
+        reference = evaluate_graph(
+            result.program.graph, probes.stimulus()
+        )
+        for i, name in enumerate(probes.output_names):
+            assert np.array_equal(probes.outputs[i], reference[name])
+
+    @pytest.mark.parametrize("engine", ["fused", "cycle"])
+    def test_verify_probes_passes(self, probed, engine):
+        _, artifact = probed
+        back = ExecutableArtifact.from_bytes(artifact.to_bytes())
+        report = back.verify_probes(engine=engine)
+        assert report["passed"] is True
+        assert report["engine"] == engine
+        assert report["probe_samples"] == 128
+        assert report["mismatches"] == []
+        assert report["outputs_checked"] == len(
+            back.probes.output_names
+        )
+
+    def test_verify_probes_detects_wrong_expectations(self, probed):
+        import dataclasses
+
+        _, artifact = probed
+        flipped = artifact.probes.outputs.copy()
+        flipped[0, 0] ^= np.uint64(1)
+        tampered = dataclasses.replace(
+            ExecutableArtifact.from_bytes(artifact.to_bytes()),
+            probes=dataclasses.replace(
+                artifact.probes, outputs=flipped
+            ),
+        )
+        report = tampered.verify_probes()
+        assert report["passed"] is False
+        assert (
+            artifact.probes.output_names[0] in report["mismatches"]
+        )
+
+    def test_verify_without_probes_raises(self):
+        g = random_dag(5, 30, 2, seed=22)
+        artifact = ExecutableArtifact.from_compile(compile_ffcl(g, SMALL))
+        assert artifact.probes is None
+        with pytest.raises(ArtifactError, match="probe"):
+            artifact.verify_probes()
+
+    def test_summary_reports_probe_shape(self, probed):
+        _, artifact = probed
+        summary = artifact.summary()
+        assert summary["probes"] == {
+            "words": 2, "samples": 128, "seed": 4,
+        }
+
+    def test_generate_is_seed_deterministic(self, probed):
+        result, _ = probed
+        a = ProbeSet.generate(result.program.graph, words=3, seed=9)
+        b = ProbeSet.generate(result.program.graph, words=3, seed=9)
+        c = ProbeSet.generate(result.program.graph, words=3, seed=10)
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.outputs, b.outputs)
+        assert not np.array_equal(a.inputs, c.inputs)
+
+    def test_cli_inspect_verify(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.netlist.verilog_writer import write_verilog_file
+
+        g = random_dag(6, 35, 3, seed=23)
+        netlist = str(tmp_path / "probe_block.v")
+        write_verilog_file(g, netlist)
+        out = str(tmp_path / "probe_block.lpa")
+        assert main(
+            ["compile", netlist, "--lpvs", "4", "--lpes", "8",
+             "-o", out, "--probe-words", "3"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["inspect", out, "--verify", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verification"]["passed"] is True
+        assert summary["verification"]["method"] == "probe-replay"
+        assert summary["probes"]["words"] == 3
