@@ -491,13 +491,19 @@ class ExecutableArtifact:
         self.fanout = build_fanout(fused)
         return self.fanout
 
-    def session(self, *, engine: Optional[str] = None):
+    def session(
+        self, *, engine: Optional[str] = None, engine_options=None
+    ):
         """A ready-to-run :class:`~repro.engine.session.Session` —
-        no compile, and no lowering when trace tables are embedded."""
+        no compile, and no lowering when trace tables are embedded.
+        ``engine_options`` are engine constructor keywords
+        (see :func:`repro.engine.create_engine`)."""
         from ..engine.session import DEFAULT_ENGINE, Session
 
         return Session(
-            self, engine=engine if engine is not None else DEFAULT_ENGINE
+            self,
+            engine=engine if engine is not None else DEFAULT_ENGINE,
+            engine_options=engine_options,
         )
 
     def verify_probes(

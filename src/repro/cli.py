@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli simulate block.v --seed 7 --engine trace
     python -m repro.cli simulate --artifact block.lpa --engine trace
     python -m repro.cli throughput block.v --array-size 256 --batches 16
+    python -m repro.cli throughput block.v --engine native --native-threads 8
+    python -m repro.cli calibrate block.v --max-words 256 [--json]
     python -m repro.cli serve-bench block.v --requests 256 --workers 2
     python -m repro.cli serve-bench --artifact block.lpa --backend spawn
     python -m repro.cli stream-bench block.v --steps 512 --flip-bits 1
@@ -47,8 +49,16 @@ the registered passes and named pipelines without compiling anything).
 ``simulate`` additionally executes the program on the selected
 execution engine (``--engine cycle`` for the cycle-accurate hardware
 model, ``--engine trace`` for the vectorized path, ``--engine fused``
-for the register-renamed generated-kernel serving default) with random
-stimulus and cross-checks it against functional evaluation.
+for the register-renamed generated-kernel serving default, ``--engine
+native`` for the multi-core/optional-numba/optional-CuPy backends over
+the packed fused tables) with random stimulus and cross-checks it
+against functional evaluation.  The engine-bearing commands accept the
+native/fused tuning flags (``--native-backend``, ``--native-threads``,
+``--native-min-shard-words``, ``--rowwise-min-words``); ``calibrate``
+measures the vector/rowwise kernel crossover on this host and prints
+the ``--rowwise-min-words`` value to apply, and ``inspect --profile``
+runs the kernel-level sampling profiler over an artifact and reports
+the slowest levels.
 ``throughput`` measures wall-clock inference throughput of the engines
 over repeated batched runs through the :class:`~repro.engine.Session`
 API; with ``--json`` it also reports the process-wide lowering/fusion
@@ -90,6 +100,7 @@ from .core import LPUConfig, compile_ffcl
 from .core.partition import partition_summary
 from .core.schedule import schedule_summary
 from .engine import SAMPLES_PER_WORD, Session, available_engines
+from .engine.native import FALLBACK_CHAIN as NATIVE_BACKENDS
 from .lpu import cross_check, random_stimulus
 from .netlist import parse_bench, parse_verilog
 from .serve import ServeConfig, run_serve_bench, run_stream_bench
@@ -158,6 +169,74 @@ def _add_engine(parser: argparse.ArgumentParser, default: str = "cycle") -> None
         default=default,
         help="execution engine",
     )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Per-engine tuning flags (native/fused kernel knobs)."""
+    parser.add_argument(
+        "--native-backend",
+        choices=("auto",) + NATIVE_BACKENDS,
+        default=None,
+        help="native engine kernel backend (default auto: first "
+        "available of cupy, numba, threaded, fused)",
+    )
+    parser.add_argument(
+        "--native-threads", type=_positive_int, default=None,
+        help="threaded native backend: worker threads "
+        "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--native-min-shard-words", type=_positive_int, default=None,
+        help="threaded native backend: smallest per-thread word shard "
+        "before falling back to single-threaded execution",
+    )
+    parser.add_argument(
+        "--rowwise-min-words", type=_positive_int, default=None,
+        help="fused/native engines: batch word count at which the "
+        "rowwise kernel takes over from the vector kernel "
+        "(measure with 'repro calibrate')",
+    )
+
+
+def _engine_options(
+    args: argparse.Namespace, engine: str, *, strict: bool = True
+) -> Optional[dict]:
+    """Collect the ``--native-*``/``--rowwise-min-words`` flags into the
+    engine-constructor options dict for ``engine``.
+
+    Returns ``None`` when no applicable flag is set.  With ``strict``
+    (the default), flags the selected engine does not understand exit
+    with an error instead of being silently dropped; ``strict=False``
+    (the ``throughput --engine all`` sweep) applies each flag only to
+    the engines that accept it.
+    """
+    native = {}
+    if getattr(args, "native_backend", None) is not None:
+        native["backend"] = args.native_backend
+    if getattr(args, "native_threads", None) is not None:
+        native["threads"] = args.native_threads
+    if getattr(args, "native_min_shard_words", None) is not None:
+        native["min_shard_words"] = args.native_min_shard_words
+    rowwise = getattr(args, "rowwise_min_words", None)
+    options: dict = {}
+    if engine == "native":
+        options.update(native)
+        if rowwise is not None:
+            options["rowwise_min_words"] = rowwise
+    elif engine == "fused":
+        if native and strict:
+            raise SystemExit(
+                "error: --native-* options require --engine native"
+            )
+        if rowwise is not None:
+            options["rowwise_min_words"] = rowwise
+    elif native or rowwise is not None:
+        if strict:
+            raise SystemExit(
+                "error: engine tuning options apply to the native/fused "
+                f"engines, not {engine!r}"
+            )
+    return options or None
 
 
 def _config(args: argparse.Namespace) -> LPUConfig:
@@ -268,14 +347,35 @@ def _verify_artifact(artifact, args: argparse.Namespace):
     }
 
 
+def _profile_artifact(artifact, args: argparse.Namespace) -> dict:
+    """``inspect --profile``: per-level kernel wall time on random
+    stimulus through the sampling profiler of the selected engine."""
+    session = artifact.session(engine=args.profile_engine)
+    stimulus = random_stimulus(
+        artifact.program.graph, array_size=args.profile_words, seed=0
+    )
+    session.run(stimulus)  # warm-up: generate/compile the kernels once
+    records = session.engine.profile_levels(stimulus)
+    return {
+        "engine": args.profile_engine,
+        "words": args.profile_words,
+        "total_seconds": sum(r["seconds"] for r in records),
+        "levels": records,
+    }
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     artifact = ExecutableArtifact.load(args.artifact)
     summary = artifact.summary()
     verification = _verify_artifact(artifact, args) if args.verify else None
+    profile = _profile_artifact(artifact, args) if args.profile else None
     if args.json:
-        if verification is not None:
+        if verification is not None or profile is not None:
             summary = dict(summary)
+        if verification is not None:
             summary["verification"] = verification
+        if profile is not None:
+            summary["level_profile"] = profile
         print(json.dumps(summary, indent=2, sort_keys=True))
         return (
             0 if verification is None or verification["passed"] else 1
@@ -344,6 +444,23 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             f"probes:    {probes['words']} words ({probes['samples']} "
             f"samples, seed {probes['seed']}) of known-answer vectors"
         )
+    if profile is not None:
+        slowest = sorted(
+            profile["levels"], key=lambda r: r["seconds"], reverse=True
+        )[:5]
+        print(
+            f"profile:   {len(profile['levels'])} levels in "
+            f"{profile['total_seconds'] * 1e3:.3f} ms "
+            f"({profile['engine']} engine, {profile['words']} words); "
+            f"slowest:"
+        )
+        for record in slowest:
+            print(
+                f"           level {record['level']:>4} "
+                f"({record['kernel']}): "
+                f"{record['seconds'] * 1e6:>9.1f} us, "
+                f"{record['instructions']} instructions"
+            )
     if verification is not None:
         verdict = "PASSED" if verification["passed"] else "FAILED"
         if verification["method"] == "probe-replay":
@@ -432,7 +549,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if result is not None and not _require_program(result, args):
         return 2
     ok, outputs, _ref = cross_check(
-        program, seed=args.seed, engine=args.engine
+        program, seed=args.seed, engine=args.engine,
+        engine_options=_engine_options(args, args.engine),
     )
     if result is not None:
         print(result.metrics)
@@ -470,7 +588,12 @@ def cmd_throughput(args: argparse.Namespace) -> int:
         "engines": {},
     }
     for engine in engines:
-        session = Session(result.program, engine=engine)
+        options = _engine_options(
+            args, engine, strict=(args.engine != "all")
+        )
+        session = Session(
+            result.program, engine=engine, engine_options=options
+        )
         session.run(stimuli[0])  # warm-up: amortized lowering/caches
         start = time.perf_counter()
         for stim in stimuli:
@@ -484,6 +607,12 @@ def cmd_throughput(args: argparse.Namespace) -> int:
             "macro_cycles_per_run": result.schedule.makespan,
             "modeled_fps": result.config.fps(result.schedule.makespan),
         }
+        if options:
+            report["engines"][engine]["engine_options"] = options
+        if hasattr(session.engine, "backend_stats"):
+            report["engines"][engine]["native"] = (
+                session.engine.backend_stats()
+            )
         if args.json and hasattr(session.engine, "profile_levels"):
             # Per-level wall time: the diagnostic trail CI archives so an
             # engine regression points at the level that slowed down.
@@ -511,21 +640,79 @@ def cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    program, result, artifact = _resolve_program(args)
+    if result is not None and not _require_program(result, args):
+        return 2
+    session = Session(
+        artifact if artifact is not None else program,
+        engine=args.engine,
+        engine_options=_engine_options(args, args.engine),
+    )
+    sizes = [1]
+    while sizes[-1] < args.max_words:
+        sizes.append(min(sizes[-1] * 2, args.max_words))
+    report = session.engine.calibrate_crossover(
+        word_sizes=sizes, repeats=args.repeats, seed=args.seed
+    )
+    report["netlist"] = args.netlist
+    report["artifact"] = args.artifact
+    report["engine"] = args.engine
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"calibrate: {report['graph']} ({args.engine} engine, "
+        f"best of {args.repeats})"
+    )
+    print(f"  {'words':>8} {'vector':>12} {'rowwise':>12}  winner")
+    for point in report["points"]:
+        winner = (
+            "rowwise"
+            if point["rowwise_seconds"] <= point["vector_seconds"]
+            else "vector"
+        )
+        print(
+            f"  {point['words']:>8} "
+            f"{point['vector_seconds'] * 1e6:>10.1f}us "
+            f"{point['rowwise_seconds'] * 1e6:>10.1f}us  {winner}"
+        )
+    measured = report["measured_crossover_words"]
+    if measured is None:
+        print(
+            "  rowwise never won up to "
+            f"{args.max_words} words; keep the vector kernel "
+            f"(--rowwise-min-words > {args.max_words})"
+        )
+    else:
+        print(
+            f"  measured crossover: {measured} words "
+            f"(engine currently {report['engine_rowwise_min_words']}, "
+            f"built-in default {report['default_rowwise_min_words']}); "
+            f"pass --rowwise-min-words {measured} to apply"
+        )
+    return 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     program, result, artifact = _resolve_program(args)
     if result is not None and not _require_program(result, args):
         return 2
-    report = run_serve_bench(
-        artifact if artifact is not None else program,
+    serving = ServeConfig(
         engine=args.engine,
-        requests=args.requests,
-        array_size=args.array_size,
-        clients=args.clients,
+        engine_options=_engine_options(args, args.engine) or {},
         num_workers=args.workers,
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         placement=args.placement,
         backend=args.backend,
+    )
+    report = run_serve_bench(
+        artifact if artifact is not None else program,
+        serving=serving,
+        requests=args.requests,
+        array_size=args.array_size,
+        clients=args.clients,
         seed=args.seed,
     )
     report["netlist"] = args.netlist
@@ -651,6 +838,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         }
     return ServeConfig(
         engine=args.engine,
+        engine_options=_engine_options(args, args.engine) or {},
         num_workers=args.workers,
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -953,6 +1141,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(falls back to a functional cross-check when the artifact "
         "packages none); exit 1 on mismatch",
     )
+    p_inspect.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the kernel-level sampling profiler on random stimulus "
+        "and report the slowest levels",
+    )
+    p_inspect.add_argument(
+        "--profile-engine",
+        choices=("fused", "native"),
+        default="fused",
+        help="engine whose kernels --profile times",
+    )
+    p_inspect.add_argument(
+        "--profile-words", type=_positive_int, default=64,
+        help="uint64 words per primary input for --profile stimulus",
+    )
     p_inspect.set_defaults(func=cmd_inspect)
 
     p_passes = sub.add_parser(
@@ -973,6 +1177,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sim, netlist_optional=True)
     _add_artifact_source(p_sim)
     _add_engine(p_sim, default="cycle")
+    _add_engine_options(p_sim)
     p_sim.add_argument("--seed", type=int, default=0, help="stimulus seed")
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -986,6 +1191,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="trace",
         help="execution engine ('all' compares every registered engine)",
     )
+    _add_engine_options(p_thr)
     p_thr.add_argument(
         "--array-size", type=_positive_int, default=64,
         help="uint64 words per primary input per run (64 samples each)",
@@ -1000,6 +1206,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_thr.set_defaults(func=cmd_throughput)
 
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measure the vector/rowwise kernel crossover and recommend "
+        "--rowwise-min-words for this host",
+    )
+    _add_common(p_cal, netlist_optional=True)
+    _add_artifact_source(p_cal)
+    p_cal.add_argument(
+        "--engine",
+        choices=("fused", "native"),
+        default="fused",
+        help="engine whose generated kernels to calibrate",
+    )
+    _add_engine_options(p_cal)
+    p_cal.add_argument(
+        "--max-words", type=_positive_int, default=256,
+        help="largest batch word count in the power-of-two sweep",
+    )
+    p_cal.add_argument(
+        "--repeats", type=_positive_int, default=5,
+        help="timing repetitions per point (best is kept)",
+    )
+    p_cal.add_argument("--seed", type=int, default=0, help="stimulus seed")
+    p_cal.add_argument(
+        "--json", action="store_true", help="emit measurements as JSON"
+    )
+    p_cal.set_defaults(func=cmd_calibrate)
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="measure the batched serving layer vs naive per-request runs",
@@ -1007,6 +1241,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_serve, netlist_optional=True)
     _add_artifact_source(p_serve)
     _add_engine(p_serve, default="trace")
+    _add_engine_options(p_serve)
     p_serve.add_argument(
         "--requests", type=_positive_int, default=256,
         help="inference requests to serve",
@@ -1090,6 +1325,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common(p, netlist_optional=True)
         _add_artifact_source(p)
         _add_engine(p, default="fused")
+        _add_engine_options(p)
         p.add_argument(
             "--workers", type=_positive_int, default=2,
             help="engine workers in the node's serving pool",

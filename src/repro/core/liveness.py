@@ -30,7 +30,11 @@ and asserted by the tests:
   re-bound before every run),
 * output registers of one level form one contiguous ascending run
   (run-fit allocation), so generated kernels write level results straight
-  into the value table without a scatter pass,
+  into the value table without a scatter pass; levels that exceed the
+  fragmentation budget fall back to *run-composed* scattered registers —
+  built from the longest maximal free runs and assigned in ascending
+  order, so instructions stay sorted by output register and the kernel
+  still covers most of the level with contiguous slice writes,
 * a register is reused only after the level containing its old value's
   last read has gathered its operands,
 * primary-output registers are never reused,
@@ -101,6 +105,50 @@ class FusedProgram:
     kernel: Optional[Tuple[Callable, Callable]] = field(
         default=None, compare=False
     )
+    #: lazily-populated per-program caches of the native/profiling
+    #: consumers, keyed by consumer name — the packed instruction stream
+    #: (repro.engine.native), timed profiling kernels, device-resident
+    #: tables.  Shared process-wide through the fusion cache exactly like
+    #: ``kernel``; never serialized.
+    native_cache: Dict[str, object] = field(
+        default_factory=dict, compare=False
+    )
+
+    def run_length_stats(self) -> Dict[str, float]:
+        """Contiguity of the level output runs — the fast-path coverage
+        metric of the generated kernels (a fully contiguous level writes
+        segment results straight into the value table; a fragmented one
+        pays per-run slice copies)."""
+        total = len(self.levels)
+        contiguous = 0
+        max_runs: List[int] = []
+        runs_per_level: List[int] = []
+        for level in self.levels:
+            out = level.out_index
+            k = len(out)
+            if k == 0:  # pragma: no cover - empty levels are dropped
+                continue
+            breaks = np.flatnonzero(np.diff(out) != 1)
+            runs_per_level.append(len(breaks) + 1)
+            if len(breaks) == 0:
+                contiguous += 1
+                max_runs.append(k)
+            else:
+                bounds = np.concatenate(([-1], breaks, [k - 1]))
+                max_runs.append(int(np.max(np.diff(bounds))))
+        return {
+            "levels": total,
+            "contiguous_levels": contiguous,
+            "contiguous_fraction": (
+                contiguous / total if total else 1.0
+            ),
+            "mean_runs_per_level": (
+                float(np.mean(runs_per_level)) if runs_per_level else 0.0
+            ),
+            "mean_max_run": (
+                float(np.mean(max_runs)) if max_runs else 0.0
+            ),
+        }
 
     @property
     def program(self):
@@ -147,14 +195,25 @@ def clear_fusion_cache() -> None:
         _FUSE_MISSES = 0
 
 
-def fuse_trace(trace: TraceProgram, *, cache: bool = True) -> FusedProgram:
+def fuse_trace(
+    trace: TraceProgram,
+    *,
+    cache: bool = True,
+    frag_budget: Optional[int] = None,
+) -> FusedProgram:
     """Rename ``trace`` onto a compact register file, memoized per trace.
 
     With ``cache=True`` (the default) repeated fusions of the *same*
     :class:`TraceProgram` object return one shared :class:`FusedProgram`;
-    pass ``cache=False`` to force a fresh allocation.
+    pass ``cache=False`` to force a fresh allocation.  ``frag_budget``
+    overrides the fragmentation allowance over the tightest file size
+    (default ``max(8, compact_size // 2)``); overriding implies
+    ``cache=False`` — a non-default allocation must not shadow the
+    canonical fusion in the process-wide cache.
     """
     global _FUSE_HITS, _FUSE_MISSES
+    if frag_budget is not None:
+        return _fuse_uncached(trace, frag_budget=frag_budget)
     if not cache:
         return _fuse_uncached(trace)
     key = id(trace)
@@ -212,7 +271,23 @@ def _level_ops(level) -> List[str]:
     return ops
 
 
-def _fuse_uncached(trace: TraceProgram) -> FusedProgram:
+def _free_runs(free_list: List[int]) -> List[Tuple[int, int]]:
+    """Maximal contiguous runs of a sorted free list, as (length, start)."""
+    runs: List[Tuple[int, int]] = []
+    prev = -2
+    for v in free_list:
+        if v == prev + 1:
+            length, start = runs[-1]
+            runs[-1] = (length + 1, start)
+        else:
+            runs.append((1, v))
+        prev = v
+    return runs
+
+
+def _fuse_uncached(
+    trace: TraceProgram, frag_budget: Optional[int] = None
+) -> FusedProgram:
     """One linear-scan register allocation over the lowered levels.
 
     BUF instructions are *copy-propagated away*: a BUF's output slot
@@ -306,10 +381,14 @@ def _fuse_uncached(trace: TraceProgram) -> FusedProgram:
     # Runs come best-fit from the free list, else from the free suffix
     # extended with fresh registers — but only while the file stays
     # within the fragmentation budget over the tightest size; beyond it
-    # the level falls back to scattered lowest-first registers (the
-    # kernel emits an explicit scatter for those), so the working set
-    # remains O(peak live values) no matter how fragmented the frees.
-    cap = compact_size + max(8, compact_size // 2)
+    # the level falls back to run-composed scattered registers (the
+    # longest maximal free runs, assigned ascending, so the kernel still
+    # writes most of the level with contiguous slice copies), keeping
+    # the working set O(peak live values) no matter how fragmented the
+    # frees.
+    if frag_budget is None:
+        frag_budget = max(8, compact_size // 2)
+    cap = compact_size + max(0, int(frag_budget))
     reg_of = np.full(trace.num_slots, -1, dtype=np.intp)
     reg_of[:num_pinned] = np.arange(num_pinned)
     free_list: List[int] = []  # sorted free registers below next_reg
@@ -319,16 +398,7 @@ def _fuse_uncached(trace: TraceProgram) -> FusedProgram:
         nonlocal next_reg
         # Maximal free runs, best-fit: tightest adequate run wins (ties
         # broken low), leaving large holes intact for wider levels.
-        runs: List[Tuple[int, int]] = []  # (length, start)
-        start = prev = -2
-        for v in free_list:
-            if v != prev + 1:
-                start = v
-            prev = v
-            if runs and runs[-1][1] == start:
-                runs[-1] = (runs[-1][0] + 1, start)
-            else:
-                runs.append((1, start))
+        runs = _free_runs(free_list)
         best = min(
             ((length, s) for length, s in runs if length >= k),
             default=None,
@@ -353,11 +423,29 @@ def _fuse_uncached(trace: TraceProgram) -> FusedProgram:
 
     def alloc_scattered(k: int) -> List[int]:
         nonlocal next_reg
-        regs = free_list[:k]
-        del free_list[:len(regs)]
+        # Compose the level from the longest maximal free runs (ties
+        # broken low) instead of the k lowest singles: the same register
+        # count, but the outputs land in few long sub-runs the kernel
+        # can write with contiguous slice copies.  Chosen registers are
+        # assigned in ascending order, so instructions end up sorted by
+        # output register within the level.
+        if len(free_list) <= k:
+            regs = list(free_list)
+            free_list.clear()
+        else:
+            runs = sorted(_free_runs(free_list), key=lambda r: (-r[0], r[1]))
+            regs = []
+            for length, start in runs:
+                take = min(length, k - len(regs))
+                regs.extend(range(start, start + take))
+                if len(regs) == k:
+                    break
+            chosen = set(regs)
+            free_list[:] = [v for v in free_list if v not in chosen]
         while len(regs) < k:
             regs.append(next_reg)
             next_reg += 1
+        regs.sort()
         return regs
 
     fused_levels: List[FusedLevel] = []

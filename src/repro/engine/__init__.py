@@ -1,6 +1,6 @@
 """Pluggable execution engines for compiled LPU programs.
 
-Four engines execute the same :class:`~repro.core.codegen.Program` with
+Five engines execute the same :class:`~repro.core.codegen.Program` with
 bit-identical outputs and identical run statistics:
 
 * :class:`CycleAccurateEngine` (``"cycle"``) — the macro-cycle-accurate
@@ -14,7 +14,11 @@ bit-identical outputs and identical run statistics:
 * :class:`DeltaEngine` (``"delta"``) — stateful incremental execution
   for low-entropy streams: XOR-diffs each sample against the previous
   one and recomputes only the dirty cone, falling back to the fused
-  dense kernel when too much changed.
+  dense kernel when too much changed,
+* :class:`NativeEngine` (``"native"``) — the fused tables executed
+  through native multi-core/GPU backends (threaded word shards, and —
+  import-gated — numba and CuPy over one packed instruction stream),
+  falling back deterministically to the fused kernels.
 
 :class:`Session` amortizes compile + lowering across repeated runs.
 """
@@ -31,6 +35,8 @@ from .base import (
 from .cycle import CycleAccurateEngine
 from .delta import DeltaEngine, DeltaState
 from .fused import FusedEngine
+from .native import NativeEngine
+from .native import capabilities as native_capabilities
 from .session import DEFAULT_ENGINE, Session
 from .trace import TraceEngine
 
@@ -46,7 +52,9 @@ __all__ = [
     "DeltaEngine",
     "DeltaState",
     "FusedEngine",
+    "NativeEngine",
     "TraceEngine",
     "Session",
     "DEFAULT_ENGINE",
+    "native_capabilities",
 ]

@@ -61,12 +61,13 @@ class ExecutionEngine(ABC):
         self.program = program
 
     @classmethod
-    def from_artifact(cls, artifact) -> "ExecutionEngine":
+    def from_artifact(cls, artifact, **options) -> "ExecutionEngine":
         """Construct from a deserialized
         :class:`~repro.artifact.format.ExecutableArtifact`.  The default
         uses the program only; engines with embedded-table fast paths
-        override this."""
-        return cls(artifact.program)
+        override this.  ``options`` are engine constructor keywords
+        (see :func:`create_engine`)."""
+        return cls(artifact.program, **options)
 
     @abstractmethod
     def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
@@ -101,13 +102,18 @@ def available_engines() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def create_engine(name: str, source) -> ExecutionEngine:
+def create_engine(name: str, source, **options) -> ExecutionEngine:
     """Instantiate the engine registered under ``name``.
 
     ``source`` is a compiled :class:`Program` or an
     :class:`~repro.artifact.format.ExecutableArtifact`; artifacts hand
     their embedded lowered trace tables to the trace engine, so booting
     from an artifact performs neither compilation nor lowering.
+
+    ``options`` are engine-specific constructor keywords (e.g. the
+    native engine's ``backend=``/``threads=``, the fused engine's
+    ``rowwise_min_words=``); an option the selected engine does not
+    accept raises ``TypeError``, like any keyword mismatch.
     """
     try:
         cls = _REGISTRY[name]
@@ -118,8 +124,8 @@ def create_engine(name: str, source) -> ExecutionEngine:
     from ..artifact.format import ExecutableArtifact
 
     if isinstance(source, ExecutableArtifact):
-        return cls.from_artifact(source)
-    return cls(source)
+        return cls.from_artifact(source, **options)
+    return cls(source, **options)
 
 
 def engine_uses_trace(name: str) -> bool:

@@ -150,7 +150,7 @@ class DeltaEngine(ExecutionEngine):
     dense_level_min = 8
 
     @classmethod
-    def from_artifact(cls, artifact) -> "DeltaEngine":
+    def from_artifact(cls, artifact, **options) -> "DeltaEngine":
         # Embedded fanout tables boot with zero lowering, zero renaming
         # and zero cone analysis; absent sections are derived on the fly.
         return cls(
@@ -158,6 +158,7 @@ class DeltaEngine(ExecutionEngine):
             trace=artifact.trace,
             fused=artifact.fused,
             fanout=artifact.fanout,
+            **options,
         )
 
     def __init__(

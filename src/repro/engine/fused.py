@@ -75,8 +75,16 @@ INLINE_MAX = 4
 
 #: Batch sizes (uint64 words per PI) at or above which the rowwise
 #: kernel wins: rows are wide enough that the gather/scatter copies cost
-#: more than the extra per-instruction ufunc calls.
+#: more than the extra per-instruction ufunc calls.  The module constant
+#: is the default; every engine takes a ``rowwise_min_words`` option to
+#: override it per instance (``repro calibrate`` measures the host's
+#: actual crossover).
 ROWWISE_MIN_WORDS = 32
+
+#: In a non-contiguous (scattered) level, output sub-runs at least this
+#: long are written with direct slice copies; only the short remainder
+#: goes through one fancy-index scatter.
+SCATTER_RUN_MIN = 4
 
 #: Workspaces retained per engine (distinct batch shapes); least recently
 #: used beyond this are dropped.
@@ -140,9 +148,12 @@ def _emit_gather_level(
     Ports a and b are fetched with a single fused ``take`` of the
     concatenated index vector; segment ufuncs then compute *straight into
     the value table* — the allocator guarantees each level's output
-    registers form one contiguous run, so no scatter pass exists.  (A
-    scatter fallback covers non-contiguous tables, e.g. from a foreign
-    artifact producer.)
+    registers form one contiguous run, so no scatter pass exists.  A
+    scatter fallback covers non-contiguous levels (fragmentation-budget
+    overflows, foreign artifact producers): the allocator composes those
+    from maximal free runs sorted ascending, so the fallback writes each
+    sub-run of at least :data:`SCATTER_RUN_MIN` registers as one direct
+    slice copy and fancy-scatters only the short remainder.
     """
     k = level.num_instructions
     two_ary = any(cells.arity(seg.op) == 2 for seg in level.segments)
@@ -175,8 +186,29 @@ def _emit_gather_level(
             if inverted:
                 lines.append(f"    binv({o}, out={o})")
     if not contiguous:
-        ns[f"O{index}"] = out
-        lines.append(f"    values[O{index}] = ab_buf[:{k}]")
+        runs: List[Tuple[int, int]] = []  # (start, end) positions
+        start = 0
+        for j in range(1, k + 1):
+            if j == k or int(out[j]) != int(out[j - 1]) + 1:
+                runs.append((start, j))
+                start = j
+        rest = [(s, e) for s, e in runs if e - s < SCATTER_RUN_MIN]
+        for s, e in runs:
+            if e - s >= SCATTER_RUN_MIN:
+                o_lo = int(out[s])
+                lines.append(
+                    f"    values[{o_lo}:{o_lo + e - s}] = ab_buf[{s}:{e}]"
+                )
+        if rest:
+            pos = np.concatenate(
+                [np.arange(s, e, dtype=np.intp) for s, e in rest]
+            )
+            ns[f"O{index}"] = np.ascontiguousarray(out[pos])
+            if len(rest) == len(runs) and len(pos) == k:
+                lines.append(f"    values[O{index}] = ab_buf[:{k}]")
+            else:
+                ns[f"S{index}"] = pos
+                lines.append(f"    values[O{index}] = ab_buf[S{index}]")
 
 
 #: kernel prologue: ufuncs enter as default arguments (local-variable
@@ -185,6 +217,13 @@ def _emit_gather_level(
 _KERNEL_HEAD = (
     "def _kernel(values, rows, ab_buf, band=_band, bor=_bor, "
     "bxor=_bxor, binv=_binv):\n    take = values.take"
+)
+
+#: prologue of the timed profiling kernels: identical dataflow, plus a
+#: ``times`` accumulator written once per level.
+_TIMED_KERNEL_HEAD = (
+    "def _kernel(values, rows, ab_buf, times, band=_band, bor=_bor, "
+    "bxor=_bxor, binv=_binv, perf=_perf):\n    take = values.take"
 )
 
 
@@ -242,6 +281,54 @@ def ensure_kernels(fused: FusedProgram) -> Tuple[Callable, Callable]:
         return fused.kernel
 
 
+def generate_timed_kernels(
+    fused: FusedProgram,
+) -> Tuple[Callable, Callable]:
+    """The (vector, rowwise) kernels with per-level timing accumulation.
+
+    Identical dataflow to :func:`generate_kernels`, but each level is
+    bracketed by ``perf_counter`` reads accumulated into a ``times``
+    array: ``kernel(values, rows, ab_buf, times)``.  This is the
+    sampling profiler's view of the *actual generated kernels* — not an
+    interpreted re-execution — so per-level shares match production runs.
+    """
+    base_ns = {
+        "_band": np.bitwise_and,
+        "_bor": np.bitwise_or,
+        "_bxor": np.bitwise_xor,
+        "_binv": np.invert,
+        "_perf": time.perf_counter,
+    }
+    compiled: List[Callable] = []
+    for rowwise in (False, True):
+        ns: Dict[str, object] = dict(base_ns)
+        lines = [_TIMED_KERNEL_HEAD]
+        for index, level in enumerate(fused.levels):
+            lines.append("    _t0 = perf()")
+            inline = rowwise or level.num_instructions <= INLINE_MAX
+            if inline and _rowwise_safe(level):
+                _emit_rowwise_level(lines, level)
+            else:
+                _emit_gather_level(lines, ns, index, level)
+            lines.append(f"    times[{index}] += perf() - _t0")
+        compiled.append(_compile_kernel(lines, ns))
+    return compiled[0], compiled[1]
+
+
+def ensure_timed_kernels(fused: FusedProgram) -> Tuple[Callable, Callable]:
+    """The timed profiling kernels, compiled once and cached on the
+    fusion (in ``native_cache``, like every lazily-derived executable)."""
+    kernels = fused.native_cache.get("timed_kernels")
+    if kernels is not None:
+        return kernels
+    with _KERNEL_LOCK:
+        if "timed_kernels" not in fused.native_cache:
+            fused.native_cache["timed_kernels"] = generate_timed_kernels(
+                fused
+            )
+        return fused.native_cache["timed_kernels"]
+
+
 # ----------------------------------------------------------------------
 # Workspaces
 # ----------------------------------------------------------------------
@@ -277,12 +364,15 @@ class FusedEngine(ExecutionEngine):
     uses_trace = True
 
     @classmethod
-    def from_artifact(cls, artifact) -> "FusedEngine":
+    def from_artifact(cls, artifact, **options) -> "FusedEngine":
         # Embedded renamed tables boot with zero lowering and zero
         # renaming; the engine falls back to fusing the embedded (or
         # freshly lowered) trace when they are absent.
         return cls(
-            artifact.program, trace=artifact.trace, fused=artifact.fused
+            artifact.program,
+            trace=artifact.trace,
+            fused=artifact.fused,
+            **options,
         )
 
     def __init__(
@@ -290,8 +380,15 @@ class FusedEngine(ExecutionEngine):
         program: Program,
         trace: Optional[TraceProgram] = None,
         fused: Optional[FusedProgram] = None,
+        *,
+        rowwise_min_words: Optional[int] = None,
     ) -> None:
         super().__init__(program)
+        self.rowwise_min_words = (
+            ROWWISE_MIN_WORDS
+            if rowwise_min_words is None
+            else int(rowwise_min_words)
+        )
         if fused is not None and (trace is None or fused.trace is trace):
             # Prebuilt renamed tables (e.g. artifact-embedded): adopt
             # them; a live canonical fusion of the same trace wins.
@@ -401,7 +498,7 @@ class FusedEngine(ExecutionEngine):
             ws = self.workspace(shape)
             self._bind_inputs(ws, words)
             vector, rowwise = self._kernels
-            kernel = rowwise if math.prod(shape) >= ROWWISE_MIN_WORDS \
+            kernel = rowwise if math.prod(shape) >= self.rowwise_min_words \
                 else vector
             kernel(ws.values, ws.rows, ws.ab_buf)
             result = self._result(ws)
@@ -412,44 +509,104 @@ class FusedEngine(ExecutionEngine):
 
     # ------------------------------------------------------------------
     def profile_levels(
-        self, inputs: Dict[str, np.ndarray]
+        self, inputs: Dict[str, np.ndarray], *, repeats: int = 1
     ) -> List[Dict[str, object]]:
-        """Per-level wall time of one run (interpreted, not the generated
-        kernels — a diagnostic view with identical dataflow)."""
+        """Per-level wall time through the *generated* kernels.
+
+        Runs the timed variant of whichever kernel :meth:`run` would pick
+        for this batch shape (identical dataflow, one ``perf_counter``
+        bracket per level), accumulating over ``repeats`` runs — so the
+        per-level shares reflect production execution, not an interpreted
+        re-execution."""
         words, shape = self._gather_inputs(inputs)
         words, shape, _squeeze = self._promote_scalars(words, shape)
         with self._run_lock:
             ws = self.workspace(shape)
-            self._bind_inputs(ws, words)
-            values = ws.values
+            timed_vector, timed_rowwise = ensure_timed_kernels(self.fused)
+            use_rowwise = math.prod(shape) >= self.rowwise_min_words
+            kernel = timed_rowwise if use_rowwise else timed_vector
+            times = np.zeros(len(self.fused.levels), dtype=np.float64)
+            for _ in range(max(1, int(repeats))):
+                self._bind_inputs(ws, words)
+                kernel(ws.values, ws.rows, ws.ab_buf, times)
+            kernel_name = "rowwise" if use_rowwise else "vector"
             records: List[Dict[str, object]] = []
             for index, level in enumerate(self.fused.levels):
-                k = level.num_instructions
-                start = time.perf_counter()
-                ab = ws.ab_buf[:2 * k]
-                values.take(
-                    np.concatenate([level.a_index, level.b_index]),
-                    0, ab, "clip",
-                )
-                a, b = ab[:k], ab[k:]
-                for seg in level.segments:
-                    func = cells.WORD_FUNCS[seg.op]
-                    s, e = seg.start, seg.end
-                    if cells.arity(seg.op) == 2:
-                        a[s:e] = func(a[s:e], b[s:e])
-                    else:
-                        a[s:e] = func(a[s:e])
-                values[level.out_index] = a
                 records.append(
                     {
                         "level": index,
                         "cycle": level.cycle,
-                        "instructions": k,
+                        "instructions": level.num_instructions,
                         "segments": len(level.segments),
-                        "seconds": time.perf_counter() - start,
+                        "seconds": float(times[index]),
+                        "kernel": kernel_name,
                     }
                 )
         return records
+
+    # ------------------------------------------------------------------
+    def calibrate_crossover(
+        self,
+        *,
+        word_sizes: Optional[List[int]] = None,
+        repeats: int = 5,
+        seed: int = 0,
+    ) -> Dict[str, object]:
+        """Measure the vector/rowwise kernel crossover on this host.
+
+        Times both generated kernels over a sweep of batch word counts
+        (random stimulus, best of ``repeats``) and reports the smallest
+        size where the rowwise kernel wins — the measured value to pass
+        as ``rowwise_min_words`` (the seed of the ROADMAP autotuning
+        item).  Purely diagnostic: does not change this engine's setting.
+        """
+        from ..lpu.functional import random_stimulus
+
+        if word_sizes is None:
+            word_sizes = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+        vector, rowwise = self._kernels
+        points: List[Dict[str, object]] = []
+        crossover: Optional[int] = None
+        with self._run_lock:
+            for words_n in word_sizes:
+                stim = random_stimulus(
+                    self.program.graph, array_size=words_n, seed=seed
+                )
+                bound = [
+                    np.asarray(stim[name], dtype=_WORD)
+                    for name in self._pi_names
+                ]
+                ws = self.workspace((words_n,))
+                timings = {}
+                for label, kernel in (
+                    ("vector", vector), ("rowwise", rowwise),
+                ):
+                    best = float("inf")
+                    for _ in range(max(1, int(repeats))):
+                        self._bind_inputs(ws, bound)
+                        start = time.perf_counter()
+                        kernel(ws.values, ws.rows, ws.ab_buf)
+                        best = min(best, time.perf_counter() - start)
+                    timings[label] = best
+                points.append(
+                    {
+                        "words": words_n,
+                        "vector_seconds": timings["vector"],
+                        "rowwise_seconds": timings["rowwise"],
+                    }
+                )
+                if (
+                    crossover is None
+                    and timings["rowwise"] <= timings["vector"]
+                ):
+                    crossover = words_n
+        return {
+            "graph": self.program.graph.name,
+            "default_rowwise_min_words": ROWWISE_MIN_WORDS,
+            "engine_rowwise_min_words": self.rowwise_min_words,
+            "measured_crossover_words": crossover,
+            "points": points,
+        }
 
     # ------------------------------------------------------------------
     def workspace_stats(self) -> Dict[str, object]:

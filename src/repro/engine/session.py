@@ -12,7 +12,7 @@ run over shape ``(array_size,)`` inputs performs inference on
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -42,11 +42,17 @@ class Session:
             the ahead-of-time serving path).
         config: LPU parameters, when compiling from a graph
             (:data:`~repro.core.config.PAPER_CONFIG` by default).
-        engine: registered engine name (``"fused"``, ``"trace"``, or
-            ``"cycle"``), or an
+        engine: registered engine name (``"fused"``, ``"native"``,
+            ``"trace"``, ...), or an
             already-constructed :class:`ExecutionEngine` bound to ``source``
             — the reuse hook serving layers use to share one-time lowering
             artifacts across many sessions over the same program.
+        engine_options: engine-specific constructor keywords forwarded
+            to :func:`repro.engine.create_engine` (the native engine's
+            ``backend=``/``threads=``/``min_shard_words=``, the fused
+            engine's ``rowwise_min_words=``, ...).  Only valid with an
+            engine *name* — a pre-built engine instance already carries
+            its options.
         **compile_kwargs: forwarded to :func:`repro.core.compile_ffcl`
             (``merge``, ``policy``, ``basis``, ...) when compiling.  This
             includes the pass-manager knobs: ``pipeline=`` selects a named
@@ -60,6 +66,7 @@ class Session:
         config: Optional[LPUConfig] = None,
         *,
         engine: Union[str, ExecutionEngine] = DEFAULT_ENGINE,
+        engine_options: Optional[Mapping[str, object]] = None,
         **compile_kwargs,
     ) -> None:
         from ..artifact.format import ExecutableArtifact
@@ -97,6 +104,12 @@ class Session:
             engine_source = program
         self.program = program
         if isinstance(engine, ExecutionEngine):
+            if engine_options:
+                raise ValueError(
+                    "engine_options apply when the session constructs "
+                    "the engine; a pre-built engine instance already "
+                    "carries its options"
+                )
             if engine.program is not program:
                 raise ValueError(
                     "the supplied engine instance executes a different "
@@ -104,7 +117,9 @@ class Session:
                 )
             self.engine: ExecutionEngine = engine
         else:
-            self.engine = create_engine(engine, engine_source)
+            self.engine = create_engine(
+                engine, engine_source, **dict(engine_options or {})
+            )
         self.runs_completed = 0
 
     # ------------------------------------------------------------------

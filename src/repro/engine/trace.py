@@ -40,8 +40,8 @@ class TraceEngine(ExecutionEngine):
     uses_trace = True
 
     @classmethod
-    def from_artifact(cls, artifact) -> "TraceEngine":
-        return cls(artifact.program, artifact.trace_program())
+    def from_artifact(cls, artifact, **options) -> "TraceEngine":
+        return cls(artifact.program, artifact.trace_program(), **options)
 
     def __init__(
         self, program: Program, trace: Optional[TraceProgram] = None

@@ -43,18 +43,23 @@ def cross_check(
     inputs: Optional[Dict[str, np.ndarray]] = None,
     seed: int = 0,
     engine: str = "cycle",
+    engine_options: Optional[Dict[str, object]] = None,
 ) -> Tuple[bool, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
     """Run an execution engine and the functional evaluator on the same
     stimulus; returns (agree, lpu_outputs, reference_outputs).
 
     ``engine`` selects any registered :mod:`repro.engine` backend; the
-    default is the cycle-accurate hardware model.
+    default is the cycle-accurate hardware model.  ``engine_options``
+    are constructor keywords for that engine (e.g. ``backend=`` for the
+    native engine).
     """
     from ..engine import create_engine
 
     if inputs is None:
         inputs = random_stimulus(program.graph, seed=seed)
-    result = create_engine(engine, program).run(inputs)
+    result = create_engine(
+        engine, program, **dict(engine_options or {})
+    ).run(inputs)
     reference = evaluate_graph(program.graph, inputs)
     agree = set(result.outputs) == set(reference)
     if agree:

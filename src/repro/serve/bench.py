@@ -79,7 +79,10 @@ def run_serve_bench(
     ]
 
     # Naive baseline: compile-once, one engine run per request.
-    session = Session(program, engine=engine)
+    session = Session(
+        program, engine=engine,
+        engine_options=dict(serving.engine_options) or None,
+    )
     session.run(stimuli[0])  # warm-up
     start = time.perf_counter()
     naive_results = [session.run(stim) for stim in stimuli]

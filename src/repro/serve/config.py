@@ -37,6 +37,11 @@ class ServeConfig:
 
     Args:
         engine: execution engine every worker runs (``"fused"`` default).
+        engine_options: engine-specific constructor keywords every
+            worker session forwards to
+            :func:`repro.engine.create_engine` (the native engine's
+            ``backend=``/``threads=``/``min_shard_words=``, the fused
+            engine's ``rowwise_min_words=``, ...).
         num_workers: parallel engine instances in the worker pool.
         max_batch_size: requests coalesced into one engine run.
         max_wait_ms: micro-batching deadline for a non-full batch.
@@ -56,6 +61,7 @@ class ServeConfig:
     """
 
     engine: str = DEFAULT_ENGINE
+    engine_options: Mapping[str, object] = field(default_factory=dict)
     num_workers: int = 1
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
@@ -104,6 +110,7 @@ class ServeConfig:
         """JSON-able snapshot (objects reduced to their reprs)."""
         return {
             "engine": self.engine,
+            "engine_options": dict(self.engine_options),
             "num_workers": self.num_workers,
             "max_batch_size": self.max_batch_size,
             "max_wait_ms": self.max_wait_ms,
@@ -119,6 +126,7 @@ class ServeConfig:
 #: the pre-ServeConfig keyword surface the shim keeps alive.
 LEGACY_SERVE_KEYS: Tuple[str, ...] = (
     "engine",
+    "engine_options",
     "num_workers",
     "max_batch_size",
     "max_wait_ms",

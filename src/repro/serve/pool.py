@@ -57,9 +57,17 @@ _STOP = object()
 class _ThreadWorker:
     """One worker thread owning one engine-bound session."""
 
-    def __init__(self, index: int, program: Program, engine: str) -> None:
+    def __init__(
+        self,
+        index: int,
+        program: Program,
+        engine: str,
+        engine_options: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.index = index
-        self.session = Session(program, engine=engine)
+        self.session = Session(
+            program, engine=engine, engine_options=engine_options
+        )
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._thread = threading.Thread(
             target=self._loop, name=f"repro-worker-{index}", daemon=True
@@ -114,13 +122,20 @@ _PROC_SESSION: Optional[Session] = None
 _PROC_ARENA = None
 
 
-def _proc_initializer(program: Program, engine: str) -> None:
+def _proc_initializer(
+    program: Program, engine: str, engine_options=None
+) -> None:
     global _PROC_SESSION
-    _PROC_SESSION = Session(program, engine=engine)
+    _PROC_SESSION = Session(
+        program, engine=engine, engine_options=engine_options
+    )
 
 
 def _spawn_initializer(
-    artifact_bytes: bytes, engine: str, arena_handle=None
+    artifact_bytes: bytes,
+    engine: str,
+    arena_handle=None,
+    engine_options=None,
 ) -> None:
     global _PROC_SESSION, _PROC_ARENA
     artifact = ExecutableArtifact.from_bytes(artifact_bytes)
@@ -132,7 +147,9 @@ def _spawn_initializer(
 
         _PROC_ARENA = SharedTableArena.attach(arena_handle)
         _PROC_ARENA.rebind(artifact.fused_program())
-    _PROC_SESSION = artifact.session(engine=engine)
+    _PROC_SESSION = artifact.session(
+        engine=engine, engine_options=engine_options
+    )
 
 
 def _proc_run(inputs: Dict[str, np.ndarray]) -> SimulationResult:
@@ -144,14 +161,20 @@ class _ProcessWorker:
     """One worker backed by a single-process executor (its own queue, so
     pool-level placement stays in charge of sharding)."""
 
-    def __init__(self, index: int, program: Program, engine: str) -> None:
+    def __init__(
+        self,
+        index: int,
+        program: Program,
+        engine: str,
+        engine_options: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.index = index
         context = multiprocessing.get_context("fork")
         self._executor = ProcessPoolExecutor(
             max_workers=1,
             mp_context=context,
             initializer=_proc_initializer,
-            initargs=(program, engine),
+            initargs=(program, engine, engine_options),
         )
 
     def submit(
@@ -172,6 +195,7 @@ class _SpawnWorker:
         artifact_bytes: bytes,
         engine: str,
         arena_handle=None,
+        engine_options: Optional[Dict[str, object]] = None,
     ) -> None:
         self.index = index
         context = multiprocessing.get_context("spawn")
@@ -179,7 +203,7 @@ class _SpawnWorker:
             max_workers=1,
             mp_context=context,
             initializer=_spawn_initializer,
-            initargs=(artifact_bytes, engine, arena_handle),
+            initargs=(artifact_bytes, engine, arena_handle, engine_options),
         )
 
     def submit(
@@ -198,6 +222,9 @@ class WorkerPool:
         program: the compiled program every worker executes.
         num_workers: engine instances (threads or processes).
         engine: registered engine name each worker runs.
+        engine_options: engine constructor keywords forwarded to every
+            worker's session (see :func:`repro.engine.create_engine`);
+            must be picklable for the process backends.
         placement: ``"round_robin"`` or ``"least_loaded"``.
         backend: ``"thread"`` (default), ``"fork"`` (process workers via
             fork inheritance, POSIX only), ``"spawn"`` (process workers
@@ -220,6 +247,7 @@ class WorkerPool:
         *,
         num_workers: int = 2,
         engine: str = DEFAULT_ENGINE,
+        engine_options: Optional[Dict[str, object]] = None,
         placement: str = "round_robin",
         backend: str = "thread",
         artifact: Optional[ExecutableArtifact] = None,
@@ -250,6 +278,10 @@ class WorkerPool:
             )
         self.program = program
         self.engine = engine
+        self.engine_options = (
+            dict(engine_options) if engine_options else None
+        )
+        engine_options = self.engine_options
         self.placement = placement
         self.backend = backend
         self.artifact = artifact
@@ -273,17 +305,20 @@ class WorkerPool:
                 self._arena = SharedTableArena.publish(artifact.fused)
                 arena_handle = self._arena.handle()
             workers = [
-                _SpawnWorker(i, artifact_bytes, engine, arena_handle)
+                _SpawnWorker(
+                    i, artifact_bytes, engine, arena_handle,
+                    engine_options,
+                )
                 for i in range(num_workers)
             ]
         elif backend == "fork":
             workers = [
-                _ProcessWorker(i, program, engine)
+                _ProcessWorker(i, program, engine, engine_options)
                 for i in range(num_workers)
             ]
         else:
             workers = [
-                _ThreadWorker(i, program, engine)
+                _ThreadWorker(i, program, engine, engine_options)
                 for i in range(num_workers)
             ]
         self._workers = workers

@@ -80,6 +80,7 @@ class InferenceServer:
             self.program,
             num_workers=serving.num_workers,
             engine=serving.engine,
+            engine_options=dict(serving.engine_options) or None,
             placement=serving.placement,
             backend=serving.backend,
             # Spawn workers ship these bytes instead of re-packaging.
@@ -180,6 +181,8 @@ def naive_serve(
     is no pool, no batching, no cache."""
     serving, compile_options = resolve_serving(serving, kwargs)
     session = Session(
-        source, config, engine=serving.engine, **compile_options
+        source, config, engine=serving.engine,
+        engine_options=dict(serving.engine_options) or None,
+        **compile_options,
     )
     return [session.run(request) for request in requests]

@@ -171,6 +171,7 @@ class StreamingServer:
             self.program,
             num_workers=serving.num_workers,
             engine=serving.engine,
+            engine_options=dict(serving.engine_options) or None,
             backend="thread",
             artifact=entry.artifact,
         )

@@ -67,7 +67,9 @@ def assert_engines_agree(program, seed=0, array_size=3):
 
 class TestRegistry:
     def test_all_engines_registered(self):
-        assert available_engines() == ["cycle", "delta", "fused", "trace"]
+        assert available_engines() == [
+            "cycle", "delta", "fused", "native", "trace"
+        ]
 
     def test_create_engine(self):
         g = random_dag(4, 20, 1, seed=0)

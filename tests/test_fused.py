@@ -563,3 +563,124 @@ class TestFusedProperties:
         trace = lower_program(res.program)
         fused = fuse_trace(trace)
         assert fused.num_regs <= trace.num_slots
+
+
+# ----------------------------------------------------------------------
+class TestRunComposedAllocation:
+    """In-level instruction order follows ascending output registers, so
+    scattered levels decompose into few long contiguous runs (the
+    slice-copy fast path of the generated and native kernels), and a
+    fragmentation-starved allocation stays bit-identical."""
+
+    def _tight_fusion(self, seed=1):
+        g = random_dag(6, 90, 3, seed=seed)
+        res = compile_ffcl(g, SMALL)
+        trace = lower_program(res.program)
+        return res, fuse_trace(trace, frag_budget=0)
+
+    def test_free_runs_groups_contiguous_registers(self):
+        from repro.core.liveness import _free_runs
+
+        assert _free_runs([]) == []
+        assert _free_runs([4]) == [(1, 4)]
+        assert _free_runs([2, 3, 4, 7, 9, 10]) == [(3, 2), (1, 7), (2, 9)]
+
+    def test_out_index_ascending_even_when_fragmented(self):
+        res, tight = self._tight_fusion()
+        assert any(
+            np.any(np.diff(lv.out_index) != 1) for lv in tight.levels
+        ), "frag_budget=0 should force at least one scattered level"
+        for level in tight.levels:
+            # Sorted and distinct: scattered levels are still composed
+            # of ascending runs the emitters can slice-copy.
+            assert np.all(np.diff(level.out_index) > 0)
+
+    def test_fragmented_allocation_bit_identical(self):
+        res, tight = self._tight_fusion()
+        graph = res.program.graph
+        engine = FusedEngine(res.program, fused=tight)
+        assert engine.fused is tight
+        trace_engine = create_engine("trace", res.program)
+        for array_size in (1, 3, ROWWISE_MIN_WORDS):
+            stim = random_stimulus(graph, array_size=array_size, seed=7)
+            reference = evaluate_graph(graph, stim)
+            result = engine.run(stim)
+            expected = trace_engine.run(stim)
+            for name, word in reference.items():
+                assert np.array_equal(result.outputs[name], word), name
+            assert (
+                result.compute_instructions_executed
+                == expected.compute_instructions_executed
+            )
+            assert result.macro_cycles == expected.macro_cycles
+
+    def test_run_length_stats_report(self):
+        res, tight = self._tight_fusion()
+        default = fuse_trace(tight.trace, cache=False)
+        loose, strained = (
+            default.run_length_stats(), tight.run_length_stats()
+        )
+        for stats in (loose, strained):
+            assert stats["levels"] == default.num_levels
+            assert 0.0 <= stats["contiguous_fraction"] <= 1.0
+            assert stats["mean_runs_per_level"] >= 1.0
+            assert stats["mean_max_run"] >= 1.0
+        # The default fragmentation budget never does worse than the
+        # starved one on fast-path coverage.
+        assert (
+            loose["contiguous_fraction"] >= strained["contiguous_fraction"]
+        )
+        assert loose["mean_runs_per_level"] <= strained["mean_runs_per_level"]
+
+
+# ----------------------------------------------------------------------
+class TestEngineTuning:
+    def test_rowwise_min_words_option(self):
+        g = random_dag(5, 40, 2, seed=31)
+        res = compile_ffcl(g, SMALL)
+        graph = res.program.graph
+        engine = create_engine("fused", res.program, rowwise_min_words=1)
+        assert engine.rowwise_min_words == 1
+        vector, rowwise = engine._kernels
+        calls = []
+        engine._kernels = (
+            lambda *a, _k=vector: (calls.append("vector"), _k(*a))[1],
+            lambda *a, _k=rowwise: (calls.append("rowwise"), _k(*a))[1],
+        )
+        stim = random_stimulus(graph, array_size=2, seed=0)
+        reference = evaluate_graph(graph, stim)
+        result = engine.run(stim)
+        # 2 words >= the overridden threshold: rowwise despite the
+        # tiny batch, and still bit-identical.
+        assert calls == ["rowwise"]
+        for name, word in reference.items():
+            assert np.array_equal(result.outputs[name], word), name
+
+    def test_profile_levels_reports_kernel_choice(self):
+        g = random_dag(5, 40, 2, seed=32)
+        res = compile_ffcl(g, SMALL)
+        engine = create_engine("fused", res.program)
+        graph = res.program.graph
+        small = random_stimulus(graph, array_size=2, seed=0)
+        large = random_stimulus(
+            graph, array_size=ROWWISE_MIN_WORDS, seed=0
+        )
+        assert {
+            r["kernel"] for r in engine.profile_levels(small)
+        } == {"vector"}
+        assert {
+            r["kernel"] for r in engine.profile_levels(large)
+        } == {"rowwise"}
+
+    def test_calibrate_crossover_smoke(self):
+        g = random_dag(5, 40, 2, seed=33)
+        res = compile_ffcl(g, SMALL)
+        engine = create_engine("fused", res.program)
+        report = engine.calibrate_crossover(word_sizes=[1, 2], repeats=1)
+        assert report["default_rowwise_min_words"] == ROWWISE_MIN_WORDS
+        assert report["engine_rowwise_min_words"] == ROWWISE_MIN_WORDS
+        assert [p["words"] for p in report["points"]] == [1, 2]
+        for point in report["points"]:
+            assert point["vector_seconds"] > 0
+            assert point["rowwise_seconds"] > 0
+        assert report["measured_crossover_words"] in (1, 2, None)
