@@ -1,0 +1,242 @@
+"""Whole-model pipelined throughput: the stage pipeline vs serial chains.
+
+A compiled model ships as a format-v2 ``.lpa`` bundle — N member
+programs plus a dataflow manifest (PR 9).  The
+:class:`~repro.pipeline.PipelineExecutor` runs one engine per stage on
+its own thread with bounded inter-stage queues, so stage ``k`` of batch
+``i`` overlaps stage ``k+1`` of batch ``i-1``.  This bench builds a
+4-stage chain of random DAG blocks, streams a batch train through it,
+and asserts the acceptance properties:
+
+* **>= 1.5x steady-state whole-model throughput** over serial per-stage
+  ``Session.run`` on hosts with >= 4 cores (the speedup ratio is
+  archived on every host, asserted only where the cores exist to earn
+  it);
+* **single-batch latency within 10% of serial** (best-of-N, same >= 4
+  core gate — on a single core the pipelined path pays thread handoffs
+  with nothing to overlap);
+* **bit-identical outputs AND statistics** per batch, pipelined vs
+  serial — including after a full format-v2 serialize/deserialize round
+  trip — asserted everywhere;
+* member programs round-trip **byte-for-byte** through the v2 container
+  (the v1 per-program encoder is embedded verbatim).
+"""
+
+import os
+import timeit
+
+import numpy as np
+from conftest import fast_mode, publish, publish_json
+
+from repro.analysis import render_table
+from repro.artifact import bundle_model, load_artifact_bytes
+from repro.core import PAPER_CONFIG
+from repro.lpu.functional import random_stimulus
+from repro.netlist.random_graphs import random_dag
+from repro.pipeline import PipelineExecutor, SerialChainRunner
+
+STAGES = 4
+WIDTH = 8  # PIs/POs per stage (stage k POs wire to stage k+1 PIs)
+GATES = 300 if fast_mode() else 800
+ARRAY_SIZE = 256 if fast_mode() else 2048
+BATCHES = 12 if fast_mode() else 32
+DEPTH = 4
+LATENCY_REPEATS = 5
+MIN_SPEEDUP = 1.5
+MAX_LATENCY_RATIO = 1.1
+MIN_CORES = 4
+
+_CACHE = {}
+
+
+def _bundle():
+    if "bundle" not in _CACHE:
+        graphs = [
+            random_dag(WIDTH, GATES, WIDTH, seed=seed)
+            for seed in range(STAGES)
+        ]
+        wirings = [
+            {f"x{j}": f"y{j}" for j in range(WIDTH)}
+        ] * (STAGES - 1)
+        _CACHE["bundle"] = bundle_model(
+            graphs,
+            PAPER_CONFIG,
+            wirings=wirings,
+            name="bench_pipeline",
+            probe_words=2,
+        )
+    return _CACHE["bundle"]
+
+
+def _identical(a, b) -> bool:
+    """Outputs AND every statistic equal — the pipeline's contract."""
+    if set(a.outputs) != set(b.outputs):
+        return False
+    if any(
+        not np.array_equal(a.outputs[name], b.outputs[name])
+        for name in a.outputs
+    ):
+        return False
+    return (
+        a.macro_cycles,
+        a.clock_cycles,
+        a.compute_instructions_executed,
+        a.switch_routes,
+        a.peak_buffer_words,
+        a.buffer_writes,
+    ) == (
+        b.macro_cycles,
+        b.clock_cycles,
+        b.compute_instructions_executed,
+        b.switch_routes,
+        b.peak_buffer_words,
+        b.buffer_writes,
+    )
+
+
+def test_pipeline_throughput(benchmark):
+    bundle = _bundle()
+    benchmark(lambda: None)
+    cores = os.cpu_count() or 1
+
+    # The v2 round trip first: the throughput run below executes the
+    # DESERIALIZED bundle, so bit-identity covers the format layer too.
+    data = bundle.to_bytes()
+    loaded = load_artifact_bytes(data)
+    assert loaded.to_bytes() == data, "v2 container is not deterministic"
+    for member, decoded in zip(bundle.members, loaded.members):
+        assert member.to_bytes() == decoded.to_bytes(), (
+            "member program bytes changed across the bundle round trip"
+        )
+
+    graph = loaded.reference_graph()
+    stimuli = [
+        random_stimulus(graph, array_size=ARRAY_SIZE, seed=seed)
+        for seed in range(BATCHES)
+    ]
+
+    # Serial reference: per-stage Session.run on one thread, the exact
+    # statistics reduction the executor applies.
+    runner = SerialChainRunner(loaded)
+    runner.run(stimuli[0])  # warm-up
+    start = timeit.default_timer()
+    serial_results = [runner.run(stim) for stim in stimuli]
+    serial_seconds = timeit.default_timer() - start
+
+    executor = PipelineExecutor(loaded, depth=DEPTH)
+    try:
+        executor.run(stimuli[0])  # warm-up
+        executor.reset_stats()
+        start = timeit.default_timer()
+        piped_results = executor.map(stimuli)
+        piped_seconds = timeit.default_timer() - start
+        stats = executor.stats()
+
+        serial_latency = min(
+            timeit.repeat(
+                lambda: runner.run(stimuli[0]),
+                number=1,
+                repeat=LATENCY_REPEATS,
+            )
+        )
+        piped_latency = min(
+            timeit.repeat(
+                lambda: executor.run(stimuli[0]),
+                number=1,
+                repeat=LATENCY_REPEATS,
+            )
+        )
+    finally:
+        executor.close()
+
+    for serial, piped in zip(serial_results, piped_results):
+        assert _identical(serial, piped), (
+            "pipelined result diverged from the serial reference"
+        )
+    probe_report = loaded.verify_probes()
+    assert probe_report["passed"], probe_report
+
+    speedup = serial_seconds / piped_seconds if piped_seconds > 0 else None
+    latency_ratio = (
+        piped_latency / serial_latency if serial_latency > 0 else None
+    )
+    scoreboard = stats["scoreboard"]
+    assert scoreboard["retired"] == scoreboard["submitted"]
+    assert scoreboard["in_flight"] == 0
+
+    report = {
+        "fast_mode": fast_mode(),
+        "cores": cores,
+        "stages": STAGES,
+        "gates_per_stage": GATES,
+        "array_size": ARRAY_SIZE,
+        "batches": BATCHES,
+        "depth": DEPTH,
+        "samples_per_batch": 64 * ARRAY_SIZE,
+        "serial_seconds": serial_seconds,
+        "pipelined_seconds": piped_seconds,
+        "speedup": speedup,
+        "serial_latency_seconds": serial_latency,
+        "pipelined_latency_seconds": piped_latency,
+        "latency_ratio": latency_ratio,
+        "asserted": cores >= MIN_CORES,
+        "min_speedup": MIN_SPEEDUP,
+        "max_latency_ratio": MAX_LATENCY_RATIO,
+        "stage_occupancy": stats["stages"],
+        "scoreboard": scoreboard,
+    }
+    rows = [
+        [
+            "serial per-stage Session.run",
+            f"{BATCHES / serial_seconds:,.1f}",
+            f"{serial_latency * 1e3:.2f}",
+            "1.00x",
+        ],
+        [
+            f"PipelineExecutor (depth {DEPTH})",
+            f"{BATCHES / piped_seconds:,.1f}",
+            f"{piped_latency * 1e3:.2f}",
+            f"{speedup:.2f}x",
+        ],
+    ]
+    publish(
+        "pipeline",
+        render_table(
+            f"Whole-model pipeline — {STAGES} stages x {GATES} gates, "
+            f"{BATCHES} batches x {64 * ARRAY_SIZE} samples, "
+            f"{cores} core(s)",
+            ["path", "batches/s", "latency ms", "speedup"],
+            rows,
+        ),
+    )
+    publish_json("pipeline", report)
+
+    # The throughput/latency floors only exist where the cores do: on
+    # fewer than MIN_CORES the stage threads time-slice one another and
+    # the overlap has nothing to run on.  The ratio is archived above on
+    # every host either way.
+    if cores >= MIN_CORES:
+        assert speedup >= MIN_SPEEDUP, (
+            f"pipeline only {speedup:.2f}x over serial chains on "
+            f"{cores} cores"
+        )
+        assert latency_ratio <= MAX_LATENCY_RATIO, (
+            f"single-batch latency {latency_ratio:.2f}x serial"
+        )
+
+
+def test_pipeline_backpressure_lockstep(benchmark):
+    """depth=1 (lockstep) must still retire everything bit-identically:
+    the bounded queues are a correctness-neutral throughput knob."""
+    bundle = _bundle()
+    benchmark(lambda: None)
+    graph = bundle.reference_graph()
+    stimuli = [
+        random_stimulus(graph, array_size=32, seed=100 + seed)
+        for seed in range(6)
+    ]
+    runner = SerialChainRunner(bundle)
+    with PipelineExecutor(bundle, depth=1) as executor:
+        piped = executor.map(stimuli)
+    for stim, result in zip(stimuli, piped):
+        assert _identical(runner.run(stim), result)

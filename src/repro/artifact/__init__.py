@@ -45,12 +45,20 @@ from .backends import HTTPStoreBackend, MemoryStoreBackend
 from .codec import ArtifactDecodeError
 from .format import (
     ARTIFACT_SUFFIX,
+    BUNDLE_FORMAT_VERSION,
     FORMAT_MAGIC,
     FORMAT_VERSION,
+    SINGLE_PROGRAM_VERSION,
     ArtifactError,
     ExecutableArtifact,
     ProbeSet,
+    load_artifact,
+    load_artifact_bytes,
+    peek_header,
+    reader_versions,
+    register_reader,
 )
+from .bundle import ArtifactBundle, StageLink, bundle_model
 from .store import (
     ArtifactStore,
     DirectoryBackend,
@@ -62,8 +70,11 @@ from .store import (
 
 __all__ = [
     "ARTIFACT_SUFFIX",
+    "BUNDLE_FORMAT_VERSION",
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
+    "SINGLE_PROGRAM_VERSION",
+    "ArtifactBundle",
     "ArtifactDecodeError",
     "ArtifactError",
     "ArtifactStore",
@@ -72,8 +83,15 @@ __all__ = [
     "HTTPStoreBackend",
     "MemoryStoreBackend",
     "ProbeSet",
+    "StageLink",
     "StoreBackend",
     "StoreEntry",
     "StoreStats",
+    "bundle_model",
+    "load_artifact",
+    "load_artifact_bytes",
+    "peek_header",
+    "reader_versions",
+    "register_reader",
     "store_key",
 ]

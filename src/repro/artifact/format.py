@@ -54,16 +54,31 @@ from .codec import (
 
 __all__ = [
     "ARTIFACT_SUFFIX",
+    "BUNDLE_FORMAT_VERSION",
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
+    "SINGLE_PROGRAM_VERSION",
     "ArtifactError",
     "ExecutableArtifact",
     "ProbeSet",
+    "load_artifact",
+    "load_artifact_bytes",
+    "peek_header",
+    "reader_versions",
+    "register_reader",
 ]
 
 #: container identification + compatibility gate.
 FORMAT_MAGIC = "repro-lpa"
-FORMAT_VERSION = 1
+#: the single-program section layout every ``.lpa`` written since PR 4
+#: uses; single-program artifacts keep stamping (and round-tripping)
+#: this version so their bytes stay identical across format bumps.
+SINGLE_PROGRAM_VERSION = 1
+#: the multi-program bundle layout (a manifest of member programs, each
+#: encoded as its own embedded v1 container).
+BUNDLE_FORMAT_VERSION = 2
+#: newest format generation this build understands (reads *and* writes).
+FORMAT_VERSION = BUNDLE_FORMAT_VERSION
 #: conventional file suffix ("LPU artifact").
 ARTIFACT_SUFFIX = ".lpa"
 
@@ -71,6 +86,76 @@ ARTIFACT_SUFFIX = ".lpa"
 class ArtifactError(RuntimeError):
     """The bytes are not a loadable artifact (corrupt, wrong format, or an
     incompatible format version)."""
+
+
+# ----------------------------------------------------------------------
+# Version negotiation: the reader registry
+# ----------------------------------------------------------------------
+#: format version -> reader(data: bytes) -> decoded artifact object.
+#: Version 1 (single program) registers below; version 2 (bundle)
+#: registers from :mod:`repro.artifact.bundle` at import.
+_READERS: Dict[int, object] = {}
+
+
+def register_reader(version: int, reader=None):
+    """Register ``reader`` for ``version`` (usable as a decorator)."""
+
+    def _register(fn):
+        _READERS[int(version)] = fn
+        return fn
+
+    if reader is not None:
+        return _register(reader)
+    return _register
+
+
+def reader_versions() -> Tuple[int, ...]:
+    """Format versions this build can load, sorted ascending."""
+    return tuple(sorted(_READERS))
+
+
+def _version_error(version) -> ArtifactError:
+    known = "{" + ", ".join(str(v) for v in reader_versions()) + "}"
+    return ArtifactError(
+        f"artifact format v{version} not supported, "
+        f"reader registry has {known}"
+    )
+
+
+def peek_header(data: bytes) -> Dict[str, object]:
+    """The container header alone — magic-checked, but *not* version-
+    gated and *not* fingerprint-verified — so tooling (``repro inspect``)
+    can still print identity and provenance of an artifact whose format
+    version this build cannot decode."""
+    try:
+        header, _arrays = unpack_container(data)
+    except ArtifactDecodeError as exc:
+        raise ArtifactError(str(exc)) from exc
+    if header.get("magic") != FORMAT_MAGIC:
+        raise ArtifactError("not a repro executable artifact (bad magic)")
+    return header
+
+
+def load_artifact_bytes(data: bytes):
+    """Decode any supported ``.lpa`` container, negotiating the format
+    version through the reader registry.
+
+    Returns an :class:`ExecutableArtifact` (format v1) or an
+    :class:`~repro.artifact.bundle.ArtifactBundle` (format v2); an
+    unknown version raises :class:`ArtifactError` naming the versions
+    this build reads."""
+    header = peek_header(data)
+    version = header.get("format_version")
+    reader = _READERS.get(version)
+    if reader is None:
+        raise _version_error(version)
+    return reader(data)
+
+
+def load_artifact(path: str):
+    """:func:`load_artifact_bytes` over a file."""
+    with open(path, "rb") as handle:
+        return load_artifact_bytes(handle.read())
 
 
 @dataclass(frozen=True)
@@ -324,7 +409,7 @@ class ExecutableArtifact:
     def _encode(self):
         header, arrays = encode_program(self.program)
         header["magic"] = FORMAT_MAGIC
-        header["format_version"] = FORMAT_VERSION
+        header["format_version"] = SINGLE_PROGRAM_VERSION
         header["producer"] = self.producer
         header["workload_fingerprint"] = self.workload_fingerprint
         header["pipeline"] = self.pipeline
@@ -387,11 +472,14 @@ class ExecutableArtifact:
                 "not a repro executable artifact (bad magic)"
             )
         version = header.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ArtifactError(
-                f"unsupported artifact format version {version!r} "
-                f"(this build reads version {FORMAT_VERSION})"
-            )
+        if version != SINGLE_PROGRAM_VERSION:
+            if version in _READERS:
+                raise ArtifactError(
+                    f"artifact is a format v{version} container, not a "
+                    f"single-program artifact; load it through "
+                    f"repro.artifact.load_artifact()"
+                )
+            raise _version_error(version)
         expected = header.get("fingerprint")
         actual = content_fingerprint(header, arrays)
         if expected != actual:
@@ -461,6 +549,13 @@ class ExecutableArtifact:
     def load(cls, path: str) -> "ExecutableArtifact":
         with open(path, "rb") as handle:
             return cls.from_bytes(handle.read())
+
+    @classmethod
+    def from_bundle(cls, bundle, stage=0) -> "ExecutableArtifact":
+        """Extract one member program of a v2
+        :class:`~repro.artifact.bundle.ArtifactBundle` as a standalone
+        single-program artifact (``stage`` is an index or stage name)."""
+        return bundle.member(stage)
 
     # ------------------------------------------------------------------
     # Execution
@@ -563,7 +658,7 @@ class ExecutableArtifact:
             self.pipeline.split("+") if self.pipeline else []
         )
         return {
-            "format_version": FORMAT_VERSION,
+            "format_version": SINGLE_PROGRAM_VERSION,
             "producer": self.producer,
             "fingerprint": self.fingerprint or self._refresh_fingerprint(),
             "workload_fingerprint": self.workload_fingerprint,
@@ -626,3 +721,7 @@ class ExecutableArtifact:
             f"pipeline={self.pipeline!r}, "
             f"trace={'yes' if self.trace is not None else 'no'})"
         )
+
+
+# The format-v1 reader: the single-program artifact itself.
+register_reader(SINGLE_PROGRAM_VERSION, ExecutableArtifact.from_bytes)

@@ -5,7 +5,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli compile block.v --lpvs 16 --lpes 32 [--json]
     python -m repro.cli compile block.v --pipeline no-merge --explain-passes
     python -m repro.cli compile block.v -o block.lpa [--probe-words 4]
+    python -m repro.cli compile s1.v s2.v s3.v --bundle -o model.lpa
     python -m repro.cli inspect block.lpa [--json] [--verify]
+    python -m repro.cli inspect model.lpa --verify  (chain replay)
     python -m repro.cli serve block.v --workers 4 --port 8080
     python -m repro.cli serve --artifact block.lpa --store-url http://a:8080/v1/store
     python -m repro.cli load-bench block.v --requests 512 --clients 8
@@ -14,6 +16,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli simulate --artifact block.lpa --engine trace
     python -m repro.cli throughput block.v --array-size 256 --batches 16
     python -m repro.cli throughput block.v --engine native --native-threads 8
+    python -m repro.cli throughput --artifact model.lpa --json
     python -m repro.cli calibrate block.v --max-words 256 [--json]
     python -m repro.cli serve-bench block.v --requests 256 --workers 2
     python -m repro.cli serve-bench --artifact block.lpa --backend spawn
@@ -36,6 +39,13 @@ through a fresh engine, falling back to a functional cross-check when
 none are packaged), and ``simulate``/``serve-bench`` accept
 ``--artifact`` in place of a netlist to run a previously compiled
 executable with zero compilation.
+``compile --bundle`` compiles several netlists as the stages of one
+format-v2 multi-program bundle (stage PIs wired from the previous
+stage's same-named POs); ``serve --artifact``/``serve-bench``/
+``throughput`` execute a bundle as a software pipeline — one engine per
+stage, bounded inter-stage queues (``--pipeline-depth``) — and
+``inspect --verify`` replays its embedded probes through the whole
+chain.
 ``serve`` boots a network-addressable fabric node
 (:mod:`repro.serve.fabric`): an asyncio HTTP front-end with admission
 control over the batched serving stack, plus a ``/v1/store`` artifact
@@ -86,8 +96,17 @@ import sys
 import time
 from typing import Optional, Sequence
 
+import numpy as np
+
 from . import __version__
-from .artifact import ArtifactStore, ExecutableArtifact
+from .artifact import (
+    ArtifactBundle,
+    ArtifactStore,
+    ExecutableArtifact,
+    bundle_model,
+    load_artifact,
+    peek_header,
+)
 from .core.liveness import fusion_cache_stats
 from .core.trace import lowering_cache_stats
 from .compiler import (
@@ -123,9 +142,18 @@ def _load_graph(path: str):
 
 
 def _add_common(
-    parser: argparse.ArgumentParser, netlist_optional: bool = False
+    parser: argparse.ArgumentParser,
+    netlist_optional: bool = False,
+    netlist_multi: bool = False,
 ) -> None:
-    if netlist_optional:
+    if netlist_multi:
+        parser.add_argument(
+            "netlist", nargs="+",
+            help="structural Verilog (.v) or .bench file(s); several "
+            "files require --bundle and become the stages of a "
+            "multi-program bundle, in order",
+        )
+    elif netlist_optional:
         parser.add_argument(
             "netlist", nargs="?", default=None,
             help="structural Verilog (.v) or .bench file",
@@ -277,7 +305,13 @@ def _resolve_program(args: argparse.Namespace):
     the netlist is compiled exactly as before.
     """
     if args.artifact is not None:
-        artifact = ExecutableArtifact.load(args.artifact)
+        artifact = load_artifact(args.artifact)
+        if isinstance(artifact, ArtifactBundle):
+            raise SystemExit(
+                f"error: {args.artifact} is a multi-program bundle; "
+                "this command needs a single-program artifact (serve, "
+                "serve-bench, throughput, and inspect accept bundles)"
+            )
         return artifact.program, None, artifact
     if args.netlist is None:
         raise SystemExit(
@@ -287,7 +321,68 @@ def _resolve_program(args: argparse.Namespace):
     return result.program, result, None
 
 
+def _compile_bundle(args: argparse.Namespace) -> int:
+    """``compile --bundle``: every netlist compiles as one stage (through
+    one shared pass cache) and the stages package into a format-v2
+    multi-program ``.lpa`` with an identity-by-name dataflow manifest."""
+    import os
+
+    graphs = [_load_graph(path) for path in args.netlist]
+    probe_words = args.probe_words if args.probe_words is not None else 2
+    name = (
+        os.path.splitext(os.path.basename(args.output))[0]
+        if args.output
+        else "model"
+    )
+    bundle = bundle_model(
+        graphs,
+        _config(args),
+        name=name,
+        probe_words=probe_words,
+        fanout=args.embed_fanout,
+        merge=not args.no_merge,
+        policy=args.policy,
+        pipeline=getattr(args, "pipeline", None),
+    )
+    info = {
+        "name": bundle.name,
+        "stages": [link.name for link in bundle.links],
+        "external_inputs": list(bundle.external_inputs),
+        "outputs": list(bundle.outputs),
+        "bytes": len(bundle.to_bytes()),
+        "fingerprint": bundle.fingerprint,
+        "probe_words": probe_words,
+    }
+    if args.output:
+        info["path"] = bundle.save(args.output)
+    if args.json:
+        print(json.dumps({"bundle": info}, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"bundle:    {bundle.name}: {bundle.num_stages} stages "
+        f"({' -> '.join(info['stages'])})"
+    )
+    print(
+        f"interface: {len(info['external_inputs'])} external PIs -> "
+        f"{len(info['outputs'])} POs"
+    )
+    if args.output:
+        print(
+            f"wrote {info['path']} ({info['bytes']} bytes, "
+            f"fingerprint {info['fingerprint'][:16]}...)"
+        )
+    return 0
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
+    if args.bundle or len(args.netlist) > 1:
+        if not args.bundle:
+            raise SystemExit(
+                "error: multiple netlists require --bundle (they become "
+                "the stages of one multi-program artifact)"
+            )
+        return _compile_bundle(args)
+    args.netlist = args.netlist[0]
     result = _compile(args)
     artifact_info = None
     if args.output:
@@ -364,8 +459,123 @@ def _profile_artifact(artifact, args: argparse.Namespace) -> dict:
     }
 
 
+def _inspect_unloadable(args: argparse.Namespace, error) -> int:
+    """``inspect`` on a container no reader accepts: still print the
+    header (magic-checked, nothing else), then the precise error."""
+    try:
+        with open(args.artifact, "rb") as handle:
+            header = peek_header(handle.read())
+    except Exception:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {"header": header, "error": str(error)},
+                indent=2,
+                sort_keys=True,
+                default=str,
+            )
+        )
+        return 1
+    print(f"artifact:  {args.artifact}")
+    print(
+        f"format:    v{header.get('format_version')} "
+        f"(by {header.get('producer') or 'unknown producer'})"
+    )
+    if header.get("fingerprint"):
+        print(f"content:   {header['fingerprint']}")
+    print(f"error: {error}", file=sys.stderr)
+    return 1
+
+
+def _inspect_bundle(bundle, args: argparse.Namespace) -> int:
+    """``inspect`` on a format-v2 multi-program bundle: the stage
+    manifest, and with ``--verify`` an end-to-end chain replay of the
+    embedded probes."""
+    summary = bundle.summary()
+    verification = None
+    if args.verify:
+        if bundle.probes is not None:
+            verification = bundle.verify_probes()
+            verification["method"] = "chain-probe-replay"
+        else:
+            verification = {
+                "method": "none",
+                "passed": False,
+                "note": "bundle embeds no probe vectors; repackage with "
+                "--probe-words to enable end-to-end verification",
+            }
+    if args.json:
+        if verification is not None:
+            summary = dict(summary)
+            summary["verification"] = verification
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if verification is None or verification["passed"] else 1
+    print(f"artifact:  {args.artifact}")
+    print(
+        f"format:    v{summary['format_version']} bundle "
+        f"(by {summary['producer']})"
+    )
+    print(f"content:   {summary['fingerprint']}")
+    print(
+        f"model:     {summary['name']}: {len(summary['stages'])} stages, "
+        f"{len(summary['external_inputs'])} external PIs -> "
+        f"{len(summary['outputs'])} POs"
+    )
+    for i, stage in enumerate(summary["stages"]):
+        graph = stage["graph"]
+        print(
+            f"stage {i}:   {stage['name']}: {graph['inputs']} PIs, "
+            f"{graph['outputs']} POs, {graph['gates']} gates "
+            f"({stage['program']['compute_instructions']} instructions)"
+        )
+        if stage["wired"]:
+            wires = ", ".join(
+                f"{pi}<-{po}" for pi, po in sorted(stage["wired"].items())
+            )
+            print(f"           wired: {wires}")
+        if stage["external"] and i > 0:
+            print(f"           external: {', '.join(stage['external'])}")
+    probes = summary["probes"]
+    if probes is None:
+        print("probes:    not embedded (inspect --verify unavailable)")
+    else:
+        print(
+            f"probes:    {probes['words']} words ({probes['samples']} "
+            f"samples, seed {probes['seed']}) against the composed "
+            f"reference"
+        )
+    if verification is not None:
+        verdict = "PASSED" if verification["passed"] else "FAILED"
+        if verification["method"] == "chain-probe-replay":
+            print(
+                f"verify:    {verdict} — replayed "
+                f"{verification['probe_samples']} probe samples through "
+                f"the {verification['stages']}-stage chain "
+                f"({verification['engine']} engine, "
+                f"{verification['outputs_checked']} outputs checked)"
+            )
+            if verification["mismatches"]:
+                print(
+                    "           mismatched outputs: "
+                    + ", ".join(verification["mismatches"])
+                )
+        else:
+            print(f"verify:    {verdict} — {verification['note']}")
+        return 0 if verification["passed"] else 1
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
-    artifact = ExecutableArtifact.load(args.artifact)
+    from .artifact import ArtifactError
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except ArtifactError as exc:
+        return _inspect_unloadable(args, exc)
+    if isinstance(artifact, ArtifactBundle):
+        return _inspect_bundle(artifact, args)
     summary = artifact.summary()
     verification = _verify_artifact(artifact, args) if args.verify else None
     profile = _profile_artifact(artifact, args) if args.profile else None
@@ -566,11 +776,127 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _throughput_bundle(bundle, args: argparse.Namespace) -> int:
+    """``throughput --artifact model.lpa`` on a bundle: whole-model
+    serial per-stage runs vs the pipelined executor, with per-stage
+    occupancy/queue-depth counters in the ``--json`` report."""
+    from .pipeline import PipelineExecutor, SerialChainRunner
+
+    if args.engine == "all":
+        raise SystemExit(
+            "error: --engine all is not supported with a bundle "
+            "artifact; pick one engine"
+        )
+    options = _engine_options(args, args.engine)
+    graph = bundle.reference_graph()
+    stimuli = [
+        random_stimulus(graph, array_size=args.array_size, seed=args.seed + b)
+        for b in range(args.batches)
+    ]
+    runner = SerialChainRunner(
+        bundle, engine=args.engine, engine_options=options
+    )
+    runner.run(stimuli[0])  # warm-up
+    start = time.perf_counter()
+    serial_results = [runner.run(stim) for stim in stimuli]
+    serial_seconds = time.perf_counter() - start
+    executor = PipelineExecutor(
+        bundle, engine=args.engine, engine_options=options,
+        depth=args.pipeline_depth,
+    )
+    try:
+        executor.run(stimuli[0])  # warm-up
+        executor.reset_stats()
+        start = time.perf_counter()
+        piped_results = executor.map(stimuli)
+        piped_seconds = time.perf_counter() - start
+        pipeline_stats = executor.stats()
+    finally:
+        executor.close()
+    bit_identical = all(
+        serial.macro_cycles == piped.macro_cycles
+        and all(
+            np.array_equal(serial.outputs[name], piped.outputs[name])
+            for name in serial.outputs
+        )
+        for serial, piped in zip(serial_results, piped_results)
+    )
+    report = {
+        "artifact": args.artifact,
+        "graph": graph.name,
+        "stages": bundle.num_stages,
+        "engine": args.engine,
+        "array_size": args.array_size,
+        "batches": args.batches,
+        "samples_per_run": SAMPLES_PER_WORD * args.array_size,
+        "macro_cycles_per_run": sum(
+            member.program.schedule.makespan for member in bundle.members
+        ),
+        "serial": {
+            "seconds": serial_seconds,
+            "runs_per_second": (
+                args.batches / serial_seconds if serial_seconds > 0 else None
+            ),
+        },
+        "pipelined": {
+            "seconds": piped_seconds,
+            "runs_per_second": (
+                args.batches / piped_seconds if piped_seconds > 0 else None
+            ),
+        },
+        "speedup": (
+            serial_seconds / piped_seconds if piped_seconds > 0 else None
+        ),
+        "bit_identical": bit_identical,
+        "pipeline": pipeline_stats,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if bit_identical else 1
+    print(
+        f"throughput: {bundle.name} ({bundle.num_stages} stages, "
+        f"{args.engine} engine) over {args.batches} batches x "
+        f"{report['samples_per_run']} samples"
+    )
+    print(
+        f"  serial   : {report['serial']['runs_per_second']:>10,.1f} runs/s "
+        f"({serial_seconds:.3f}s wall)"
+    )
+    print(
+        f"  pipelined: {report['pipelined']['runs_per_second']:>10,.1f} "
+        f"runs/s ({piped_seconds:.3f}s wall)"
+    )
+    print(
+        f"  speedup {report['speedup']:.2f}x, bit-identical: "
+        f"{bit_identical}"
+    )
+    for stage in pipeline_stats["stages"]:
+        print(
+            f"  stage {stage['stage']}: busy "
+            f"{stage['busy_fraction'] * 100:.0f}%, queue depth "
+            f"p50 {stage['queue_depth_p50']:.0f} / "
+            f"p99 {stage['queue_depth_p99']:.0f}"
+        )
+    return 0 if bit_identical else 1
+
+
 def cmd_throughput(args: argparse.Namespace) -> int:
-    result = _compile(args)
-    if not _require_program(result, args):
-        return 2
-    graph = result.program.graph
+    result = None
+    if args.artifact is not None:
+        loaded = load_artifact(args.artifact)
+        if isinstance(loaded, ArtifactBundle):
+            return _throughput_bundle(loaded, args)
+        program = loaded.program
+    else:
+        if args.netlist is None:
+            raise SystemExit(
+                "error: either a netlist or --artifact FILE is required"
+            )
+        result = _compile(args)
+        if not _require_program(result, args):
+            return 2
+        program = result.program
+    graph = program.graph
     engines = (
         available_engines() if args.engine == "all" else [args.engine]
     )
@@ -578,9 +904,10 @@ def cmd_throughput(args: argparse.Namespace) -> int:
         random_stimulus(graph, array_size=args.array_size, seed=args.seed + b)
         for b in range(args.batches)
     ]
-    word_bits = result.config.word_bits
+    word_bits = program.config.word_bits
     report = {
         "netlist": args.netlist,
+        "artifact": args.artifact,
         "graph": graph.name,
         "array_size": args.array_size,
         "batches": args.batches,
@@ -592,7 +919,7 @@ def cmd_throughput(args: argparse.Namespace) -> int:
             args, engine, strict=(args.engine != "all")
         )
         session = Session(
-            result.program, engine=engine, engine_options=options
+            program, engine=engine, engine_options=options
         )
         session.run(stimuli[0])  # warm-up: amortized lowering/caches
         start = time.perf_counter()
@@ -604,8 +931,8 @@ def cmd_throughput(args: argparse.Namespace) -> int:
             "seconds": elapsed,
             "samples_per_second": samples / elapsed if elapsed > 0 else None,
             "runs_per_second": args.batches / elapsed if elapsed > 0 else None,
-            "macro_cycles_per_run": result.schedule.makespan,
-            "modeled_fps": result.config.fps(result.schedule.makespan),
+            "macro_cycles_per_run": program.schedule.makespan,
+            "modeled_fps": program.config.fps(program.schedule.makespan),
         }
         if options:
             report["engines"][engine]["engine_options"] = options
@@ -627,7 +954,10 @@ def cmd_throughput(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
-    print(result.metrics)
+    if result is not None:
+        print(result.metrics)
+    else:
+        print(f"artifact: {args.artifact}")
     print(
         f"throughput over {args.batches} batches x "
         f"{SAMPLES_PER_WORD * args.array_size} samples:"
@@ -695,9 +1025,20 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
-    program, result, artifact = _resolve_program(args)
-    if result is not None and not _require_program(result, args):
-        return 2
+    result = None
+    if args.artifact is not None:
+        # load_artifact dispatches on format version: a v1 artifact
+        # benches the replica pool, a v2 bundle the stage pipeline.
+        source = load_artifact(args.artifact)
+    else:
+        if args.netlist is None:
+            raise SystemExit(
+                "error: either a netlist or --artifact FILE is required"
+            )
+        result = _compile(args)
+        if not _require_program(result, args):
+            return 2
+        source = result.program
     serving = ServeConfig(
         engine=args.engine,
         engine_options=_engine_options(args, args.engine) or {},
@@ -706,9 +1047,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         placement=args.placement,
         backend=args.backend,
+        pipeline_depth=args.pipeline_depth,
     )
     report = run_serve_bench(
-        artifact if artifact is not None else program,
+        source,
         serving=serving,
         requests=args.requests,
         array_size=args.array_size,
@@ -742,6 +1084,14 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"{report['scheduler']['mean_batch']:.1f}, bit-identical: "
         f"{report['bit_identical']}"
     )
+    if report.get("pipeline") is not None:
+        for stage in report["pipeline"]["stages"]:
+            print(
+                f"  stage {stage['stage']}: busy "
+                f"{stage['busy_fraction'] * 100:.0f}%, queue depth "
+                f"p50 {stage['queue_depth_p50']:.0f} / "
+                f"p99 {stage['queue_depth_p99']:.0f}"
+            )
     return 0 if report["bit_identical"] else 1
 
 
@@ -813,7 +1163,10 @@ def _serving_source(args: argparse.Namespace):
     over the wire with zero local compile passes.
     """
     if args.artifact is not None:
-        return ExecutableArtifact.load(args.artifact), None
+        # The reader registry dispatches on format version: a v1
+        # single-program artifact serves through the replica pool, a
+        # v2 bundle serves the whole model through the stage pipeline.
+        return load_artifact(args.artifact), None
     if args.netlist is None:
         raise SystemExit(
             "error: either a netlist or --artifact FILE is required"
@@ -845,6 +1198,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         placement=args.placement,
         backend=args.backend,
         share_tables=args.share_tables,
+        pipeline_depth=args.pipeline_depth,
         store=store,
         compile_options=compile_options,
     )
@@ -1093,7 +1447,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_compile = sub.add_parser("compile", help="compile and print metrics")
-    _add_common(p_compile)
+    _add_common(p_compile, netlist_multi=True)
+    p_compile.add_argument(
+        "--bundle",
+        action="store_true",
+        help="package the netlist(s) as a format-v2 multi-program "
+        "bundle: one compiled stage per netlist (through one shared "
+        "pass cache), chained by an identity-by-name dataflow "
+        "manifest; serve it whole with 'repro serve --artifact'",
+    )
     p_compile.add_argument(
         "--json", action="store_true", help="emit metrics as JSON"
     )
@@ -1184,7 +1546,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_thr = sub.add_parser(
         "throughput", help="measure batched inference throughput"
     )
-    _add_common(p_thr)
+    _add_common(p_thr, netlist_optional=True)
+    _add_artifact_source(p_thr)
     p_thr.add_argument(
         "--engine",
         choices=available_engines() + ["all"],
@@ -1192,6 +1555,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine ('all' compares every registered engine)",
     )
     _add_engine_options(p_thr)
+    p_thr.add_argument(
+        "--pipeline-depth", type=_positive_int, default=4,
+        help="bundle artifacts: inter-stage queue bound, in batches",
+    )
     p_thr.add_argument(
         "--array-size", type=_positive_int, default=64,
         help="uint64 words per primary input per run (64 samples each)",
@@ -1274,6 +1641,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKENDS, default="thread",
         help="worker backend",
     )
+    p_serve.add_argument(
+        "--pipeline-depth", type=_positive_int, default=4,
+        help="bundle artifacts: inter-stage queue bound, in batches",
+    )
     p_serve.add_argument("--seed", type=int, default=0, help="stimulus seed")
     p_serve.add_argument(
         "--json", action="store_true", help="emit measurements as JSON"
@@ -1350,6 +1721,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--share-tables", action="store_true",
             help="map fused tables into one shared-memory arena across "
             "spawn workers (one copy instead of N)",
+        )
+        p.add_argument(
+            "--pipeline-depth", type=_positive_int, default=4,
+            help="bundle artifacts: inter-stage queue bound, in batches "
+            "(the pipeline executor's backpressure knob)",
         )
         p.add_argument(
             "--max-inflight", type=_positive_int, default=64,

@@ -25,8 +25,9 @@ def compose_serial(
 
     ``wiring`` maps each PI name of ``second`` to a PO name of ``first``
     (identity mapping by name when omitted).  PIs of ``second`` not covered
-    by the wiring become PIs of the result; the result's POs are
-    ``second``'s POs.
+    by the wiring become PIs of the result — sharing the node when
+    ``first`` has a PI of the same name (the :func:`merge_parallel`
+    shared-input convention); the result's POs are ``second``'s POs.
     """
     if wiring is None:
         first_pos = {po for po, _ in first.outputs}
@@ -36,17 +37,21 @@ def compose_serial(
             if second.input_name(nid) in first_pos
         }
     po_node = dict(first.outputs)
+    second_pis = {second.input_name(nid) for nid in second.inputs}
     for pi_name, po_name in wiring.items():
+        if pi_name not in second_pis:
+            raise KeyError(f"second graph has no input {pi_name!r}")
         if po_name not in po_node:
             raise KeyError(f"first graph has no output {po_name!r}")
 
     out = LogicGraph(name or f"{first.name}+{second.name}")
+    input_of: Dict[str, int] = {}
     remap_first: Dict[int, int] = {}
     for nid in first.topological_order():
         node = first.nodes[nid]
         if node.op == cells.INPUT:
             assert node.name is not None
-            remap_first[nid] = out.add_input(node.name)
+            remap_first[nid] = input_of[node.name] = out.add_input(node.name)
         elif node.op in (cells.CONST0, cells.CONST1):
             remap_first[nid] = out.add_const(1 if node.op == cells.CONST1 else 0)
         else:
@@ -61,6 +66,8 @@ def compose_serial(
             assert node.name is not None
             if node.name in wiring:
                 remap_second[nid] = remap_first[po_node[wiring[node.name]]]
+            elif node.name in input_of:
+                remap_second[nid] = input_of[node.name]
             else:
                 remap_second[nid] = out.add_input(node.name)
         elif node.op in (cells.CONST0, cells.CONST1):

@@ -1,0 +1,32 @@
+"""Pipelined whole-model execution: stream batches through a program chain.
+
+A compiled model ships as an
+:class:`~repro.artifact.bundle.ArtifactBundle` — N member programs plus
+their dataflow manifest.  :class:`PipelineExecutor` owns one execution
+engine per stage and streams batches through the chain so stage ``k`` of
+batch ``i`` overlaps stage ``k+1`` of batch ``i-1``, the software
+pipelining discipline logic-NN hardware deployments rely on.  Per-batch
+outputs AND statistics are bit-identical to running the stages serially
+(:meth:`PipelineExecutor.run_serial`).
+
+:class:`PipelinePool` adapts the executor to the
+:class:`~repro.serve.pool.WorkerPool` surface so the serving layer
+(:class:`~repro.serve.server.InferenceServer`, fabric nodes, the
+``repro serve`` CLI) serves whole models unchanged.
+"""
+
+from .executor import (
+    PipelineExecutor,
+    PipelinePool,
+    Scoreboard,
+    SerialChainRunner,
+    StageStats,
+)
+
+__all__ = [
+    "PipelineExecutor",
+    "PipelinePool",
+    "Scoreboard",
+    "SerialChainRunner",
+    "StageStats",
+]

@@ -58,6 +58,8 @@ def run_serve_bench(
         raise ValueError("requests must be >= 1")
     if clients < 1:
         raise ValueError("clients must be >= 1")
+    from ..artifact.bundle import ArtifactBundle
+
     serving, compile_options = resolve_serving(
         serving, kwargs, defaults=_BENCH_DEFAULTS
     )
@@ -68,24 +70,46 @@ def run_serve_bench(
     serving = serving.replace(
         cache=cache, compile_options=dict(compile_options)
     )
-    entry = cache.get_or_compile(
-        source, config, engine=engine, **compile_options
-    )
-    program = entry.program
-    graph = program.graph
+    is_bundle = isinstance(source, ArtifactBundle)
+    if is_bundle:
+        # A bundle arrives fully compiled: nothing to resolve through
+        # the cache, and the whole-model cost is the summed per-stage
+        # schedule makespan.
+        graph = source.reference_graph()
+        macro_cycles_per_run = sum(
+            member.program.schedule.makespan for member in source.members
+        )
+    else:
+        entry = cache.get_or_compile(
+            source, config, engine=engine, **compile_options
+        )
+        program = entry.program
+        graph = program.graph
+        macro_cycles_per_run = program.schedule.makespan
     stimuli = [
         random_stimulus(graph, array_size=array_size, seed=seed + i)
         for i in range(requests)
     ]
 
-    # Naive baseline: compile-once, one engine run per request.
-    session = Session(
-        program, engine=engine,
-        engine_options=dict(serving.engine_options) or None,
-    )
-    session.run(stimuli[0])  # warm-up
+    # Naive baseline: compile-once, one engine run per request — for a
+    # bundle, the stages run serially with no inter-stage overlap.
+    if is_bundle:
+        from ..pipeline import SerialChainRunner
+
+        runner = SerialChainRunner(
+            source, engine=engine,
+            engine_options=dict(serving.engine_options) or None,
+        )
+        naive_run = runner.run
+    else:
+        session = Session(
+            program, engine=engine,
+            engine_options=dict(serving.engine_options) or None,
+        )
+        naive_run = session.run
+    naive_run(stimuli[0])  # warm-up
     start = time.perf_counter()
-    naive_results = [session.run(stim) for stim in stimuli]
+    naive_results = [naive_run(stim) for stim in stimuli]
     naive_seconds = time.perf_counter() - start
 
     # Served: concurrent open-loop clients over one InferenceServer.
@@ -124,6 +148,19 @@ def run_serve_bench(
 
     naive_rps = requests / naive_seconds if naive_seconds > 0 else None
     served_rps = requests / served_seconds if served_seconds > 0 else None
+    pool_stats = stats["pool"]
+    # Per-stage pipeline occupancy (busy fraction, queue-depth
+    # percentiles) surfaces alongside the scheduler wait histograms
+    # whenever the pool is the pipeline adapter.
+    pipeline = (
+        {
+            "depth": pool_stats["depth"],
+            "stages": pool_stats["stages"],
+            "scoreboard": pool_stats["scoreboard"],
+        }
+        if pool_stats.get("backend") == "pipeline"
+        else None
+    )
     return {
         "graph": graph.name,
         "engine": engine,
@@ -136,7 +173,7 @@ def run_serve_bench(
         "max_wait_ms": serving.max_wait_ms,
         "placement": serving.placement,
         "backend": serving.backend,
-        "macro_cycles_per_run": program.schedule.makespan,
+        "macro_cycles_per_run": macro_cycles_per_run,
         "naive": {
             "seconds": naive_seconds,
             "requests_per_second": naive_rps,
@@ -150,6 +187,7 @@ def run_serve_bench(
         ),
         "bit_identical": bit_identical if verify else None,
         "scheduler": stats["scheduler"],
-        "pool": stats["pool"],
+        "pool": pool_stats,
+        "pipeline": pipeline,
         "cache": stats["cache"],
     }

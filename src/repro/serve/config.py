@@ -51,6 +51,11 @@ class ServeConfig:
         share_tables: publish the fused index tables in a shared-memory
             arena so process-backed workers attach instead of each
             decoding a private copy (see :mod:`repro.engine.arena`).
+        pipeline_depth: bound of each inter-stage queue, in batches,
+            when the served source is a multi-program
+            :class:`~repro.artifact.bundle.ArtifactBundle` (the
+            :class:`~repro.pipeline.PipelineExecutor` backpressure
+            knob; ignored for single-program sources).
         cache: program cache to resolve compilations through (the
             process-wide default cache when omitted).
         store: artifact store backend wired as the cache's disk tier
@@ -68,6 +73,7 @@ class ServeConfig:
     placement: str = "round_robin"
     backend: str = "thread"
     share_tables: bool = False
+    pipeline_depth: int = 4
     cache: Optional[object] = field(default=None, compare=False)
     store: Optional[object] = field(default=None, compare=False)
     compile_options: Mapping[str, object] = field(default_factory=dict)
@@ -81,6 +87,8 @@ class ServeConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r} (one of {BACKENDS})"
@@ -117,6 +125,7 @@ class ServeConfig:
             "placement": self.placement,
             "backend": self.backend,
             "share_tables": self.share_tables,
+            "pipeline_depth": self.pipeline_depth,
             "cache": repr(self.cache) if self.cache is not None else None,
             "store": repr(self.store) if self.store is not None else None,
             "compile_options": dict(self.compile_options),

@@ -408,12 +408,14 @@ class FabricNode:
         return json_response(405, {"error": "GET/PUT/DELETE"})
 
     def _vet_artifact(self, data: bytes) -> Optional[str]:
-        """Decode an uploaded ``.lpa`` and replay its probes; ``None``
-        when acceptable, else the rejection reason."""
-        from ...artifact.format import ArtifactError, ExecutableArtifact
+        """Decode an uploaded ``.lpa`` (single-program artifact or
+        multi-program bundle, via the format reader registry) and replay
+        its probes; ``None`` when acceptable, else the rejection
+        reason."""
+        from ...artifact.format import ArtifactError, load_artifact_bytes
 
         try:
-            artifact = ExecutableArtifact.from_bytes(data)
+            artifact = load_artifact_bytes(data)
         except ArtifactError as exc:
             return f"not a loadable artifact: {exc}"
         if artifact.probes is None:

@@ -46,9 +46,13 @@ class InferenceServer:
 
     Args:
         source: a :class:`LogicGraph` to compile, a compiled
-            :class:`Program`, or a deserialized
+            :class:`Program`, a deserialized
             :class:`~repro.artifact.format.ExecutableArtifact` (the
-            ahead-of-time path: no compile, no lowering).
+            ahead-of-time path: no compile, no lowering), or a
+            multi-program :class:`~repro.artifact.bundle.ArtifactBundle`
+            (whole-model serving: one
+            :class:`~repro.pipeline.PipelineExecutor` stage per member
+            program instead of a replica worker pool).
         config: LPU parameters when compiling from a graph.
         serving: the :class:`~repro.serve.config.ServeConfig` bundling
             every serving knob (engine, workers, batching, placement,
@@ -68,39 +72,61 @@ class InferenceServer:
         serving: Optional[ServeConfig] = None,
         **kwargs,
     ) -> None:
+        from ..artifact.bundle import ArtifactBundle
+
         serving, compile_options = resolve_serving(serving, kwargs)
         self.serving = serving
         self.cache = serving.resolve_cache()
-        entry = self.cache.get_or_compile(
-            source, config, engine=serving.engine, **compile_options
-        )
-        self.program = entry.program
         self.engine_name = serving.engine
-        self.pool = WorkerPool(
-            self.program,
-            num_workers=serving.num_workers,
-            engine=serving.engine,
-            engine_options=dict(serving.engine_options) or None,
-            placement=serving.placement,
-            backend=serving.backend,
-            # Spawn workers ship these bytes instead of re-packaging.
-            artifact=entry.artifact,
-            share_tables=serving.share_tables,
-        )
-        graph = self.program.graph
+        if isinstance(source, ArtifactBundle):
+            # A bundle arrives fully compiled: nothing to resolve
+            # through the program cache — the chain executes behind a
+            # pool-shaped adapter, one engine per stage.
+            from ..pipeline import PipelinePool
+
+            self.bundle = source
+            self.program = None
+            self.pool = PipelinePool(
+                source,
+                engine=serving.engine,
+                engine_options=dict(serving.engine_options) or None,
+                depth=serving.pipeline_depth,
+            )
+            pi_names = frozenset(source.external_inputs)
+        else:
+            self.bundle = None
+            entry = self.cache.get_or_compile(
+                source, config, engine=serving.engine, **compile_options
+            )
+            self.program = entry.program
+            self.pool = WorkerPool(
+                self.program,
+                num_workers=serving.num_workers,
+                engine=serving.engine,
+                engine_options=dict(serving.engine_options) or None,
+                placement=serving.placement,
+                backend=serving.backend,
+                # Spawn workers ship these bytes instead of re-packaging.
+                artifact=entry.artifact,
+                share_tables=serving.share_tables,
+            )
+            graph = self.program.graph
+            pi_names = frozenset(
+                graph.input_name(nid) for nid in graph.inputs
+            )
         self.scheduler = BatchScheduler(
             self.pool.submit,
             max_batch_size=serving.max_batch_size,
             max_wait_ms=serving.max_wait_ms,
-            pi_names=frozenset(
-                graph.input_name(nid) for nid in graph.inputs
-            ),
+            pi_names=pi_names,
         )
         self._closed = False
 
     # ------------------------------------------------------------------
     @property
     def graph(self) -> LogicGraph:
+        if self.bundle is not None:
+            return self.bundle.reference_graph()
         return self.program.graph
 
     def submit(
@@ -178,8 +204,22 @@ def naive_serve(
     """The baseline the serving layer is benchmarked against: one
     compile-once session, one engine run per request, no coalescing.
     Only ``serving.engine`` and the compile options apply here — there
-    is no pool, no batching, no cache."""
+    is no pool, no batching, no cache.  A multi-program
+    :class:`~repro.artifact.bundle.ArtifactBundle` runs its stages
+    serially through a :class:`~repro.pipeline.SerialChainRunner` — the
+    no-overlap baseline the pipeline executor is measured against."""
+    from ..artifact.bundle import ArtifactBundle
+
     serving, compile_options = resolve_serving(serving, kwargs)
+    if isinstance(source, ArtifactBundle):
+        from ..pipeline import SerialChainRunner
+
+        runner = SerialChainRunner(
+            source,
+            engine=serving.engine,
+            engine_options=dict(serving.engine_options) or None,
+        )
+        return [runner.run(request) for request in requests]
     session = Session(
         source, config, engine=serving.engine,
         engine_options=dict(serving.engine_options) or None,

@@ -28,6 +28,7 @@ from repro.artifact import (
     ArtifactStore,
     ExecutableArtifact,
     FORMAT_VERSION,
+    SINGLE_PROGRAM_VERSION,
     ProbeSet,
     store_key,
 )
@@ -144,7 +145,7 @@ class TestContainer:
         from repro.artifact.codec import content_fingerprint
 
         header["fingerprint"] = content_fingerprint(header, arrays)
-        with pytest.raises(ArtifactError, match="format version"):
+        with pytest.raises(ArtifactError, match="reader registry"):
             ExecutableArtifact.from_bytes(pack_container(header, arrays))
 
     def test_corruption_detected(self):
@@ -233,7 +234,7 @@ class TestRoundTrip:
         )
         assert art.metrics == result.metrics.as_dict()
         summary = art.summary()
-        assert summary["format_version"] == FORMAT_VERSION
+        assert summary["format_version"] == SINGLE_PROGRAM_VERSION
         assert summary["graph"]["gates"] == result.program.graph.num_gates
         json.dumps(summary)  # the whole summary is JSON-able
 
@@ -748,7 +749,7 @@ class TestCLI:
 
         assert main(["inspect", out, "--json"]) == 0
         summary = json.loads(capsys.readouterr().out)
-        assert summary["format_version"] == FORMAT_VERSION
+        assert summary["format_version"] == SINGLE_PROGRAM_VERSION
         assert summary["trace"] is not None
 
         for engine in ("trace", "cycle"):

@@ -1,0 +1,192 @@
+"""Property tests for graph composition (hypothesis).
+
+The v2 bundle format leans on :func:`compose_serial` for both its
+functional reference and its manifest validation, so the composition
+laws get property coverage of their own:
+
+* **dangling wiring keys raise** — a wiring naming a PI the second
+  graph doesn't have, or a PO the first graph doesn't drive, is a
+  ``KeyError`` (never a silently dropped edge),
+* **identity wiring is complete** — the default wiring covers exactly
+  the name-intersection of first-POs and second-PIs,
+* **composition is evaluation** — the composed graph computes the same
+  function as running the two graphs back to back,
+* **merge_parallel collisions raise** — duplicate PO names are a
+  ``ValueError``; shared PIs become one input that feeds every member.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.lpu import evaluate_graph, random_stimulus
+from repro.netlist import LogicGraph, cells, random_dag
+from repro.netlist.compose import compose_serial, merge_parallel
+
+_BINARY_OPS = sorted(cells.MISO_OPS)
+
+
+@st.composite
+def gate_graph(draw, input_names, po_prefix):
+    """A random well-formed graph over fixed PI names with ``po_prefix``
+    POs — unlike :func:`random_dag` the interface names are ours, which
+    is what wiring/collision properties need."""
+    graph = LogicGraph(f"{po_prefix}graph")
+    nodes = [graph.add_input(name) for name in input_names]
+    for _ in range(draw(st.integers(min_value=1, max_value=10))):
+        op = draw(st.sampled_from(_BINARY_OPS))
+        a = draw(st.sampled_from(nodes))
+        b = draw(st.sampled_from(nodes))
+        nodes.append(graph.add_gate(op, a, b))
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        graph.set_output(f"{po_prefix}{i}", draw(st.sampled_from(nodes)))
+    return graph
+
+
+def _pi_names(graph):
+    return {graph.input_name(nid) for nid in graph.inputs}
+
+
+def _po_names(graph):
+    return {name for name, _ in graph.outputs}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed1=st.integers(min_value=0, max_value=2**16),
+    seed2=st.integers(min_value=0, max_value=2**16),
+    width=st.integers(min_value=2, max_value=5),
+    gates=st.integers(min_value=4, max_value=30),
+    stim_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_explicit_wiring_composes_to_two_step_evaluation(
+    seed1, seed2, width, gates, stim_seed
+):
+    first = random_dag(width, gates, width, seed=seed1)
+    second = random_dag(width, gates, width, seed=seed2)
+    # Small graphs may prune interface names; wire what both sides have.
+    wiring = {
+        f"x{j}": f"y{j}"
+        for j in range(width)
+        if f"x{j}" in _pi_names(second) and f"y{j}" in _po_names(first)
+    }
+    composed = compose_serial(first, second, wiring)
+
+    # Wired PIs disappear from the composed interface; the rest stay.
+    unwired = _pi_names(second) - set(wiring)
+    assert _pi_names(composed) <= _pi_names(first) | unwired
+    assert _po_names(composed) == _po_names(second)
+
+    stim = random_stimulus(composed, array_size=2, seed=stim_seed)
+    full = dict(stim)
+    for name in _pi_names(first) | unwired:
+        if name not in full:
+            full[name] = np.zeros(2, dtype=np.uint64)
+    mid = evaluate_graph(first, {n: full[n] for n in _pi_names(first)})
+    second_stim = {n: full[n] for n in unwired}
+    second_stim.update({pi: mid[po] for pi, po in wiring.items()})
+    two_step = evaluate_graph(second, second_stim)
+    fused = evaluate_graph(composed, stim)
+    for name in _po_names(second):
+        assert np.array_equal(fused[name], two_step[name]), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    width=st.integers(min_value=2, max_value=5),
+    second=st.data(),
+    stim_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_identity_wiring_covers_exactly_the_name_intersection(
+    seed, width, second, stim_seed
+):
+    first = random_dag(width, 12, width, seed=seed)  # POs y0..y{width-1}
+    # Second stage reads a mix of names first drives (y*) and names it
+    # doesn't (u*): identity wiring must pick up exactly the former.
+    pi_names = [f"y{j}" for j in range(width)] + ["u0", "u1"]
+    graph2 = second.draw(gate_graph(input_names=pi_names, po_prefix="z"))
+    composed = compose_serial(first, graph2)
+
+    wired = _pi_names(graph2) & _po_names(first)
+    external = _pi_names(graph2) - wired
+    assert _pi_names(composed) <= _pi_names(first) | external
+    assert external <= _pi_names(composed) | _pi_names(first)
+
+    stim = random_stimulus(composed, array_size=2, seed=stim_seed)
+    full = dict(stim)
+    # Pruned-away first-stage PIs still need values for the reference
+    # two-step run.
+    for name in _pi_names(first) | external:
+        if name not in full:
+            full[name] = np.zeros(2, dtype=np.uint64)
+    mid = evaluate_graph(first, {n: full[n] for n in _pi_names(first)})
+    second_stim = {n: full[n] for n in external}
+    second_stim.update({n: mid[n] for n in wired})
+    two_step = evaluate_graph(graph2, second_stim)
+    fused = evaluate_graph(composed, stim)
+    for name in _po_names(graph2):
+        assert np.array_equal(fused[name], two_step[name]), name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    bogus=st.text(
+        alphabet="abcdef", min_size=1, max_size=6
+    ).filter(lambda s: not s.startswith(("x", "y"))),
+)
+def test_dangling_wiring_keys_raise(seed, bogus):
+    first = random_dag(3, 10, 3, seed=seed)
+    second = random_dag(3, 10, 3, seed=seed + 1)
+    try:
+        compose_serial(first, second, {bogus: "y0"})
+        raise AssertionError("unknown second-graph PI was accepted")
+    except KeyError as exc:
+        assert "no input" in str(exc)
+    real_pi = sorted(_pi_names(second))[0]
+    try:
+        compose_serial(first, second, {real_pi: bogus})
+        raise AssertionError("dangling first-graph PO was accepted")
+    except KeyError as exc:
+        assert "no output" in str(exc)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), stim_seed=st.integers(min_value=0, max_value=2**16))
+def test_merge_parallel_evaluates_every_member(data, stim_seed):
+    shared = ["a", "b", "c"]
+    members = [
+        data.draw(gate_graph(input_names=shared, po_prefix=prefix))
+        for prefix in ("p", "q", "r")
+    ]
+    merged = merge_parallel(members, name="panel")
+    assert _pi_names(merged) <= set(shared)
+    assert _po_names(merged) == set().union(
+        *(_po_names(g) for g in members)
+    )
+
+    stim = {
+        name: random_stimulus(merged, array_size=2, seed=stim_seed).get(
+            name, np.zeros(2, dtype=np.uint64)
+        )
+        for name in shared
+    }
+    fused = evaluate_graph(merged, {n: stim[n] for n in _pi_names(merged)})
+    for member in members:
+        alone = evaluate_graph(
+            member, {n: stim[n] for n in _pi_names(member)}
+        )
+        for name in _po_names(member):
+            assert np.array_equal(fused[name], alone[name]), name
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_merge_parallel_po_collision_raises(data):
+    shared = ["a", "b"]
+    graph = data.draw(gate_graph(input_names=shared, po_prefix="p"))
+    try:
+        merge_parallel([graph, graph], name="collision")
+        raise AssertionError("duplicate PO names were accepted")
+    except ValueError as exc:
+        assert "duplicate output" in str(exc)
