@@ -1,0 +1,180 @@
+"""Fault recovery under chaos: a supervised fabric node keeps serving
+bit-identically while a worker is killed and responses are dropped.
+
+The fault-tolerance layer (:mod:`repro.serve.faults`) leans on the same
+property every other bench asserts: inference is pure and
+bit-deterministic, so any lost work — a dead worker's in-flight batch, a
+response that vanished on the wire — can be re-executed and the caller
+cannot tell.  This bench drives a seeded :class:`FaultPlan` through a
+4-worker spawn-backed :class:`FabricNode` and asserts the acceptance
+properties:
+
+* **survival** — with one worker killed mid-load and ~1% of responses
+  dropped before the bytes hit the socket, a resilient client
+  (:class:`RetryPolicy` + redial) still completes **>= 99%** of
+  requests, and every success is **bit-identical — outputs AND
+  statistics — to a direct in-process run** over the same words.
+* **supervision** — the pool reports the kill as a restart in
+  ``stats()`` and finishes with its full worker complement.
+* **reproducibility** — re-running the same seed against a fresh node
+  yields an **identical injector event log**, occurrence for
+  occurrence: the chaos itself is a deterministic, replayable input.
+"""
+
+import random
+
+from conftest import fast_mode, publish, publish_json
+
+from repro.core import PAPER_CONFIG, compile_ffcl
+from repro.engine import Session
+from repro.lpu import random_stimulus
+from repro.netlist import random_dag
+from repro.serve import FaultInjector, FaultPlan, ServeConfig
+from repro.serve.fabric import FabricClient, FabricNode, RetryPolicy
+
+#: wide enough that each request is real engine work, small enough that
+#: two full chaos passes (the reproducibility check runs everything
+#: twice) stay in bench-smoke territory.
+GATES = 4000
+NUM_PIS = 16
+ARRAY_SIZE = 256
+REQUESTS = 32 if fast_mode() else 128
+WORKERS = 4
+DROP_RATE = 0.01
+SEED = 20230710  # pinned: CI replays the same chaos every run
+MIN_SUCCESS = 0.99
+
+_CACHE = {}
+
+
+def _compiled_block():
+    if "result" not in _CACHE:
+        graph = random_dag(
+            num_inputs=NUM_PIS,
+            num_gates=GATES,
+            num_outputs=8,
+            seed=1,
+        )
+        _CACHE["result"] = compile_ffcl(graph, PAPER_CONFIG)
+    return _CACHE["result"]
+
+
+def _chaos_plan() -> FaultPlan:
+    """One worker killed mid-load + ~1% response drops, all seeded."""
+    plan = FaultPlan().crash_worker(1, at=REQUESTS // 2)
+    rng = random.Random(SEED)
+    for occurrence in range(REQUESTS):
+        if rng.random() < DROP_RATE:
+            plan = plan.drop_response(at=occurrence)
+    return plan
+
+
+def _run_chaos_pass(program, stimuli, expected):
+    """Serve every stimulus through a freshly-injected node.
+
+    Returns ``(outcomes, event_log, pool_stats)`` where each outcome is
+    ``"ok"`` (verified bit-identical) or the typed error name.
+    """
+    injector = FaultInjector(_chaos_plan())
+    serving = ServeConfig(
+        num_workers=WORKERS,
+        backend="spawn",
+        share_tables=True,
+        max_batch_size=1,
+        max_wait_ms=0.0,
+        default_deadline_ms=60_000.0,
+        injector=injector,
+    )
+    outcomes = []
+    # serve the exact compiled program (not its graph) so the expected
+    # in-process results come from bit-for-bit the same executable
+    with FabricNode(program, PAPER_CONFIG, serving=serving) as node:
+        retry = RetryPolicy(max_attempts=4, backoff_s=0.001)
+        with FabricClient(node.url, retry=retry, injector=injector) as client:
+            for index, stim in enumerate(stimuli):
+                try:
+                    got = client.infer(stim)
+                except Exception as exc:  # typed errors only, counted below
+                    outcomes.append(type(exc).__name__)
+                    continue
+                bit_identical = all(
+                    (expected[index].outputs[name] == got.outputs[name]).all()
+                    for name in expected[index].outputs
+                ) and all(
+                    getattr(expected[index], field) == getattr(got, field)
+                    for field in (
+                        "macro_cycles",
+                        "clock_cycles",
+                        "compute_instructions_executed",
+                        "switch_routes",
+                        "peak_buffer_words",
+                        "buffer_writes",
+                    )
+                )
+                outcomes.append("ok" if bit_identical else "MISMATCH")
+        pool_stats = node.stats()["server"]["pool"]
+    return outcomes, injector.event_log(), pool_stats
+
+
+def test_fault_recovery_under_chaos(benchmark):
+    result = _compiled_block()
+    benchmark(lambda: None)
+
+    stimuli = [
+        random_stimulus(
+            result.program.graph, array_size=ARRAY_SIZE, seed=100 + i
+        )
+        for i in range(REQUESTS)
+    ]
+    session = Session(result.program)
+    expected = [session.run(stim) for stim in stimuli]
+
+    outcomes, log_a, pool_stats = _run_chaos_pass(
+        result.program, stimuli, expected
+    )
+    outcomes_b, log_b, _ = _run_chaos_pass(result.program, stimuli, expected)
+
+    ok = outcomes.count("ok")
+    injected = {"crash_worker": 0, "drop_response": 0}
+    for _site, _occurrence, kind, _param in log_a:
+        injected[kind] = injected.get(kind, 0) + 1
+
+    report = {
+        "requests": REQUESTS,
+        "workers": WORKERS,
+        "seed": SEED,
+        "succeeded_bit_identical": ok,
+        "success_floor": MIN_SUCCESS,
+        "outcomes": sorted(set(outcomes)),
+        "injected": injected,
+        "event_log": [list(event) for event in log_a],
+        "event_log_reproducible": log_a == log_b,
+        "pool_restarts": pool_stats["total_restarts"],
+        "replaced_batches": pool_stats["replaced_batches"],
+    }
+    publish_json("fault_recovery", report)
+    publish(
+        "fault_recovery",
+        "\n".join(
+            [
+                f"fault recovery (random_dag {NUM_PIS}x{GATES}, "
+                f"{REQUESTS} requests, {WORKERS} spawn workers, "
+                f"seed {SEED}):",
+                f"  injected: {injected['crash_worker']} worker kill(s), "
+                f"{injected['drop_response']} response drop(s)",
+                f"  served bit-identical: {ok}/{REQUESTS} "
+                f"(floor {MIN_SUCCESS:.0%})",
+                f"  pool restarts: {pool_stats['total_restarts']}  "
+                f"re-placed batches: {pool_stats['replaced_batches']}",
+                "  same seed, fresh node -> identical event log: "
+                f"{report['event_log_reproducible']}",
+            ]
+        ),
+    )
+
+    assert "MISMATCH" not in outcomes
+    assert ok >= MIN_SUCCESS * REQUESTS, f"only {ok}/{REQUESTS} served"
+    assert injected["crash_worker"] == 1
+    assert pool_stats["total_restarts"] >= 1
+    assert pool_stats["num_workers"] == WORKERS
+    assert log_a == log_b, "same seed must replay the same chaos"

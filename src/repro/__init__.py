@@ -62,7 +62,7 @@ Ahead-of-time deployment (compile once, serve from any process)::
     session = ExecutableArtifact.load("block.lpa").session()
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from .artifact import ArtifactStore, ExecutableArtifact
 from .compiler import PassCache, PassManager, compile_with_pipeline

@@ -26,19 +26,25 @@ import warnings
 from typing import List, Optional, Tuple
 from urllib.parse import quote, urlsplit
 
-from .format import ARTIFACT_SUFFIX
+from .format import ARTIFACT_SUFFIX, ArtifactError, ExecutableArtifact
 from .store import StoreBackend, StoreStats
 
 __all__ = ["HTTPStoreBackend", "MemoryStoreBackend"]
 
 
 class MemoryStoreBackend(StoreBackend):
-    """An in-process, thread-safe, dict-backed blob store."""
+    """An in-process, thread-safe, dict-backed blob store.
 
-    def __init__(self) -> None:
+    ``injector`` (a :class:`~repro.serve.faults.FaultInjector`) lets a
+    chaos test corrupt chosen reads — the blob *at rest* stays intact,
+    only the bytes handed back are flipped, exactly like a bad wire.
+    """
+
+    def __init__(self, *, injector=None) -> None:
         self.stats = StoreStats()
         self._blobs: dict = {}
         self._lock = threading.RLock()
+        self._injector = injector
 
     def get_bytes(
         self, key: str, suffix: str = ARTIFACT_SUFFIX
@@ -50,7 +56,11 @@ class MemoryStoreBackend(StoreBackend):
                 return None
             self.stats.hits += 1
             self.stats.bytes_read += len(data)
-            return data
+        if self._injector is not None:
+            corrupted = self._injector.corrupt(data)
+            if corrupted is not None:
+                data = corrupted
+        return data
 
     def put_bytes(
         self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX
@@ -88,6 +98,9 @@ class HTTPStoreBackend(StoreBackend):
         base_url: the store root, e.g. ``http://10.0.0.5:8080/v1/store``
             (a bare ``http://host:port`` is normalized to ``/v1/store``).
         timeout: per-request socket timeout in seconds.
+        injector: optional :class:`~repro.serve.faults.FaultInjector`
+            corrupting chosen fetches (chaos testing the corrupt-blob
+            recovery path below).
 
     Protocol (implemented by :class:`repro.serve.fabric.FabricNode`):
 
@@ -102,9 +115,21 @@ class HTTPStoreBackend(StoreBackend):
     as misses on the read path and are swallowed (warned once, counted
     in ``transport_errors``) on the write path, so a store outage never
     takes serving down with it.
+
+    Corrupt fetches recover instead of poisoning: when a fetched
+    ``.lpa`` fails to decode, the connection is torn down (the usual
+    culprit is a half-read body or wire damage, not bad bytes at rest)
+    and the blob re-fetched exactly once.  Still corrupt → the *peer's*
+    copy is bad: the key goes into a local quarantine set — subsequent
+    ``get()`` calls miss fast without re-downloading — and, crucially,
+    the peer's blob is **never deleted**: this client has no authority
+    to destroy a fleet-shared artifact on the evidence of its own two
+    reads.  ``corrupt_fetches`` counts every bad decode.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+    def __init__(
+        self, base_url: str, *, timeout: float = 10.0, injector=None
+    ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme != "http":
             raise ValueError(
@@ -118,9 +143,12 @@ class HTTPStoreBackend(StoreBackend):
         self.timeout = timeout
         self.stats = StoreStats()
         self.transport_errors = 0
+        self.corrupt_fetches = 0
         self._warned = False
         self._conn: Optional[http.client.HTTPConnection] = None
         self._lock = threading.RLock()
+        self._injector = injector
+        self._quarantined: set = set()
 
     # ------------------------------------------------------------------
     def _blob_path(self, key: str, suffix: str) -> str:
@@ -189,7 +217,41 @@ class HTTPStoreBackend(StoreBackend):
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(data)
+        if self._injector is not None:
+            corrupted = self._injector.corrupt(data)
+            if corrupted is not None:
+                data = corrupted
         return data
+
+    # -- executable tier: corrupt-fetch recovery ------------------------
+    def get(self, key: str) -> Optional[ExecutableArtifact]:
+        """Load one executable; corrupt fetches are retried once on a
+        fresh connection, then the key is quarantined locally (see the
+        class docstring — the remote blob is never deleted)."""
+        if key in self._quarantined:
+            self.stats.misses += 1
+            return None
+        for fresh_dial in (False, True):
+            if fresh_dial:
+                # Wire damage or a stale half-read body, not
+                # necessarily bad bytes at rest: refetch once clean.
+                self.close()
+            data = self.get_bytes(key)
+            if data is None:
+                return None
+            try:
+                return ExecutableArtifact.from_bytes(data)
+            except ArtifactError:
+                self.stats.corrupt += 1
+                self.corrupt_fetches += 1
+        # Two independent reads both corrupt: the peer's copy is bad.
+        self._quarantined.add(key)
+        return None
+
+    def _discard_corrupt(self, key: str) -> None:
+        # Never DELETE a fleet-shared blob from the client side; just
+        # stop asking for it.
+        self._quarantined.add(key)
 
     def put_bytes(
         self, key: str, data: bytes, suffix: str = ARTIFACT_SUFFIX

@@ -32,6 +32,7 @@ import hashlib
 import io
 import json
 import zipfile
+import zlib
 from dataclasses import fields, is_dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -135,7 +136,7 @@ def unpack_container(
                 )
     except ArtifactDecodeError:
         raise
-    except (zipfile.BadZipFile, ValueError, KeyError, OSError) as exc:
+    except (zipfile.BadZipFile, zlib.error, ValueError, KeyError, OSError) as exc:
         raise ArtifactDecodeError(f"corrupt artifact container: {exc}") from exc
     if not isinstance(header, dict):
         raise ArtifactDecodeError("artifact header is not a JSON object")

@@ -1195,6 +1195,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         num_workers=args.workers,
         max_batch_size=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        default_deadline_ms=getattr(args, "deadline_ms", None),
         placement=args.placement,
         backend=args.backend,
         share_tables=args.share_tables,
@@ -1222,7 +1223,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             verify_artifacts=args.verify_artifacts,
         ),
     )
+    import signal
+    import threading
+
     node.start()
+    # Graceful shutdown on SIGTERM/SIGINT: flip to not-ready (load
+    # balancers stop routing), finish every in-flight request, then
+    # exit 0.  A second signal interrupts the drain the hard way.
+    shutdown = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        shutdown.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - odd platforms
+            pass
     try:
         cache = node.stats()["server"]["cache"]
         boot = (
@@ -1238,14 +1256,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         if not args.no_store:
             print(f"  artifact store served at {node.store_url}")
-        print("  Ctrl-C to stop")
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
+        print("  SIGTERM/Ctrl-C to drain and stop")
+        shutdown.wait()
+        print("draining (finishing in-flight requests)")
+        node.drain()
+        print("stopped")
+        return 0
+    except KeyboardInterrupt:  # second Ctrl-C mid-drain
         print("stopping")
         return 0
     finally:
         node.stop()
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
 
 
 def cmd_load_bench(args: argparse.Namespace) -> int:
@@ -1716,6 +1742,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--max-wait-ms", type=float, default=1.0,
             help="micro-batching deadline for a non-full batch",
+        )
+        p.add_argument(
+            "--deadline-ms", type=float, default=None,
+            help="default per-request deadline: requests the node "
+            "cannot answer in time fail with HTTP 504 instead of "
+            "waiting forever (default: no deadline)",
         )
         p.add_argument(
             "--share-tables", action="store_true",

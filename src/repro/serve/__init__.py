@@ -14,7 +14,10 @@ Built on :mod:`repro.engine`, this package turns the compile-once
   (thread- or process-backed) with round-robin or least-loaded placement,
 * :class:`InferenceServer` / :func:`serve` — the facade wiring all three,
 * :class:`StreamingServer` / :class:`StreamSession` — sticky stateful
-  per-client streams for the incremental ``"delta"`` engine.
+  per-client streams for the incremental ``"delta"`` engine,
+* :class:`FaultPlan` / :class:`FaultInjector` — the deterministic
+  fault-injection harness behind the chaos tests and
+  ``bench_fault_recovery`` (:mod:`repro.serve.faults`).
 
 Quick start::
 
@@ -33,8 +36,15 @@ from .cache import (
     graph_fingerprint,
 )
 from .config import ServeConfig, resolve_serving
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    WorkerCrashed,
+)
 from .pool import BACKENDS, PLACEMENTS, WorkerPool
-from .scheduler import BatchScheduler, SchedulerStats
+from .scheduler import BatchScheduler, DeadlineExceeded, SchedulerStats
 from .server import InferenceServer, naive_serve, serve
 from .stream import (
     StreamSession,
@@ -50,12 +60,18 @@ __all__ = [
     "CacheEntry",
     "CacheKey",
     "CacheStats",
+    "DeadlineExceeded",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "InferenceServer",
+    "InjectedFault",
     "ProgramCache",
     "SchedulerStats",
     "ServeConfig",
     "StreamSession",
     "StreamingServer",
+    "WorkerCrashed",
     "WorkerPool",
     "default_program_cache",
     "disk_key",

@@ -45,6 +45,12 @@ class ServeConfig:
         num_workers: parallel engine instances in the worker pool.
         max_batch_size: requests coalesced into one engine run.
         max_wait_ms: micro-batching deadline for a non-full batch.
+        default_deadline_ms: request deadline applied when a caller
+            does not send its own: a request still queued when its
+            budget runs out is shed with a typed
+            :class:`~repro.serve.scheduler.DeadlineExceeded` (HTTP 504
+            over the fabric) instead of waiting forever on a wedged
+            worker.  ``None`` (default) keeps requests deadline-free.
         placement: worker placement, ``"round_robin"`` / ``"least_loaded"``.
         backend: worker backend, ``"thread"`` / ``"process"`` / ``"fork"``
             / ``"spawn"`` (see :class:`~repro.serve.pool.WorkerPool`).
@@ -56,6 +62,11 @@ class ServeConfig:
             :class:`~repro.artifact.bundle.ArtifactBundle` (the
             :class:`~repro.pipeline.PipelineExecutor` backpressure
             knob; ignored for single-program sources).
+        injector: optional :class:`~repro.serve.faults.FaultInjector`
+            threaded into the worker pool (and, when serving through a
+            :class:`~repro.serve.fabric.FabricNode`, the front-end and
+            store) so every injected failure mode in a chaos test or
+            bench is reproducible from one seeded plan.
         cache: program cache to resolve compilations through (the
             process-wide default cache when omitted).
         store: artifact store backend wired as the cache's disk tier
@@ -70,10 +81,12 @@ class ServeConfig:
     num_workers: int = 1
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
+    default_deadline_ms: Optional[float] = None
     placement: str = "round_robin"
     backend: str = "thread"
     share_tables: bool = False
     pipeline_depth: int = 4
+    injector: Optional[object] = field(default=None, compare=False)
     cache: Optional[object] = field(default=None, compare=False)
     store: Optional[object] = field(default=None, compare=False)
     compile_options: Mapping[str, object] = field(default_factory=dict)
@@ -87,6 +100,11 @@ class ServeConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if (
+            self.default_deadline_ms is not None
+            and self.default_deadline_ms <= 0
+        ):
+            raise ValueError("default_deadline_ms must be > 0 when set")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
         if self.backend not in BACKENDS:
@@ -122,10 +140,14 @@ class ServeConfig:
             "num_workers": self.num_workers,
             "max_batch_size": self.max_batch_size,
             "max_wait_ms": self.max_wait_ms,
+            "default_deadline_ms": self.default_deadline_ms,
             "placement": self.placement,
             "backend": self.backend,
             "share_tables": self.share_tables,
             "pipeline_depth": self.pipeline_depth,
+            "injector": (
+                repr(self.injector) if self.injector is not None else None
+            ),
             "cache": repr(self.cache) if self.cache is not None else None,
             "store": repr(self.store) if self.store is not None else None,
             "compile_options": dict(self.compile_options),

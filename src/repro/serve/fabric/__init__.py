@@ -21,7 +21,14 @@ from .admission import (
     Decision,
     TokenBucket,
 )
-from .client import FabricClient, FabricError, FabricRejected
+from .client import (
+    CircuitBreaker,
+    CircuitOpen,
+    FabricClient,
+    FabricError,
+    FabricRejected,
+    RetryPolicy,
+)
 from .httpio import HTTPProtocolError, Request
 from .loadgen import run_load_bench
 from .node import FabricConfig, FabricNode
@@ -39,6 +46,8 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "BINARY_CONTENT_TYPE",
+    "CircuitBreaker",
+    "CircuitOpen",
     "Decision",
     "FabricClient",
     "FabricConfig",
@@ -48,6 +57,7 @@ __all__ = [
     "HTTPProtocolError",
     "JSON_CONTENT_TYPE",
     "Request",
+    "RetryPolicy",
     "TokenBucket",
     "WireError",
     "decode_request",

@@ -15,8 +15,16 @@ Endpoints:
   (``application/x-lpw``) or JSON; the response carries outputs
   bit-identical to a direct :meth:`Session.run
   <repro.engine.session.Session.run>`, the run statistics, and
-  per-request latency metadata (admission / service / total).
-* ``GET /v1/health`` — readiness probe.
+  per-request latency metadata (admission / service / total).  A
+  ``deadline_ms`` field (frame header or JSON key) bounds the wait:
+  a request the node cannot answer in time fails with **504** and
+  partial-wait evidence instead of hanging the caller.
+* ``GET /v1/health/live`` — liveness: 200 whenever the process is up.
+* ``GET /v1/health/ready`` — readiness: 200 only when the node is
+  accepting traffic (engine loaded, not draining); 503 with a JSON
+  ``reason`` otherwise, so fleet load balancers stop routing to
+  draining or rebuilding nodes while supervisors leave them alone.
+* ``GET /v1/health`` — the combined legacy probe (readiness-gated).
 * ``GET /v1/stats`` — admission, scheduler, pool, cache, and store
   counters in one JSON report.
 * ``GET/PUT/DELETE /v1/store/{key}{suffix}``, ``GET
@@ -60,8 +68,8 @@ from .httpio import (
 from .wire import (
     BINARY_CONTENT_TYPE,
     WireError,
-    decode_json_request,
-    decode_request,
+    decode_json_request_meta,
+    decode_request_meta,
     encode_json_response,
     encode_response,
 )
@@ -144,6 +152,9 @@ class FabricNode:
         self.server = None  # built on start()
         self.port: Optional[int] = None
         self._requests: Dict[str, int] = {"binary": 0, "json": 0}
+        self._deadline_504 = 0
+        self._draining = False
+        self._injector = getattr(serving, "injector", None)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
@@ -210,8 +221,30 @@ class FabricNode:
         finally:
             self.port = None
 
+    def drain(self, *, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, finish in-flight work,
+        then stop.
+
+        The node flips to not-ready the moment draining starts
+        (``/v1/health/ready`` answers 503 ``draining``, new
+        ``/v1/infer`` requests are rejected 503), waits for the
+        in-flight count to reach zero (bounded by ``timeout``), and
+        only then tears the listener and engine down — no accepted
+        request is dropped on the floor.
+        """
+        self._draining = True
+        limit = time.monotonic() + timeout
+        while self.admission.inflight > 0 and time.monotonic() < limit:
+            time.sleep(0.005)
+        self.stop()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     def stop(self) -> None:
         """Stop accepting, drain the engine, release the port."""
+        self._draining = True
         loop, thread = self._loop, self._thread
         if loop is not None and self._shutdown is not None:
             try:
@@ -257,6 +290,11 @@ class FabricNode:
                 if request is None:
                     break
                 response = await self._dispatch(request, peer_id)
+                if response is None:
+                    # Injected response drop: sever the connection
+                    # without answering (the client sees a transport
+                    # error, exactly like a mid-flight network loss).
+                    break
                 writer.write(response)
                 await writer.drain()
                 if not request.keep_alive:
@@ -272,7 +310,9 @@ class FabricNode:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _dispatch(self, request: Request, peer_id: str) -> bytes:
+    async def _dispatch(
+        self, request: Request, peer_id: str
+    ) -> Optional[bytes]:
         path = request.path
         try:
             if path == "/v1/infer":
@@ -281,8 +321,19 @@ class FabricNode:
                         405, {"error": "POST /v1/infer"}
                     )
                 return await self._infer(request, peer_id)
+            if path == "/v1/health/live" and request.method == "GET":
+                # Liveness: answering at all is the proof.
+                return json_response(200, {"status": "live"})
+            if path == "/v1/health/ready" and request.method == "GET":
+                ready, reason = self._ready_state()
+                if ready:
+                    return json_response(200, {"status": "ready"})
+                return json_response(
+                    503, {"status": "not-ready", "reason": reason}
+                )
             if path == "/v1/health" and request.method == "GET":
-                return json_response(200, self._health())
+                ready, _ = self._ready_state()
+                return json_response(200 if ready else 503, self._health())
             if path == "/v1/stats" and request.method == "GET":
                 return json_response(200, self.stats())
             if (
@@ -296,10 +347,18 @@ class FabricNode:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    async def _infer(self, request: Request, peer_id: str) -> bytes:
+    async def _infer(
+        self, request: Request, peer_id: str
+    ) -> Optional[bytes]:
         if self.server is None:
             return json_response(
                 503, {"error": "store-only node: no inference engine"}
+            )
+        if self._draining:
+            return json_response(
+                503,
+                {"error": "node draining", "retry_after": 0.0},
+                headers={"Retry-After": "0.010"},
             )
         start = time.perf_counter()
         client = request.headers.get("x-client", peer_id)
@@ -319,24 +378,60 @@ class FabricNode:
                 headers={"Retry-After": "0.010"},
             )
         try:
+            from ..scheduler import DeadlineExceeded
+
             binary = request.content_type.startswith(BINARY_CONTENT_TYPE)
             try:
                 if binary:
-                    inputs = decode_request(request.body)
+                    inputs, meta = decode_request_meta(request.body)
                 else:
-                    inputs = decode_json_request(request.body)
+                    inputs, meta = decode_json_request_meta(request.body)
+                deadline_ms = self.server.effective_deadline_ms(
+                    meta.get("deadline_ms")
+                )
                 self._requests["binary" if binary else "json"] += 1
-                future = self.server.submit(inputs)
+                future = self.server.submit(
+                    inputs, deadline_ms=deadline_ms
+                )
             except (WireError, ValueError) as exc:
                 return json_response(400, {"error": str(exc)})
             admitted = time.perf_counter()
-            result = await asyncio.wrap_future(future)
+            try:
+                if deadline_ms is None:
+                    result = await asyncio.wrap_future(future)
+                else:
+                    # Bound the HTTP-side wait too: even a wedged
+                    # worker cannot hold the connection past the
+                    # request's budget.
+                    result = await asyncio.wait_for(
+                        asyncio.wrap_future(future),
+                        timeout=deadline_ms / 1e3,
+                    )
+            except (DeadlineExceeded, asyncio.TimeoutError) as exc:
+                self._deadline_504 += 1
+                waited_ms = (time.perf_counter() - start) * 1e3
+                if isinstance(exc, DeadlineExceeded):
+                    waited_ms = exc.waited_ms
+                return json_response(
+                    504,
+                    {
+                        "error": "request deadline exceeded",
+                        "deadline_ms": deadline_ms,
+                        "waited_ms": waited_ms,
+                    },
+                )
             done = time.perf_counter()
             latency = {
                 "admission_ms": (admitted - start) * 1e3,
                 "service_ms": (done - admitted) * 1e3,
                 "total_ms": (done - start) * 1e3,
             }
+            if self._injector is not None:
+                action, param = self._injector.response_action()
+                if action == "drop":
+                    return None  # sever: _handle_connection closes
+                if action == "delay":
+                    await asyncio.sleep(param)
             if binary:
                 return render_response(
                     200,
@@ -431,9 +526,22 @@ class FabricNode:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _ready_state(self):
+        """``(ready, reason)`` — the readiness the load balancer sees.
+
+        Liveness is separate on purpose: a draining node is *alive*
+        (supervisors must not restart it) but *not ready* (balancers
+        must stop routing to it)."""
+        if self._draining:
+            return False, "draining"
+        return True, None
+
     def _health(self) -> Dict[str, object]:
+        ready, reason = self._ready_state()
         return {
-            "status": "ok",
+            "status": "ok" if ready else "not-ready",
+            "ready": ready,
+            "reason": reason,
             "role": "serve" if self.server is not None else "store",
             "graph": (
                 self.server.graph.name
@@ -452,6 +560,8 @@ class FabricNode:
             "requests": dict(self._requests),
             "admission": self.admission.as_dict(),
             "store": self.store.stats.as_dict(),
+            "deadline_504": self._deadline_504,
+            "draining": self._draining,
         }
         if self.server is not None:
             report["server"] = self.server.stats()

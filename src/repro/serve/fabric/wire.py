@@ -40,8 +40,10 @@ __all__ = [
     "JSON_CONTENT_TYPE",
     "WireError",
     "decode_json_request",
+    "decode_json_request_meta",
     "decode_json_response",
     "decode_request",
+    "decode_request_meta",
     "decode_response",
     "encode_json_response",
     "encode_request",
@@ -158,34 +160,75 @@ def _split_payload(
 # ----------------------------------------------------------------------
 # Requests
 # ----------------------------------------------------------------------
-def encode_request(inputs: Dict[str, np.ndarray]) -> bytes:
-    """Pack one inference request into an LPW1 frame."""
+def encode_request(
+    inputs: Dict[str, np.ndarray],
+    *,
+    deadline_ms: Optional[float] = None,
+) -> bytes:
+    """Pack one inference request into an LPW1 frame.
+
+    ``deadline_ms`` rides in the frame header: the node sheds the
+    request with HTTP 504 if it cannot answer within the budget.
+    """
     names = sorted(inputs)
     matrix, words = _word_matrix(inputs, names)
-    return _pack(
-        _REQUEST_MAGIC, {"names": names, "words": words}, matrix
-    )
+    header: Dict[str, object] = {"names": names, "words": words}
+    if deadline_ms is not None:
+        header["deadline_ms"] = float(deadline_ms)
+    return _pack(_REQUEST_MAGIC, header, matrix)
+
+
+def _header_deadline(header: Dict[str, object]) -> Optional[float]:
+    raw = header.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        deadline_ms = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed request deadline: {raw!r}") from exc
+    if deadline_ms <= 0:
+        raise WireError("request deadline_ms must be > 0")
+    return deadline_ms
+
+
+def decode_request_meta(
+    data: bytes,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Unpack an LPW1 frame into inputs + request metadata
+    (``{"deadline_ms": float | None}``)."""
+    header, payload = _unpack(data, _REQUEST_MAGIC)
+    values, _ = _split_payload(header, payload, "request")
+    return values, {"deadline_ms": _header_deadline(header)}
 
 
 def decode_request(data: bytes) -> Dict[str, np.ndarray]:
     """Unpack an LPW1 frame into engine-ready inputs."""
-    header, payload = _unpack(data, _REQUEST_MAGIC)
-    values, _ = _split_payload(header, payload, "request")
+    values, _ = decode_request_meta(data)
     return values
 
 
-def decode_json_request(body: bytes) -> Dict[str, np.ndarray]:
-    """The JSON request form: ``{"inputs": {name: [words...]}}``."""
+def decode_json_request_meta(
+    body: bytes,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """The JSON request form: ``{"inputs": {name: [words...]},
+    "deadline_ms": optional}`` — inputs + request metadata."""
     try:
         message = json.loads(body.decode("utf-8"))
         raw = message["inputs"]
-        return {
+        inputs = {
             str(name): np.asarray(words, dtype=np.uint64).reshape(-1)
             for name, words in raw.items()
         }
     except (UnicodeDecodeError, ValueError, KeyError,
             TypeError, AttributeError, OverflowError) as exc:
         raise WireError(f"malformed JSON inference request: {exc}") from exc
+    return inputs, {"deadline_ms": _header_deadline(message)}
+
+
+def decode_json_request(body: bytes) -> Dict[str, np.ndarray]:
+    """The JSON request form, inputs only (see the ``_meta`` variant)."""
+    inputs, _ = decode_json_request_meta(body)
+    return inputs
 
 
 # ----------------------------------------------------------------------

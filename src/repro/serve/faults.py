@@ -1,0 +1,333 @@
+"""Deterministic fault injection for the serving stack.
+
+Serving millions of users means workers crash, packets vanish, blobs
+rot, and connections drop — and every one of those failure modes must
+be *reproducible* before it can be tested.  This module is the one
+source of injected chaos for the whole serving stack:
+
+* a :class:`FaultPlan` is a **seeded, immutable schedule** of
+  :class:`FaultEvent` entries, each bound to an injection *site* (a
+  named hook inside :class:`~repro.serve.pool.WorkerPool`,
+  :class:`~repro.serve.fabric.FabricNode`,
+  :class:`~repro.serve.fabric.FabricClient`, or a store backend) and
+  an *occurrence index* — "the Nth time this site is consulted".
+  Plans are built explicitly (:meth:`FaultPlan.crash_worker`,
+  :meth:`~FaultPlan.drop_response`, ...) or generated from a seed
+  (:meth:`FaultPlan.seeded`) so a whole chaos scenario is one integer,
+* a :class:`FaultInjector` executes one plan: each site hook counts its
+  own occurrences, fires the matching events, and appends every firing
+  to an **event log** — two injectors running the same plan against the
+  same traffic produce byte-identical logs, which is how the chaos
+  bench proves a failure scenario reproduces exactly.
+
+Inference here is pure and bit-deterministic, so any work lost to an
+injected (or genuine) fault is provably safe to re-execute — the
+property the supervision and retry layers lean on.
+
+Sites (each hook documents its own semantics):
+
+======================  ================================================
+``pool.dispatch``       one batch placed on a worker; event
+                        ``crash_worker`` kills the worker process (or
+                        poisons a thread worker) right after placement.
+``node.response``       one ``/v1/infer`` response about to be written;
+                        ``drop_response`` severs the connection instead
+                        of answering, ``delay_response`` stalls it.
+``client.request``      one client-side HTTP operation; ``sever``
+                        closes the client's connection mid-operation.
+``store.get``           one blob fetched from a store backend;
+                        ``corrupt_blob`` flips bytes in the payload.
+======================  ================================================
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "WorkerCrashed",
+]
+
+#: every fault kind a plan can schedule, keyed to its site.
+FAULT_KINDS = {
+    "crash_worker": "pool.dispatch",
+    "drop_response": "node.response",
+    "delay_response": "node.response",
+    "sever": "client.request",
+    "corrupt_blob": "store.get",
+}
+
+
+class InjectedFault(RuntimeError):
+    """Base class of every error raised *by* an injected fault."""
+
+
+class WorkerCrashed(InjectedFault):
+    """A (simulated or real) worker died mid-batch.
+
+    Raised by poisoned thread workers and treated by the pool
+    supervisor exactly like a genuine child-process death
+    (``BrokenProcessPool`` / broken pipe): the worker is restarted and
+    the batch re-placed.
+    """
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS`.
+        at: occurrence index at the event's site (0-based: ``at=3``
+            fires the 4th time the site is consulted).
+        target: kind-specific target (``crash_worker``: worker index;
+            unused otherwise).
+        param: kind-specific parameter (``delay_response``: seconds;
+            ``corrupt_blob``: byte position to flip).
+    """
+
+    kind: str
+    at: int
+    target: int = 0
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"one of {sorted(FAULT_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError("occurrence index must be >= 0")
+
+    @property
+    def site(self) -> str:
+        return FAULT_KINDS[self.kind]
+
+
+class FaultPlan:
+    """An immutable schedule of fault events.
+
+    Build one explicitly::
+
+        plan = (FaultPlan()
+                .crash_worker(2, at=10)       # kill worker 2 at batch 10
+                .drop_response(at=40)         # sever reply 40 on the wire
+                .delay_response(at=40, seconds=0.05)
+                .sever_connection(at=7)       # cut client op 7
+                .corrupt_blob(at=0))          # rot the first blob fetch
+
+    or derive a whole scenario from one seed with :meth:`seeded`.  The
+    builder methods return *new* plans, so a plan in hand never changes
+    under a running injector.
+    """
+
+    def __init__(self, events: Optional[List[FaultEvent]] = None) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(events or ())
+
+    # -- builders --------------------------------------------------------
+    def _with(self, event: FaultEvent) -> "FaultPlan":
+        return FaultPlan(list(self.events) + [event])
+
+    def crash_worker(self, worker: int, *, at: int) -> "FaultPlan":
+        """Kill worker ``worker`` right after dispatch number ``at``."""
+        return self._with(FaultEvent("crash_worker", at, target=worker))
+
+    def drop_response(self, *, at: int) -> "FaultPlan":
+        """Sever the connection instead of writing response ``at``."""
+        return self._with(FaultEvent("drop_response", at))
+
+    def delay_response(self, *, at: int, seconds: float) -> "FaultPlan":
+        """Stall response ``at`` for ``seconds`` before writing it."""
+        return self._with(FaultEvent("delay_response", at, param=seconds))
+
+    def sever_connection(self, *, at: int) -> "FaultPlan":
+        """Cut the client connection during its operation ``at``."""
+        return self._with(FaultEvent("sever", at))
+
+    def corrupt_blob(self, *, at: int, position: int = 0) -> "FaultPlan":
+        """Flip a byte of the ``at``-th blob fetched from the store."""
+        return self._with(
+            FaultEvent("corrupt_blob", at, param=float(position))
+        )
+
+    # -- seeded scenarios ------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        requests: int,
+        workers: int = 1,
+        crashes: int = 0,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_s: float = 0.005,
+        severs: int = 0,
+    ) -> "FaultPlan":
+        """A reproducible chaos scenario: ``seed`` fully determines the
+        event schedule over a run of ``requests`` requests.
+
+        ``crashes`` worker kills and ``severs`` connection cuts land at
+        seed-chosen indices; every response independently drops with
+        ``drop_rate`` and stalls with ``delay_rate``.
+        """
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        span = max(1, requests)
+        for _ in range(crashes):
+            events.append(
+                FaultEvent(
+                    "crash_worker",
+                    rng.randrange(span),
+                    target=rng.randrange(max(1, workers)),
+                )
+            )
+        for _ in range(severs):
+            events.append(FaultEvent("sever", rng.randrange(span)))
+        for index in range(span):
+            if drop_rate > 0 and rng.random() < drop_rate:
+                events.append(FaultEvent("drop_response", index))
+            if delay_rate > 0 and rng.random() < delay_rate:
+                events.append(
+                    FaultEvent("delay_response", index, param=delay_s)
+                )
+        return cls(events)
+
+    # -- introspection ---------------------------------------------------
+    def describe(self) -> List[Dict[str, object]]:
+        """JSON-able event list (stable order: site, occurrence)."""
+        return [
+            {
+                "kind": e.kind,
+                "site": e.site,
+                "at": e.at,
+                "target": e.target,
+                "param": e.param,
+            }
+            for e in sorted(
+                self.events, key=lambda e: (e.site, e.at, e.kind)
+            )
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds: Dict[str, int] = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return f"FaultPlan({inner or 'empty'})"
+
+
+@dataclass
+class _SiteState:
+    count: int = 0
+    #: occurrence index -> events scheduled there.
+    pending: Dict[int, List[FaultEvent]] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan` against live serving traffic.
+
+    Each site hook (:meth:`pool_crash_target`, :meth:`response_action`,
+    :meth:`client_sever`, :meth:`corrupt`) advances that site's private
+    occurrence counter, fires the events scheduled at that index, and
+    records each firing in the :meth:`event_log` — the determinism
+    witness: same plan + same traffic = identical log.
+
+    Thread-safe; one injector may be shared by every component of one
+    node (pool, front-end, store) or one client.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._sites: Dict[str, _SiteState] = {}
+        for site in set(FAULT_KINDS.values()):
+            self._sites[site] = _SiteState()
+        for event in plan.events:
+            self._sites[event.site].pending.setdefault(
+                event.at, []
+            ).append(event)
+        self._log: List[Tuple[str, int, str, float]] = []
+
+    def _fire(self, site: str) -> List[FaultEvent]:
+        """Advance ``site`` one occurrence; return the events due now."""
+        with self._lock:
+            state = self._sites[site]
+            index = state.count
+            state.count += 1
+            events = state.pending.pop(index, [])
+            for event in events:
+                self._log.append((site, index, event.kind, event.param))
+            return events
+
+    # -- site hooks ------------------------------------------------------
+    def pool_crash_target(self) -> Optional[int]:
+        """``pool.dispatch`` hook: worker index to kill now, or None."""
+        for event in self._fire("pool.dispatch"):
+            if event.kind == "crash_worker":
+                return event.target
+        return None
+
+    def response_action(self) -> Tuple[str, float]:
+        """``node.response`` hook: ``("drop", 0)``, ``("delay", s)``,
+        or ``("pass", 0)`` for the response being written now."""
+        action, delay = "pass", 0.0
+        for event in self._fire("node.response"):
+            if event.kind == "drop_response":
+                action = "drop"
+            elif event.kind == "delay_response":
+                delay = max(delay, event.param)
+        if action == "drop":
+            return "drop", 0.0
+        if delay > 0:
+            return "delay", delay
+        return "pass", 0.0
+
+    def client_sever(self) -> bool:
+        """``client.request`` hook: sever the connection now?"""
+        return any(
+            event.kind == "sever"
+            for event in self._fire("client.request")
+        )
+
+    def corrupt(self, data: Optional[bytes]) -> Optional[bytes]:
+        """``store.get`` hook: possibly corrupt one fetched blob."""
+        events = self._fire("store.get")
+        if data is None:
+            return None
+        for event in events:
+            if event.kind == "corrupt_blob":
+                position = int(event.param) % max(1, len(data))
+                mutated = bytearray(data)
+                mutated[position] ^= 0xFF
+                data = bytes(mutated)
+        return data
+
+    # -- determinism witness ---------------------------------------------
+    def event_log(self) -> List[Tuple[str, int, str, float]]:
+        """Every fired event as ``(site, occurrence, kind, param)``, in
+        firing order — the sequence two same-seeded runs must agree on."""
+        with self._lock:
+            return list(self._log)
+
+    def counts(self) -> Dict[str, int]:
+        """Occurrences consulted per site (traffic fingerprint)."""
+        with self._lock:
+            return {
+                site: state.count for site, state in self._sites.items()
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjector({self.plan!r}, fired={len(self._log)})"

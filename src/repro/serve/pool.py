@@ -1,4 +1,4 @@
-"""Sharding batches across parallel engine workers.
+"""Sharding batches across parallel engine workers, under supervision.
 
 A :class:`WorkerPool` owns N engine instances over ONE compiled program and
 places incoming batches on them with a configurable policy:
@@ -25,6 +25,22 @@ the cost of pickling batches across the process boundary:
 multiprocessing start methods support (fork where available, else the
 artifact-based spawn path) instead of silently assuming fork.
 
+**Supervision.**  A crashed worker process (OOM kill, segfault in a
+native kernel, operator ``kill -9``) used to leave its single-process
+executor permanently broken: every batch already in flight failed, and
+every future batch placed on that slot failed too.  The pool now
+supervises its workers: a death signature on a batch future
+(``BrokenProcessPool`` / broken pipe / :class:`~repro.serve.faults.
+WorkerCrashed`) triggers a restart of that worker — rehydrated from the
+same program / artifact bytes / shared-table arena handle it originally
+booted from — and the dead worker's in-flight batches are re-placed on
+the fresh instance.  Re-execution is safe because inference is pure and
+bit-deterministic: a re-placed batch produces the same words the lost
+one would have.  Restart counts surface in :meth:`WorkerPool.stats`;
+each batch is retried at most ``max_batch_retries`` times so a
+deterministically-crashing workload still fails loudly instead of
+respawning forever.
+
 As with any spawn-based ``multiprocessing`` use, a script creating a
 spawn pool at import time must guard it with ``if __name__ ==
 "__main__":`` — spawn children re-import the main module.
@@ -33,9 +49,11 @@ spawn pool at import time must guard it with ``if __name__ ==
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -45,11 +63,23 @@ from ..core.codegen import Program
 from ..engine.base import engine_uses_trace
 from ..engine.session import DEFAULT_ENGINE, Session
 from ..lpu.simulator import SimulationResult
+from .faults import FaultInjector, WorkerCrashed
 
-__all__ = ["BACKENDS", "PLACEMENTS", "WorkerPool"]
+__all__ = ["BACKENDS", "PLACEMENTS", "WORKER_DEATH_EXCEPTIONS", "WorkerPool"]
 
 PLACEMENTS = ("round_robin", "least_loaded")
 BACKENDS = ("thread", "process", "fork", "spawn")
+
+#: exception types on a batch future that mean "the worker died", not
+#: "the batch was bad" — the supervisor restarts the worker and
+#: re-places the batch instead of failing the caller.
+WORKER_DEATH_EXCEPTIONS = (
+    BrokenProcessPool,
+    BrokenPipeError,
+    EOFError,
+    ConnectionResetError,
+    WorkerCrashed,
+)
 
 _STOP = object()
 
@@ -68,6 +98,7 @@ class _ThreadWorker:
         self.session = Session(
             program, engine=engine, engine_options=engine_options
         )
+        self._poisoned = False
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._thread = threading.Thread(
             target=self._loop, name=f"repro-worker-{index}", daemon=True
@@ -88,6 +119,13 @@ class _ThreadWorker:
         self._queue.put((fn, future))
         return future
 
+    def kill(self) -> None:
+        """Simulate a crash: the next task dies with
+        :class:`WorkerCrashed` (threads cannot die for real, so fault
+        injection poisons them instead — the supervisor path is
+        identical either way)."""
+        self._poisoned = True
+
     def close(self) -> None:
         self._queue.put(_STOP)
         self._thread.join()
@@ -99,6 +137,13 @@ class _ThreadWorker:
                 return
             task, future = item
             if not future.set_running_or_notify_cancel():
+                continue
+            if self._poisoned:
+                future.set_exception(
+                    WorkerCrashed(
+                        f"worker {self.index} crashed (injected)"
+                    )
+                )
                 continue
             try:
                 if callable(task):
@@ -157,7 +202,42 @@ def _proc_run(inputs: Dict[str, np.ndarray]) -> SimulationResult:
     return _PROC_SESSION.run(inputs)
 
 
-class _ProcessWorker:
+def _proc_die() -> None:  # pragma: no cover - runs in the child
+    """Injected crash for a process worker with no live child yet."""
+    os._exit(1)
+
+
+class _ProcessWorkerBase:
+    """Shared kill/close mechanics of the single-process executors."""
+
+    index: int
+    _executor: ProcessPoolExecutor
+
+    def submit(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> "Future[SimulationResult]":
+        return self._executor.submit(_proc_run, inputs)
+
+    def kill(self) -> None:
+        """Kill the worker's child process (SIGKILL — the real thing,
+        not an exception): in-flight batches fail with
+        ``BrokenProcessPool`` and the supervisor takes over."""
+        processes = dict(
+            getattr(self._executor, "_processes", None) or {}
+        )
+        if processes:
+            for process in processes.values():
+                process.kill()
+        else:
+            # No child spawned yet (lazy start): force one to boot and
+            # die so the executor still breaks deterministically.
+            self._executor.submit(_proc_die)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class _ProcessWorker(_ProcessWorkerBase):
     """One worker backed by a single-process executor (its own queue, so
     pool-level placement stays in charge of sharding)."""
 
@@ -177,16 +257,8 @@ class _ProcessWorker:
             initargs=(program, engine, engine_options),
         )
 
-    def submit(
-        self, inputs: Dict[str, np.ndarray]
-    ) -> "Future[SimulationResult]":
-        return self._executor.submit(_proc_run, inputs)
 
-    def close(self) -> None:
-        self._executor.shutdown(wait=True)
-
-
-class _SpawnWorker:
+class _SpawnWorker(_ProcessWorkerBase):
     """One spawn-started worker booting from shipped artifact bytes."""
 
     def __init__(
@@ -206,17 +278,9 @@ class _SpawnWorker:
             initargs=(artifact_bytes, engine, arena_handle, engine_options),
         )
 
-    def submit(
-        self, inputs: Dict[str, np.ndarray]
-    ) -> "Future[SimulationResult]":
-        return self._executor.submit(_proc_run, inputs)
-
-    def close(self) -> None:
-        self._executor.shutdown(wait=True)
-
 
 class WorkerPool:
-    """N engine workers over one program, with batch placement.
+    """N supervised engine workers over one program, with batch placement.
 
     Args:
         program: the compiled program every worker executes.
@@ -239,6 +303,14 @@ class WorkerPool:
             private decoded copy.  Spawn-only: thread workers share the
             tables natively and fork workers inherit them copy-on-write,
             so the flag is a no-op there.
+        max_batch_retries: times one batch is re-placed after a worker
+            death before its failure reaches the caller (bounds the
+            respawn loop when the *batch itself* crashes the worker).
+        injector: optional :class:`~repro.serve.faults.FaultInjector`
+            consulted once per dispatch (``pool.dispatch`` site) — a
+            scheduled ``crash_worker`` event kills the targeted worker
+            right after placement, exercising the supervisor
+            deterministically.
     """
 
     def __init__(
@@ -252,9 +324,13 @@ class WorkerPool:
         backend: str = "thread",
         artifact: Optional[ExecutableArtifact] = None,
         share_tables: bool = False,
+        max_batch_retries: int = 2,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if max_batch_retries < 0:
+            raise ValueError("max_batch_retries must be >= 0")
         if placement not in PLACEMENTS:
             raise ValueError(
                 f"unknown placement {placement!r}; available: {PLACEMENTS}"
@@ -281,12 +357,13 @@ class WorkerPool:
         self.engine_options = (
             dict(engine_options) if engine_options else None
         )
-        engine_options = self.engine_options
         self.placement = placement
         self.backend = backend
         self.artifact = artifact
+        self.max_batch_retries = max_batch_retries
+        self._injector = injector
         self._arena = None
-        workers: List[Union[_ThreadWorker, _ProcessWorker, _SpawnWorker]]
+        self._arena_handle = None
         if backend == "spawn":
             if artifact is None:
                 self.artifact = artifact = ExecutableArtifact.from_program(
@@ -297,36 +374,50 @@ class WorkerPool:
                     "the supplied artifact packages a different program "
                     "than this pool executes"
                 )
-            artifact_bytes = artifact.to_bytes()
-            arena_handle = None
+            self._artifact_bytes = artifact.to_bytes()
             if share_tables and artifact.fused is not None:
                 from ..engine.arena import SharedTableArena
 
                 self._arena = SharedTableArena.publish(artifact.fused)
-                arena_handle = self._arena.handle()
-            workers = [
-                _SpawnWorker(
-                    i, artifact_bytes, engine, arena_handle,
-                    engine_options,
-                )
-                for i in range(num_workers)
-            ]
-        elif backend == "fork":
-            workers = [
-                _ProcessWorker(i, program, engine, engine_options)
-                for i in range(num_workers)
-            ]
-        else:
-            workers = [
-                _ThreadWorker(i, program, engine, engine_options)
-                for i in range(num_workers)
-            ]
+                self._arena_handle = self._arena.handle()
+        workers: List[
+            Union[_ThreadWorker, _ProcessWorker, _SpawnWorker]
+        ] = [self._make_worker(i) for i in range(num_workers)]
         self._workers = workers
-        self._lock = threading.Lock()
+        # Reentrant: a done-callback fires synchronously (in the
+        # submitting thread, lock held) when the inner future already
+        # resolved — the supervisor path must be able to re-enter.
+        self._lock = threading.RLock()
         self._next = 0
         self._pending_words = [0] * num_workers
         self._dispatched = [0] * num_workers
+        #: how many times each worker slot was restarted after a death.
+        self._restarts = [0] * num_workers
+        #: per-slot generation, bumped on every restart — the guard that
+        #: makes concurrent death callbacks restart a worker only once.
+        self._generations = [0] * num_workers
+        self._replaced_batches = 0
         self._closed = False
+
+    def _make_worker(self, index: int):
+        """Build (or rebuild) the worker for slot ``index`` from the
+        pool's pristine boot ingredients — the rehydration step of a
+        supervised restart."""
+        if self.backend == "spawn":
+            return _SpawnWorker(
+                index,
+                self._artifact_bytes,
+                self.engine,
+                self._arena_handle,
+                self.engine_options,
+            )
+        if self.backend == "fork":
+            return _ProcessWorker(
+                index, self.program, self.engine, self.engine_options
+            )
+        return _ThreadWorker(
+            index, self.program, self.engine, self.engine_options
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -336,11 +427,18 @@ class WorkerPool:
     def submit(
         self, inputs: Dict[str, np.ndarray]
     ) -> "Future[SimulationResult]":
-        """Place one batch on a worker; resolves to the batch's result."""
+        """Place one batch on a worker; resolves to the batch's result.
+
+        The returned future is the pool's own: if the placed worker dies
+        mid-batch, the supervisor restarts it and re-places the batch
+        (up to ``max_batch_retries`` times) before any failure reaches
+        this future.
+        """
         words = 0
         for value in inputs.values():
             words = int(np.asarray(value).size)
             break
+        outer: "Future[SimulationResult]" = Future()
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -352,19 +450,106 @@ class WorkerPool:
                     range(len(self._workers)),
                     key=lambda i: (self._pending_words[i], i),
                 )
-            self._pending_words[index] += words
-            self._dispatched[index] += 1
+            self._submit_locked(
+                index, inputs, words, outer, self.max_batch_retries
+            )
+        if self._injector is not None:
+            victim = self._injector.pool_crash_target()
+            if victim is not None:
+                self.kill_worker(victim % len(self._workers))
+        return outer
+
+    def _submit_locked(
+        self,
+        index: int,
+        inputs: Dict[str, np.ndarray],
+        words: int,
+        outer: "Future[SimulationResult]",
+        retries: int,
+    ) -> None:
+        """Place one batch on worker ``index`` (lock held) and chain its
+        outcome — or its supervised re-placement — into ``outer``."""
+        self._dispatched[index] += 1
+        generation = self._generations[index]
+        try:
             # Enqueue while still holding the lock: a close() racing in
             # after the closed-check would stop the worker and strand
             # this request's future unresolved forever.
-            future = self._workers[index].submit(inputs)
+            inner = self._workers[index].submit(inputs)
+        except WORKER_DEATH_EXCEPTIONS as exc:
+            # A dead process executor rejects new work synchronously:
+            # same death, earlier signature.  Restart and retry inline.
+            self._replace_worker_locked(index, generation)
+            if retries <= 0:
+                outer.set_exception(exc)
+                return
+            self._replaced_batches += 1
+            self._submit_locked(index, inputs, words, outer, retries - 1)
+            return
+        self._pending_words[index] += words
+        inner.add_done_callback(
+            lambda done: self._on_batch_done(
+                index, generation, inputs, words, outer, retries, done
+            )
+        )
 
-        def _done(_future, index=index, words=words):
-            with self._lock:
-                self._pending_words[index] -= words
+    def _replace_worker_locked(self, index: int, generation: int) -> None:
+        """Restart worker ``index`` if it still runs ``generation`` —
+        concurrent casualties of one death rebuild the worker once."""
+        if self._generations[index] != generation:
+            return
+        old_worker = self._workers[index]
+        self._workers[index] = self._make_worker(index)
+        self._generations[index] += 1
+        self._restarts[index] += 1
+        # Reap the broken worker best-effort: its child is already gone,
+        # shutdown only joins management threads.  (A poisoned thread
+        # worker reaches its own close() from its queue; joining the
+        # current thread raises and is swallowed.)
+        try:
+            old_worker.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
 
-        future.add_done_callback(_done)
-        return future
+    def _on_batch_done(
+        self,
+        index: int,
+        generation: int,
+        inputs: Dict[str, np.ndarray],
+        words: int,
+        outer: "Future[SimulationResult]",
+        retries: int,
+        inner: "Future[SimulationResult]",
+    ) -> None:
+        with self._lock:
+            self._pending_words[index] -= words
+        exc = inner.exception()
+        if exc is None:
+            outer.set_result(inner.result())
+            return
+        if not isinstance(exc, WORKER_DEATH_EXCEPTIONS) or retries <= 0:
+            outer.set_exception(exc)
+            return
+        # The worker died under this batch.  Restart it (once per
+        # generation — concurrent casualties of the same death skip the
+        # rebuild) and re-place the batch on the fresh instance:
+        # inference is pure, so re-execution is bit-identical.
+        with self._lock:
+            if self._closed:
+                outer.set_exception(exc)
+                return
+            self._replace_worker_locked(index, generation)
+            self._replaced_batches += 1
+            self._submit_locked(index, inputs, words, outer, retries - 1)
+
+    def kill_worker(self, index: int) -> None:
+        """Kill worker ``index`` (process: SIGKILL the child; thread:
+        poison the next task).  The supervisor restarts it as soon as a
+        batch observes the death — the operator-visible effect is a
+        ``restarts`` tick in :meth:`stats`, not an outage."""
+        with self._lock:
+            worker = self._workers[index]
+        worker.kill()
 
     def run(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
         """Synchronous convenience wrapper around :meth:`submit`."""
@@ -378,7 +563,9 @@ class WorkerPool:
         (:class:`repro.serve.stream.StreamSession`) use to drive per-state
         engine calls without cross-thread workspace sharing.  Process
         backends would have to pickle the callable and the engine state;
-        they raise instead.
+        they raise instead.  Stateful calls are NOT supervised: engine
+        state is not re-derivable from the inputs, so a death surfaces
+        to the caller instead of being silently re-run.
         """
         if self.backend != "thread":
             raise RuntimeError(
@@ -401,6 +588,9 @@ class WorkerPool:
                 "num_workers": len(self._workers),
                 "dispatched": list(self._dispatched),
                 "pending_words": list(self._pending_words),
+                "restarts": list(self._restarts),
+                "total_restarts": sum(self._restarts),
+                "replaced_batches": self._replaced_batches,
                 "shared_table_bytes": (
                     self._arena.size if self._arena is not None else 0
                 ),

@@ -16,7 +16,11 @@ Policy invariants (property-tested in ``tests/test_serve.py``):
 * a request never waits longer than ``max_wait_ms`` for its batch to fill —
   a partial batch is dispatched at the deadline,
 * per-request results (outputs AND statistics) are bit-identical to a
-  direct :meth:`~repro.engine.session.Session.run` of that request.
+  direct :meth:`~repro.engine.session.Session.run` of that request,
+* a request submitted with a **deadline** is shed with a typed
+  :class:`DeadlineExceeded` — never batched with live requests, never
+  silently hung — as soon as the scheduler observes the expiry (at
+  most one scheduler wake-up past the deadline).
 """
 
 from __future__ import annotations
@@ -32,7 +36,31 @@ import numpy as np
 
 from ..lpu.simulator import SimulationResult
 
-__all__ = ["BatchScheduler", "SchedulerStats", "WAIT_BUCKETS_MS"]
+__all__ = [
+    "BatchScheduler",
+    "DeadlineExceeded",
+    "SchedulerStats",
+    "WAIT_BUCKETS_MS",
+]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline passed before it could be dispatched.
+
+    The typed shed signal: callers (and the fabric front-end, which
+    maps it to HTTP 504) can distinguish "the system chose not to run
+    this in time" from an execution failure.  Carries the partial-wait
+    evidence: how long the request sat in the queue against what
+    budget.
+    """
+
+    def __init__(self, deadline_ms: float, waited_ms: float) -> None:
+        super().__init__(
+            f"request deadline of {deadline_ms:g}ms exceeded after "
+            f"waiting {waited_ms:.3f}ms in the scheduler queue"
+        )
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
 
 #: A dispatch target: takes coalesced inputs, returns the batch result
 #: either synchronously or as a Future (e.g. from a WorkerPool).
@@ -57,6 +85,8 @@ class SchedulerStats:
     requests: int = 0
     batches: int = 0
     max_batch: int = 0
+    #: requests shed with :class:`DeadlineExceeded` before dispatch.
+    expired: int = 0
     total_wait_s: float = 0.0
     max_wait_s: float = 0.0
     #: (requests, words, head-of-line wait seconds) of recent batches.
@@ -109,6 +139,7 @@ class SchedulerStats:
         }
         return {
             "requests": self.requests,
+            "expired": self.expired,
             "batches": self.batches,
             "mean_batch": self.mean_batch,
             "max_batch": self.max_batch,
@@ -132,6 +163,9 @@ class _Request:
     words: int
     future: "Future[SimulationResult]"
     enqueued: float
+    #: absolute monotonic deadline; None = wait forever (the default).
+    deadline: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
 
 class BatchScheduler:
@@ -176,9 +210,20 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def submit(
-        self, inputs: Dict[str, np.ndarray]
+        self,
+        inputs: Dict[str, np.ndarray],
+        *,
+        deadline_ms: Optional[float] = None,
     ) -> "Future[SimulationResult]":
-        """Enqueue one request; the Future resolves to its own result."""
+        """Enqueue one request; the Future resolves to its own result.
+
+        A ``deadline_ms`` budget starts now: if the request is still
+        queued when it runs out, it is shed with
+        :class:`DeadlineExceeded` instead of being dispatched —
+        expired requests never ride in a batch with live ones.
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 when given")
         validated: Dict[str, np.ndarray] = {}
         shape: Optional[Tuple[int, ...]] = None
         if self.pi_names is not None:
@@ -210,12 +255,19 @@ class BatchScheduler:
         words = 1
         for dim in shape:
             words *= dim
+        enqueued = time.monotonic()
         request = _Request(
             inputs=validated,
             shape=shape,
             words=words,
             future=Future(),
-            enqueued=time.monotonic(),
+            enqueued=enqueued,
+            deadline=(
+                enqueued + deadline_ms / 1e3
+                if deadline_ms is not None
+                else None
+            ),
+            deadline_ms=deadline_ms,
         )
         with self._cond:
             if self._closed:
@@ -253,29 +305,101 @@ class BatchScheduler:
                 return  # closed and drained
             self._dispatch(batch)
 
+    def _expired(self, request: _Request, now: float) -> bool:
+        return request.deadline is not None and now >= request.deadline
+
+    def _shed(self, request: _Request, now: float) -> None:
+        """Fail one expired request with the typed shed signal."""
+        self.stats.expired += 1
+        if request.future.set_running_or_notify_cancel():
+            request.future.set_exception(
+                DeadlineExceeded(
+                    request.deadline_ms or 0.0,
+                    (now - request.enqueued) * 1e3,
+                )
+            )
+
+    def _shed_members(self, batch: List[_Request], now: float) -> None:
+        """Remove (and fail) batch members whose deadline passed while
+        the batch was filling — they never dispatch with the live ones."""
+        expired = [r for r in batch if self._expired(r, now)]
+        if expired:
+            batch[:] = [r for r in batch if not self._expired(r, now)]
+            for request in expired:
+                self._shed(request, now)
+
     def _collect(self) -> List[_Request]:
-        """Block until a batch is ready under the size/deadline policy."""
+        """Block until a batch is ready under the size/deadline policy,
+        shedding expired requests the moment the scheduler observes
+        them (never more than one wake-up past their deadline)."""
         with self._cond:
-            while not self._queue:
-                if self._closed:
-                    return []
-                self._cond.wait()
-            batch = [self._queue.popleft()]
-            deadline = batch[0].enqueued + self.max_wait_s
-            while len(batch) < self.max_batch_size:
-                if self._queue:
-                    batch.append(self._queue.popleft())
-                    continue
-                remaining = deadline - time.monotonic()
-                if self._closed or remaining <= 0:
-                    break
-                self._cond.wait(timeout=remaining)
-                if not self._queue and time.monotonic() >= deadline:
-                    break
-            return batch
+            while True:
+                while not self._queue:
+                    if self._closed:
+                        return []
+                    self._cond.wait()
+                now = time.monotonic()
+                batch: List[_Request] = []
+                while self._queue and not batch:
+                    head = self._queue.popleft()
+                    if self._expired(head, now):
+                        self._shed(head, now)
+                    else:
+                        batch.append(head)
+                if not batch:
+                    continue  # the whole head run was expired; re-wait
+                fill_deadline = batch[0].enqueued + self.max_wait_s
+                while len(batch) < self.max_batch_size:
+                    now = time.monotonic()
+                    if self._queue:
+                        request = self._queue.popleft()
+                        if self._expired(request, now):
+                            self._shed(request, now)
+                        else:
+                            batch.append(request)
+                        continue
+                    self._shed_members(batch, now)
+                    if not batch:
+                        break
+                    if self._closed or now >= fill_deadline:
+                        break
+                    # Wake at whichever comes first: the batch-fill
+                    # deadline or the earliest member request deadline
+                    # (so an expiring member is shed on time instead of
+                    # waiting out the fill).
+                    wake = fill_deadline
+                    for request in batch:
+                        if (
+                            request.deadline is not None
+                            and request.deadline < wake
+                        ):
+                            wake = request.deadline
+                    remaining = wake - now
+                    if remaining > 0:
+                        self._cond.wait(timeout=remaining)
+                if batch:
+                    self._shed_members(batch, time.monotonic())
+                if batch:
+                    return batch
+                # every member expired while filling; collect afresh
 
     def _dispatch(self, batch: List[_Request]) -> None:
         live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        # Last line of defense for the shed-before-dispatch invariant:
+        # anything that expired between collection and here fails typed
+        # instead of riding with the live requests.
+        now = time.monotonic()
+        expired = [r for r in live if self._expired(r, now)]
+        if expired:
+            live = [r for r in live if not self._expired(r, now)]
+            for request in expired:
+                self.stats.expired += 1
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        request.deadline_ms or 0.0,
+                        (now - request.enqueued) * 1e3,
+                    )
+                )
         if not live:
             return
         # Without a pi_names contract, requests with a different input-key

@@ -109,6 +109,7 @@ class InferenceServer:
                 # Spawn workers ship these bytes instead of re-packaging.
                 artifact=entry.artifact,
                 share_tables=serving.share_tables,
+                injector=serving.injector,
             )
             graph = self.program.graph
             pi_names = frozenset(
@@ -129,15 +130,60 @@ class InferenceServer:
             return self.bundle.reference_graph()
         return self.program.graph
 
-    def submit(
-        self, inputs: Dict[str, np.ndarray]
-    ) -> "Future[SimulationResult]":
-        """Enqueue one request; the Future resolves to its result."""
-        return self.scheduler.submit(inputs)
+    def effective_deadline_ms(
+        self, deadline_ms: Optional[float] = None
+    ) -> Optional[float]:
+        """The deadline a request runs under: its own override, else
+        the config's ``default_deadline_ms``, else none."""
+        if deadline_ms is not None:
+            return deadline_ms
+        return self.serving.default_deadline_ms
 
-    def infer(self, inputs: Dict[str, np.ndarray]) -> SimulationResult:
-        """Synchronous single-request inference (blocks for the result)."""
-        return self.submit(inputs).result()
+    def submit(
+        self,
+        inputs: Dict[str, np.ndarray],
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> "Future[SimulationResult]":
+        """Enqueue one request; the Future resolves to its result.
+
+        ``deadline_ms`` overrides the config's ``default_deadline_ms``
+        for this request; a request still queued when its budget runs
+        out resolves to :class:`~repro.serve.scheduler.DeadlineExceeded`.
+        """
+        return self.scheduler.submit(
+            inputs, deadline_ms=self.effective_deadline_ms(deadline_ms)
+        )
+
+    def infer(
+        self,
+        inputs: Dict[str, np.ndarray],
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> SimulationResult:
+        """Synchronous single-request inference (blocks for the result).
+
+        With a deadline (per-request or config default) the *wait* is
+        bounded too: a result that has not materialized by the deadline
+        raises :class:`~repro.serve.scheduler.DeadlineExceeded` instead
+        of blocking the caller on a wedged worker forever.
+        """
+        import concurrent.futures
+        import time as _time
+
+        from .scheduler import DeadlineExceeded
+
+        effective = self.effective_deadline_ms(deadline_ms)
+        started = _time.monotonic()
+        future = self.submit(inputs, deadline_ms=effective)
+        if effective is None:
+            return future.result()
+        try:
+            return future.result(timeout=effective / 1e3)
+        except concurrent.futures.TimeoutError:
+            raise DeadlineExceeded(
+                effective, (_time.monotonic() - started) * 1e3
+            ) from None
 
     def map(
         self, requests: Iterable[Dict[str, np.ndarray]]

@@ -522,9 +522,19 @@ class TestFabricEndToEnd:
             health = client.health()
             assert health["status"] == "ok"
             assert health["role"] == "serve"
+            assert health["ready"] is True
             stats = client.stats()
             assert stats["admission"]["admitted"] >= 1
             assert "scheduler" in stats["server"]
+            assert stats["draining"] is False
+            assert stats["deadline_504"] == 0
+
+    def test_liveness_vs_readiness_endpoints(self, node):
+        with FabricClient(node.url) as client:
+            status, _, _ = client._request("GET", "/v1/health/live")
+            assert status == 200
+            status, _, _ = client._request("GET", "/v1/health/ready")
+            assert status == 200
 
     def test_unknown_route_404(self, node):
         with FabricClient(node.url) as client:

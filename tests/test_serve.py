@@ -579,3 +579,57 @@ class TestServeBench:
             run_serve_bench(compiled.program, requests=0)
         with pytest.raises(ValueError):
             run_serve_bench(compiled.program, clients=0)
+
+
+class TestRequestDeadlines:
+    """Deadline-expiry boundaries at the scheduler surface (the full
+    fault-tolerance matrix lives in test_faults.py)."""
+
+    def test_deadline_on_the_boundary_of_the_wait(self, compiled):
+        from repro.serve import ServeConfig
+        from repro.serve.scheduler import DeadlineExceeded
+
+        session = Session(compiled.program)
+        # deadline > fill-wait: the batch dispatches at max_wait and
+        # the request completes well inside its budget.
+        with InferenceServer(
+            compiled.program,
+            serving=ServeConfig(max_batch_size=8, max_wait_ms=5.0),
+        ) as server:
+            request = _requests(compiled.program.graph, 1)[0]
+            future = server.submit(request, deadline_ms=5_000.0)
+            assert_result_equal(
+                future.result(timeout=30), session.run(request)
+            )
+        # deadline < fill-wait: shed typed within ~one scheduler tick,
+        # nowhere near the 10-second fill window.
+        with InferenceServer(
+            compiled.program,
+            serving=ServeConfig(max_batch_size=8, max_wait_ms=10_000.0),
+        ) as server:
+            request = _requests(compiled.program.graph, 1)[0]
+            started = time.monotonic()
+            doomed = server.submit(request, deadline_ms=20.0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                doomed.result(timeout=30)
+            assert excinfo.value.deadline_ms == 20.0
+            assert excinfo.value.waited_ms >= 19.0
+            assert (time.monotonic() - started) < 5.0
+            assert server.stats()["scheduler"]["expired"] == 1
+
+    def test_zero_or_negative_deadline_rejected(self, compiled):
+        with InferenceServer(compiled.program) as server:
+            request = _requests(compiled.program.graph, 1)[0]
+            for bad in (0.0, -3.5):
+                with pytest.raises(ValueError, match="deadline"):
+                    server.submit(request, deadline_ms=bad)
+
+    def test_default_deadline_from_config(self, compiled):
+        from repro.serve import ServeConfig
+
+        with InferenceServer(
+            compiled.program,
+            serving=ServeConfig(default_deadline_ms=60_000.0),
+        ) as server:
+            assert server.effective_deadline_ms() == 60_000.0
+            assert server.effective_deadline_ms(100.0) == 100.0
